@@ -1,0 +1,4 @@
+//! Regenerates the §9.3 idealized-shadow ablation.
+fn main() {
+    watchdog_bench::figs::ablation_ideal_shadow(watchdog_bench::scale_from_args());
+}

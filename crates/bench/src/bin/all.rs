@@ -1,0 +1,15 @@
+//! Regenerates every table and figure in sequence (EXPERIMENTS.md input).
+fn main() {
+    let scale = watchdog_bench::scale_from_args();
+    watchdog_bench::figs::table2();
+    watchdog_bench::figs::table1();
+    watchdog_bench::figs::juliet();
+    watchdog_bench::figs::fig05(scale);
+    watchdog_bench::figs::fig07(scale);
+    watchdog_bench::figs::fig08(scale);
+    watchdog_bench::figs::fig09(scale);
+    watchdog_bench::figs::ablation_ideal_shadow(scale);
+    watchdog_bench::figs::fig10(scale);
+    watchdog_bench::figs::fig11(scale);
+}
+

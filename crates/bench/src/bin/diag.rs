@@ -1,0 +1,20 @@
+//! Diagnostic: per-benchmark stall breakdown under selected modes.
+use watchdog_core::prelude::*;
+use watchdog_workloads::{benchmark, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("milc");
+    let p = benchmark(name).expect("known benchmark").build(Scale::Test);
+    for mode in [Mode::Baseline, Mode::watchdog_conservative(), Mode::watchdog()] {
+        let r = Simulator::new(SimConfig::timed(mode)).run(&p).unwrap();
+        let t = r.timing.as_ref().unwrap();
+        println!(
+            "{:<28} cycles={:<8} uops={:<8} ipc={:.2} stalls rob={} iq={} lq={} sq={} ic={} br={} | l1d m={} ll acc={} m={} mpki={:.2} shadow={}",
+            mode.label(), t.cycles, t.uops, t.ipc(),
+            t.stalls.rob, t.stalls.iq, t.stalls.lq, t.stalls.sq, t.stalls.icache, t.stalls.redirect,
+            t.hierarchy.l1d.misses, t.hierarchy.ll.accesses, t.hierarchy.ll.misses,
+            t.bpred.mpki(), t.hierarchy.shadow_accesses,
+        );
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 05 of the paper. Usage: `cargo run -p watchdog-bench --bin fig05 [--scale test|small|ref]`.
+fn main() {
+    watchdog_bench::figs::fig05(watchdog_bench::scale_from_args());
+}

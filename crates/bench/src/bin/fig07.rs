@@ -1,0 +1,4 @@
+//! Regenerates Figure 07 of the paper. Usage: `cargo run -p watchdog-bench --bin fig07 [--scale test|small|ref]`.
+fn main() {
+    watchdog_bench::figs::fig07(watchdog_bench::scale_from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 08 of the paper. Usage: `cargo run -p watchdog-bench --bin fig08 [--scale test|small|ref]`.
+fn main() {
+    watchdog_bench::figs::fig08(watchdog_bench::scale_from_args());
+}

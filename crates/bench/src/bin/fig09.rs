@@ -1,0 +1,4 @@
+//! Regenerates Figure 09 of the paper. Usage: `cargo run -p watchdog-bench --bin fig09 [--scale test|small|ref]`.
+fn main() {
+    watchdog_bench::figs::fig09(watchdog_bench::scale_from_args());
+}

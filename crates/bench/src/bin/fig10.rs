@@ -1,0 +1,4 @@
+//! Regenerates Figure 10 of the paper. Usage: `cargo run -p watchdog-bench --bin fig10 [--scale test|small|ref]`.
+fn main() {
+    watchdog_bench::figs::fig10(watchdog_bench::scale_from_args());
+}

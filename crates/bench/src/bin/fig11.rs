@@ -1,0 +1,4 @@
+//! Regenerates Figure 11 of the paper. Usage: `cargo run -p watchdog-bench --bin fig11 [--scale test|small|ref]`.
+fn main() {
+    watchdog_bench::figs::fig11(watchdog_bench::scale_from_args());
+}

@@ -1,0 +1,4 @@
+//! Runs the §9.2 Juliet-style security evaluation.
+fn main() {
+    watchdog_bench::figs::juliet();
+}

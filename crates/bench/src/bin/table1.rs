@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (with an empirical comprehensiveness demonstration).
+fn main() {
+    watchdog_bench::figs::table1();
+}

@@ -1,0 +1,4 @@
+//! Prints Table 2: the simulated processor configuration.
+fn main() {
+    watchdog_bench::figs::table2();
+}

@@ -1,0 +1,144 @@
+//! Shared harness for the per-table / per-figure reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure from the
+//! paper's evaluation (§9). This library provides the common machinery:
+//! running the twenty-benchmark suite under a set of [`Mode`]s, formatting
+//! aligned tables, and computing the paper's geometric-mean aggregates.
+//!
+//! Scale selection: pass `--scale test|small|ref` (default `small`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use watchdog_core::prelude::*;
+use watchdog_workloads::{all_benchmarks, Scale};
+
+/// Parses the `--scale` argument (default [`Scale::Small`]).
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--scale" {
+            return match w[1].as_str() {
+                "test" => Scale::Test,
+                "small" => Scale::Small,
+                "ref" | "reference" => Scale::Reference,
+                other => panic!("unknown scale {other:?} (expected test|small|ref)"),
+            };
+        }
+    }
+    Scale::Small
+}
+
+/// Results of running the full suite under several modes:
+/// `results[benchmark][mode_label] -> RunReport`.
+pub type SuiteResults = BTreeMap<String, BTreeMap<String, RunReport>>;
+
+/// Runs all twenty benchmarks under each mode (timed).
+pub fn run_suite(modes: &[Mode], scale: Scale) -> SuiteResults {
+    run_suite_inner(modes, scale, true)
+}
+
+/// Runs all twenty benchmarks under each mode, functionally only (fast; no
+/// cycle numbers, but full footprint and classification statistics).
+pub fn run_suite_functional(modes: &[Mode], scale: Scale) -> SuiteResults {
+    run_suite_inner(modes, scale, false)
+}
+
+fn run_suite_inner(modes: &[Mode], scale: Scale, timing: bool) -> SuiteResults {
+    let mut out = SuiteResults::new();
+    for spec in all_benchmarks() {
+        let program = spec.build(scale);
+        let mut per_mode = BTreeMap::new();
+        for &mode in modes {
+            let cfg = if timing { SimConfig::timed(mode) } else { SimConfig::functional(mode) };
+            let report = Simulator::new(cfg)
+                .run(&program)
+                .unwrap_or_else(|e| panic!("{} under {}: {e}", spec.name, mode.label()));
+            assert!(
+                report.violation.is_none(),
+                "{} under {}: unexpected violation {:?}",
+                spec.name,
+                mode.label(),
+                report.violation
+            );
+            per_mode.insert(mode.label(), report);
+        }
+        out.insert(spec.name.to_string(), per_mode);
+    }
+    out
+}
+
+/// Benchmark names in the paper's figure order (the suite map is sorted
+/// alphabetically; figures should not be).
+pub fn figure_order() -> Vec<String> {
+    all_benchmarks().iter().map(|b| b.name.to_string()).collect()
+}
+
+/// Prints an aligned table: `name` column plus one column per header.
+pub fn print_table(title: &str, headers: &[&str], rows: &[(String, Vec<String>)]) {
+    println!("\n== {title} ==");
+    let name_w = rows.iter().map(|(n, _)| n.len()).chain(std::iter::once("bench".len())).max().unwrap_or(8);
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for (_, vals) in rows {
+        for (i, v) in vals.iter().enumerate() {
+            widths[i] = widths[i].max(v.len());
+        }
+    }
+    print!("{:name_w$}", "bench");
+    for (h, w) in headers.iter().zip(&widths) {
+        print!("  {h:>w$}");
+    }
+    println!();
+    for (name, vals) in rows {
+        print!("{name:name_w$}");
+        for (v, w) in vals.iter().zip(&widths) {
+            print!("  {v:>w$}");
+        }
+        println!();
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Geometric mean of overhead fractions (re-exported convenience).
+pub fn geomean(xs: &[f64]) -> f64 {
+    watchdog_core::report::geomean_overhead(xs)
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    watchdog_core::report::mean(xs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_order_is_the_paper_order() {
+        let order = figure_order();
+        assert_eq!(order.len(), 20);
+        assert_eq!(order[0], "lbm");
+        assert_eq!(order[19], "perl");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.153), "15.3%");
+        assert_eq!(pct(0.0), "0.0%");
+    }
+
+    #[test]
+    fn suite_functional_smoke() {
+        let r = run_suite_functional(&[Mode::Baseline], Scale::Test);
+        assert_eq!(r.len(), 20);
+        for (name, modes) in &r {
+            assert!(modes.contains_key("baseline"), "{name} missing baseline");
+        }
+    }
+}
+pub mod figs;

@@ -1,0 +1,139 @@
+//! Run reports: everything one simulation produces.
+
+use crate::error::Violation;
+use crate::machine::MachineStats;
+use crate::runtime::HeapStats;
+use watchdog_mem::Footprint;
+use watchdog_pipeline::TimingReport;
+
+/// The result of simulating one program under one configuration.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Program name.
+    pub program: String,
+    /// Human-readable mode label.
+    pub mode: String,
+    /// Architectural execution statistics.
+    pub machine: MachineStats,
+    /// Heap runtime statistics.
+    pub heap: HeapStats,
+    /// Memory footprint (Fig. 10's raw data).
+    pub footprint: Footprint,
+    /// Detected memory-safety violation, if any. `None` means the program
+    /// ran to completion cleanly.
+    pub violation: Option<Violation>,
+    /// Timing-model results (absent for functional-only runs).
+    pub timing: Option<TimingReport>,
+}
+
+impl RunReport {
+    /// Execution cycles (0 for functional-only runs).
+    pub fn cycles(&self) -> u64 {
+        self.timing.as_ref().map_or(0, |t| t.cycles)
+    }
+
+    /// Total µops (0 for functional-only runs).
+    pub fn uops(&self) -> u64 {
+        self.timing.as_ref().map_or(0, |t| t.uops)
+    }
+
+    /// Runtime overhead relative to a baseline run of the same program:
+    /// `cycles/baseline - 1` (the y-axis of Figs. 7, 9 and 11).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either run lacks timing data.
+    pub fn slowdown_vs(&self, baseline: &RunReport) -> f64 {
+        let s = self.cycles();
+        let b = baseline.cycles();
+        assert!(s > 0 && b > 0, "slowdown requires timed runs");
+        s as f64 / b as f64 - 1.0
+    }
+
+    /// Fraction of memory accesses classified as pointer operations
+    /// (Fig. 5's y-axis).
+    pub fn ptr_fraction(&self) -> f64 {
+        if self.machine.mem_accesses == 0 {
+            0.0
+        } else {
+            self.machine.ptr_classified as f64 / self.machine.mem_accesses as f64
+        }
+    }
+
+    /// µop overhead relative to the baseline µops of this run (Fig. 8's
+    /// total bar height).
+    pub fn uop_overhead(&self) -> f64 {
+        self.timing.as_ref().map_or(0.0, |t| t.uop_overhead())
+    }
+
+    /// µop overhead split by category, as fractions of baseline µops:
+    /// `(checks, pointer loads, pointer stores, other)` — Fig. 8's stacked
+    /// segments ("other" is propagation plus allocation/deallocation).
+    pub fn uop_overhead_breakdown(&self) -> (f64, f64, f64, f64) {
+        match &self.timing {
+            None => (0.0, 0.0, 0.0, 0.0),
+            Some(t) => {
+                let base = t.uops_by_tag[0].max(1) as f64;
+                (
+                    t.uops_by_tag[1] as f64 / base,
+                    t.uops_by_tag[2] as f64 / base,
+                    t.uops_by_tag[3] as f64 / base,
+                    (t.uops_by_tag[4] + t.uops_by_tag[5]) as f64 / base,
+                )
+            }
+        }
+    }
+
+    /// Memory overhead at word granularity (Fig. 10, left bars).
+    pub fn word_overhead(&self) -> f64 {
+        self.footprint.word_overhead()
+    }
+
+    /// Memory overhead at page granularity (Fig. 10, right bars).
+    pub fn page_overhead(&self) -> f64 {
+        self.footprint.page_overhead()
+    }
+}
+
+/// Geometric mean of `1 + x` minus one, the paper's aggregation for
+/// overhead percentages ("Geo. mean" in Figs. 7, 9, 11).
+pub fn geomean_overhead(overheads: &[f64]) -> f64 {
+    if overheads.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = overheads.iter().map(|o| (1.0 + o).ln()).sum();
+    (log_sum / overheads.len() as f64).exp() - 1.0
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_equal_values_is_that_value() {
+        let g = geomean_overhead(&[0.15, 0.15, 0.15]);
+        assert!((g - 0.15).abs() < 1e-12);
+        assert_eq!(geomean_overhead(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_is_below_arithmetic_mean() {
+        let xs = [0.05, 0.10, 0.80];
+        assert!(geomean_overhead(&xs) < mean(&xs));
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,542 @@
+//! The simulator facade: couples the functional machine to the timing
+//! model and produces [`RunReport`]s.
+//!
+//! A [`Mode`] selects one of the paper's evaluated configurations:
+//!
+//! | Mode | Paper reference |
+//! |---|---|
+//! | `Baseline` | uninstrumented baseline of §9.3 |
+//! | `LocationBased` | §2.1 comparison checker (Table 1) |
+//! | `Watchdog { ptr, lock_cache, ideal_shadow }` | §3–§6, Figs. 7–9 |
+//! | `WatchdogBounds { ptr, uops }` | §8, Fig. 11 |
+//!
+//! For ISA-assisted pointer identification the simulator first runs the
+//! §5.2 profiling pass (a functional-only run that records which static
+//! instructions ever move valid metadata), then the measured run.
+
+use watchdog_isa::crack::BoundsUops;
+use watchdog_isa::program::Program;
+use watchdog_mem::HierarchyConfig;
+use watchdog_pipeline::core::Snapshot;
+use watchdog_pipeline::{CoreConfig, TimingCore};
+
+use crate::error::SimError;
+use crate::machine::{CheckMode, Machine, MachineConfig, Step};
+use crate::pointer_id::{PointerId, PointerPolicy, Profile};
+use crate::report::RunReport;
+
+/// A simulated configuration of the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Unmodified processor, no checking.
+    Baseline,
+    /// Location-based checker (allocation-status shadow, §2.1).
+    LocationBased,
+    /// Watchdog use-after-free checking.
+    Watchdog {
+        /// Pointer-identification policy (§5).
+        ptr: PointerId,
+        /// Use the dedicated lock-location cache (§4.2). Disabling it
+        /// reproduces the "without lock location cache" bars of Fig. 9.
+        lock_cache: bool,
+        /// Idealize shadow accesses (§9.3 cache-pressure ablation).
+        ideal_shadow: bool,
+    },
+    /// Watchdog + bounds checking = full memory safety (§8, Fig. 11).
+    WatchdogBounds {
+        /// Pointer-identification policy.
+        ptr: PointerId,
+        /// One fused check µop or two split µops.
+        uops: BoundsUops,
+    },
+}
+
+impl Mode {
+    /// The paper's headline configuration: ISA-assisted identification with
+    /// the lock-location cache.
+    pub fn watchdog() -> Mode {
+        Mode::Watchdog { ptr: PointerId::IsaAssisted, lock_cache: true, ideal_shadow: false }
+    }
+
+    /// Watchdog with conservative pointer identification (no binary
+    /// changes, §5.1).
+    pub fn watchdog_conservative() -> Mode {
+        Mode::Watchdog { ptr: PointerId::Conservative, lock_cache: true, ideal_shadow: false }
+    }
+
+    /// Short human-readable label.
+    pub fn label(&self) -> String {
+        match self {
+            Mode::Baseline => "baseline".into(),
+            Mode::LocationBased => "location-based".into(),
+            Mode::Watchdog { ptr, lock_cache, ideal_shadow } => {
+                let mut s = format!(
+                    "watchdog/{}",
+                    match ptr {
+                        PointerId::Conservative => "conservative",
+                        PointerId::IsaAssisted => "isa-assisted",
+                    }
+                );
+                if !lock_cache {
+                    s.push_str("/no-ll$");
+                }
+                if *ideal_shadow {
+                    s.push_str("/ideal-shadow");
+                }
+                s
+            }
+            Mode::WatchdogBounds { ptr, uops } => format!(
+                "watchdog+bounds/{}/{}",
+                match ptr {
+                    PointerId::Conservative => "conservative",
+                    PointerId::IsaAssisted => "isa-assisted",
+                },
+                match uops {
+                    BoundsUops::Fused => "1uop",
+                    BoundsUops::Split => "2uop",
+                }
+            ),
+        }
+    }
+
+    fn check_mode(&self) -> CheckMode {
+        match self {
+            Mode::Baseline => CheckMode::None,
+            Mode::LocationBased => CheckMode::Location,
+            Mode::Watchdog { .. } | Mode::WatchdogBounds { .. } => CheckMode::Watchdog,
+        }
+    }
+
+    fn bounds(&self) -> Option<BoundsUops> {
+        match self {
+            Mode::WatchdogBounds { uops, .. } => Some(*uops),
+            _ => None,
+        }
+    }
+
+    fn pointer_id(&self) -> Option<PointerId> {
+        match self {
+            Mode::Watchdog { ptr, .. } | Mode::WatchdogBounds { ptr, .. } => Some(*ptr),
+            _ => None,
+        }
+    }
+}
+
+/// Periodic-sampling configuration, reproducing the paper's methodology
+/// (§9.1): "We used 2% periodic sampling with each sample of 10 million
+/// instructions proceeded by a fast forward and a warmup of 480 and 10
+/// million instructions per period, respectively." Between samples the
+/// machine fast-forwards functionally (no timing); each sample window is
+/// preceded by a warmup window that primes caches and predictors but is
+/// excluded from the measured counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sampling {
+    /// Instructions per period (fast-forward + warmup + sample).
+    pub period: u64,
+    /// Warmup instructions per period (timed, not measured).
+    pub warmup: u64,
+    /// Measured instructions per period.
+    pub sample: u64,
+}
+
+impl Sampling {
+    /// The paper's 2% regime, scaled down 1000× to suit the synthetic
+    /// kernels: 10k-instruction samples, 10k warmup, 480k fast-forward.
+    pub const fn paper_scaled() -> Self {
+        Sampling { period: 500_000, warmup: 10_000, sample: 10_000 }
+    }
+
+    /// A denser regime for small programs: 2% measured, 10% warmed.
+    pub const fn dense() -> Self {
+        Sampling { period: 50_000, warmup: 5_000, sample: 1_000 }
+    }
+
+    fn fast_forward(&self) -> u64 {
+        self.period - self.warmup - self.sample
+    }
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// System mode.
+    pub mode: Mode,
+    /// Run the out-of-order timing model (slower; required for cycle
+    /// numbers).
+    pub timing: bool,
+    /// Hard instruction limit (guards against runaway programs).
+    pub max_insts: u64,
+    /// Core parameters (Table 2 by default).
+    pub core: CoreConfig,
+    /// Memory-hierarchy parameters (Table 2 by default; the mode's
+    /// lock-cache / ideal-shadow knobs are applied on top).
+    pub hierarchy: HierarchyConfig,
+    /// Periodic sampling (§9.1). `None` = measure every instruction.
+    /// Requires `timing`.
+    pub sampling: Option<Sampling>,
+}
+
+impl SimConfig {
+    /// Timed simulation of `mode` with Table 2 parameters.
+    pub fn timed(mode: Mode) -> Self {
+        SimConfig {
+            mode,
+            timing: true,
+            max_insts: 200_000_000,
+            core: CoreConfig::sandy_bridge(),
+            hierarchy: HierarchyConfig::default(),
+            sampling: None,
+        }
+    }
+
+    /// Timed simulation with the paper's (scaled) §9.1 sampling regime.
+    pub fn sampled(mode: Mode, sampling: Sampling) -> Self {
+        SimConfig { sampling: Some(sampling), ..Self::timed(mode) }
+    }
+
+    /// Functional-only simulation (fast; no cycle numbers).
+    pub fn functional(mode: Mode) -> Self {
+        SimConfig { timing: false, ..Self::timed(mode) }
+    }
+}
+
+/// The simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cfg: SimConfig,
+}
+
+impl Simulator {
+    /// Builds a simulator for one configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        Simulator { cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Runs the §5.2 profiling pass: a functional Watchdog run with
+    /// conservative identification that records the static instructions
+    /// ever loading/storing valid pointer metadata.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator-level failures; a violation during profiling
+    /// also ends the pass (the profile covers the executed prefix).
+    pub fn profile(program: &Program, max_insts: u64) -> Result<Profile, SimError> {
+        let cfg = MachineConfig {
+            check: CheckMode::Watchdog,
+            bounds: None,
+            policy: PointerPolicy::Conservative,
+            profiling: true,
+            emit_uops: false,
+        };
+        let mut m = Machine::new(program, cfg);
+        let mut executed = 0u64;
+        loop {
+            match m.step()? {
+                Step::Executed(_) => {
+                    executed += 1;
+                    if executed > max_insts {
+                        return Err(SimError::InstLimit { limit: max_insts });
+                    }
+                }
+                Step::Halted | Step::Violation(_) => break,
+            }
+        }
+        Ok(m.profile().clone())
+    }
+
+    /// Simulates `program` under the configured mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for simulator-level failures. Detected
+    /// memory-safety violations are *not* errors — they are reported in
+    /// [`RunReport::violation`].
+    pub fn run(&self, program: &Program) -> Result<RunReport, SimError> {
+        let policy = match self.cfg.mode.pointer_id() {
+            Some(PointerId::IsaAssisted) => {
+                PointerPolicy::Profiled(Self::profile(program, self.cfg.max_insts)?)
+            }
+            _ => PointerPolicy::Conservative,
+        };
+        let mcfg = MachineConfig {
+            check: self.cfg.mode.check_mode(),
+            bounds: self.cfg.mode.bounds(),
+            policy,
+            profiling: false,
+            emit_uops: self.cfg.timing,
+        };
+        let mut hier = self.cfg.hierarchy;
+        if let Mode::Watchdog { lock_cache, ideal_shadow, .. } = self.cfg.mode {
+            hier.lock_cache = lock_cache;
+            hier.ideal_shadow = ideal_shadow;
+        }
+        let sampling = self.cfg.sampling;
+        if let Some(s) = sampling {
+            assert!(self.cfg.timing, "sampling requires the timing model");
+            assert!(
+                s.warmup + s.sample <= s.period && s.sample > 0,
+                "sampling windows must fit in the period"
+            );
+        }
+        let mut machine = Machine::new(program, mcfg);
+        let mut core = self.cfg.timing.then(|| TimingCore::new(self.cfg.core, hier));
+        let mut violation = None;
+        let mut executed = 0u64;
+        // Sampling state: accumulated measured counters and the snapshot at
+        // the start of the current sample window (if inside one).
+        let mut measured = Snapshot::default();
+        let mut window_start: Option<Snapshot> = None;
+        loop {
+            if let (Some(s), Some(core)) = (sampling, core.as_ref()) {
+                let pos = executed % s.period;
+                if pos == s.fast_forward() + s.warmup && window_start.is_none() {
+                    window_start = Some(core.snapshot());
+                }
+                machine.set_emit_uops(pos >= s.fast_forward());
+            }
+            match machine.step()? {
+                Step::Executed(ci) => {
+                    if let (Some(core), Some(ci)) = (core.as_mut(), ci.as_ref()) {
+                        core.consume(ci);
+                    }
+                    executed += 1;
+                    if let (Some(s), Some(core)) = (sampling, core.as_ref()) {
+                        // Close the sample window at the period boundary.
+                        if executed % s.period == 0 {
+                            if let Some(start) = window_start.take() {
+                                measured.accumulate(&core.snapshot().delta(&start));
+                            }
+                        }
+                    }
+                    if executed > self.cfg.max_insts {
+                        return Err(SimError::InstLimit { limit: self.cfg.max_insts });
+                    }
+                }
+                Step::Halted => break,
+                Step::Violation(v) => {
+                    violation = Some(v);
+                    break;
+                }
+            }
+        }
+        // Close a partially-complete final window.
+        if let (Some(start), Some(core)) = (window_start.take(), core.as_ref()) {
+            measured.accumulate(&core.snapshot().delta(&start));
+        }
+        let timing = core.map(|c| {
+            let mut t = c.finish();
+            if sampling.is_some() {
+                // Report the *measured* windows only; hierarchy/predictor
+                // statistics remain cumulative over all timed windows.
+                t.cycles = measured.cycles;
+                t.uops = measured.uops;
+                t.insts = measured.insts;
+                t.uops_by_tag = measured.uops_by_tag;
+            }
+            t
+        });
+        Ok(RunReport {
+            program: program.name().to_string(),
+            mode: self.cfg.mode.label(),
+            machine: machine.stats(),
+            heap: machine.heap_stats(),
+            footprint: machine.footprint(),
+            violation,
+            timing,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ViolationKind;
+    use watchdog_isa::{Cond, Gpr, ProgramBuilder};
+
+    fn g(n: u8) -> Gpr {
+        Gpr::new(n)
+    }
+
+    /// A small pointer-heavy benign kernel: build a linked list on the
+    /// heap, walk it, free it.
+    fn list_program(nodes: i64) -> Program {
+        let mut b = ProgramBuilder::new("list");
+        let (head, cur, nxt, sz, i, n, acc) = (g(0), g(1), g(2), g(3), g(4), g(5), g(6));
+        b.li(sz, 16);
+        b.li(head, 0);
+        b.li(i, 0);
+        b.li(n, nodes);
+        let build = b.here();
+        b.malloc(nxt, sz);
+        b.st8(head, nxt, 0); // node.next = head
+        b.st8(i, nxt, 8); // node.val = i
+        b.mov(head, nxt);
+        b.addi(i, i, 1);
+        b.branch(Cond::Lt, i, n, build);
+        // Walk and sum.
+        b.li(acc, 0);
+        b.mov(cur, head);
+        let walk = b.here();
+        b.ld8(nxt, cur, 8);
+        b.add(acc, acc, nxt);
+        b.ld8(cur, cur, 0);
+        b.branch(Cond::Ne, cur, g(15 - 1), walk); // g14 is 0
+        // Free.
+        b.mov(cur, head);
+        let fr = b.here();
+        b.ld8(nxt, cur, 0);
+        b.free(cur);
+        b.mov(cur, nxt);
+        b.branch(Cond::Ne, cur, g(14), fr);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn timed_run_produces_cycles_and_uop_breakdown() {
+        let p = list_program(200);
+        let base = Simulator::new(SimConfig::timed(Mode::Baseline)).run(&p).unwrap();
+        let wd = Simulator::new(SimConfig::timed(Mode::watchdog_conservative())).run(&p).unwrap();
+        assert!(base.violation.is_none() && wd.violation.is_none());
+        assert!(base.cycles() > 0);
+        assert!(wd.uops() > base.uops(), "watchdog injects µops");
+        assert!(wd.uop_overhead() > 0.0);
+        let (checks, ptr_ld, ptr_st, other) = wd.uop_overhead_breakdown();
+        assert!(checks > 0.0, "checks dominate");
+        assert!(ptr_ld > 0.0 && ptr_st > 0.0);
+        assert!(other > 0.0, "alloc/dealloc and propagation µops");
+        let slow = wd.slowdown_vs(&base);
+        assert!(slow >= 0.0, "watchdog cannot be faster ({slow})");
+        assert!(slow < wd.uop_overhead(), "checks execute off the critical path");
+    }
+
+    #[test]
+    fn isa_assisted_classifies_fewer_accesses_than_conservative() {
+        let p = list_program(200);
+        let cons = Simulator::new(SimConfig::timed(Mode::watchdog_conservative())).run(&p).unwrap();
+        let isa = Simulator::new(SimConfig::timed(Mode::watchdog())).run(&p).unwrap();
+        assert!(isa.ptr_fraction() <= cons.ptr_fraction());
+        assert!(isa.violation.is_none(), "no false positives under the profile");
+        assert!(isa.uops() <= cons.uops());
+    }
+
+    #[test]
+    fn functional_run_skips_timing() {
+        let p = list_program(50);
+        let r = Simulator::new(SimConfig::functional(Mode::watchdog())).run(&p).unwrap();
+        assert!(r.timing.is_none());
+        assert_eq!(r.cycles(), 0);
+        assert!(r.machine.insts > 0);
+    }
+
+    #[test]
+    fn inst_limit_guards_infinite_loops() {
+        let mut b = ProgramBuilder::new("loop");
+        let l = b.here();
+        b.jmp(l);
+        let p = b.build().unwrap();
+        let mut cfg = SimConfig::functional(Mode::Baseline);
+        cfg.max_insts = 1000;
+        let e = Simulator::new(cfg).run(&p).unwrap_err();
+        assert_eq!(e, SimError::InstLimit { limit: 1000 });
+    }
+
+    #[test]
+    fn no_lock_cache_mode_routes_checks_to_l1d() {
+        let p = list_program(100);
+        let with = Simulator::new(SimConfig::timed(Mode::watchdog_conservative())).run(&p).unwrap();
+        let without = Simulator::new(SimConfig::timed(Mode::Watchdog {
+            ptr: PointerId::Conservative,
+            lock_cache: false,
+            ideal_shadow: false,
+        }))
+        .run(&p)
+        .unwrap();
+        let h_with = &with.timing.as_ref().unwrap().hierarchy;
+        let h_without = &without.timing.as_ref().unwrap().hierarchy;
+        assert!(h_with.ll.accesses > 0);
+        assert_eq!(h_without.ll.accesses, 0);
+        assert!(without.cycles() >= with.cycles(), "losing the LL$ cannot help");
+    }
+
+    #[test]
+    fn violations_surface_in_reports_with_timing() {
+        let mut b = ProgramBuilder::new("uaf");
+        let (p, sz) = (g(0), g(1));
+        b.li(sz, 64);
+        b.malloc(p, sz);
+        b.free(p);
+        b.ld8(g(2), p, 0);
+        b.halt();
+        let prog = b.build().unwrap();
+        let r = Simulator::new(SimConfig::timed(Mode::watchdog_conservative())).run(&prog).unwrap();
+        assert_eq!(r.violation.unwrap().kind, ViolationKind::UseAfterFree);
+        assert!(r.cycles() > 0, "cycles up to the exception are reported");
+    }
+
+    #[test]
+    fn sampled_runs_measure_a_subset() {
+        let p = list_program(400);
+        let full = Simulator::new(SimConfig::timed(Mode::watchdog_conservative())).run(&p).unwrap();
+        let sampled = Simulator::new(SimConfig::sampled(
+            Mode::watchdog_conservative(),
+            Sampling { period: 2_000, warmup: 200, sample: 200 },
+        ))
+        .run(&p)
+        .unwrap();
+        let (tf, ts) = (full.timing.as_ref().unwrap(), sampled.timing.as_ref().unwrap());
+        assert!(ts.insts > 0, "some instructions were measured");
+        assert!(ts.insts < tf.insts, "sampling measures a strict subset");
+        assert!(ts.cycles < tf.cycles);
+        // The sampled per-instruction cost is in the same ballpark as the
+        // full-run cost (warmup removes cold-start bias).
+        let cpi_full = tf.cycles as f64 / tf.insts as f64;
+        let cpi_sampled = ts.cycles as f64 / ts.insts as f64;
+        assert!(
+            (cpi_sampled / cpi_full - 1.0).abs() < 0.6,
+            "sampled CPI {cpi_sampled:.2} too far from full CPI {cpi_full:.2}"
+        );
+    }
+
+    #[test]
+    fn sampled_runs_are_deterministic() {
+        let p = list_program(300);
+        let cfg = SimConfig::sampled(Mode::watchdog(), Sampling::dense());
+        let a = Simulator::new(cfg.clone()).run(&p).unwrap();
+        let b = Simulator::new(cfg).run(&p).unwrap();
+        assert_eq!(a.cycles(), b.cycles());
+        assert_eq!(a.uops(), b.uops());
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling requires the timing model")]
+    fn sampling_without_timing_is_rejected() {
+        let p = list_program(10);
+        let mut cfg = SimConfig::sampled(Mode::Baseline, Sampling::dense());
+        cfg.timing = false;
+        let _ = Simulator::new(cfg).run(&p);
+    }
+
+    #[test]
+    fn mode_labels_are_distinct() {
+        let modes = [
+            Mode::Baseline,
+            Mode::LocationBased,
+            Mode::watchdog(),
+            Mode::watchdog_conservative(),
+            Mode::Watchdog { ptr: PointerId::IsaAssisted, lock_cache: false, ideal_shadow: false },
+            Mode::Watchdog { ptr: PointerId::IsaAssisted, lock_cache: true, ideal_shadow: true },
+            Mode::WatchdogBounds { ptr: PointerId::IsaAssisted, uops: BoundsUops::Fused },
+            Mode::WatchdogBounds { ptr: PointerId::IsaAssisted, uops: BoundsUops::Split },
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for m in modes {
+            assert!(seen.insert(m.label()), "duplicate label {}", m.label());
+        }
+    }
+}

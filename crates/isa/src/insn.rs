@@ -1,0 +1,658 @@
+//! The guest macro-instruction set.
+//!
+//! A 64-bit, RISC-flavoured instruction set with an x86-64-like register
+//! file. The Watchdog-specific instructions mirror the paper:
+//!
+//! * [`Inst::SetIdent`] / [`Inst::GetIdent`] — the runtime↔hardware
+//!   interface for heap identifier management (Fig. 3a/3b).
+//! * [`Inst::SetBounds`] — conveys base/bound at pointer-creation points for
+//!   the bounds extension (§8).
+//! * [`Inst::Malloc`] / [`Inst::Free`] — entry points into the modified
+//!   DL-malloc runtime; the cracker expands them into the representative
+//!   µop sequence of the allocator (including the lock-location store and
+//!   `setident`).
+//!
+//! Pointer-identification hints ([`PtrHint`]) model the ISA-assisted
+//! load/store variants of §5.2: `Auto` defers to the active policy
+//! (conservative or profiled), while `Pointer` / `NotPointer` are the
+//! compiler-annotated variants.
+
+use crate::program::Label;
+use crate::reg::{Fpr, Gpr};
+use std::fmt;
+
+/// Access width of an integer memory operation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 1 byte.
+    B1,
+    /// 2 bytes.
+    B2,
+    /// 4 bytes.
+    B4,
+    /// 8 bytes (the only width that can hold a pointer, §5.1).
+    B8,
+}
+
+impl Width {
+    /// Width in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            Width::B1 => 1,
+            Width::B2 => 2,
+            Width::B4 => 4,
+            Width::B8 => 8,
+        }
+    }
+}
+
+/// Access width of a floating-point memory operation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FpWidth {
+    /// 4-byte single precision.
+    F4,
+    /// 8-byte double precision.
+    F8,
+}
+
+impl FpWidth {
+    /// Width in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            FpWidth::F4 => 4,
+            FpWidth::F8 => 8,
+        }
+    }
+}
+
+/// Integer ALU operation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (shift amount taken modulo 64).
+    Shl,
+    /// Logical shift right (shift amount taken modulo 64).
+    Shr,
+    /// Arithmetic shift right (shift amount taken modulo 64).
+    Sar,
+    /// Wrapping multiplication (long-latency unit).
+    Mul,
+    /// Unsigned division; division by zero yields `u64::MAX` (long-latency,
+    /// unpipelined unit).
+    Div,
+    /// Unsigned remainder; remainder by zero yields the dividend.
+    Rem,
+    /// Set-if-less-than, unsigned: `dst = (a < b) as u64`.
+    Sltu,
+    /// Set-if-less-than, signed.
+    Slt,
+}
+
+impl AluOp {
+    /// Whether the operation executes on the multiply/divide unit.
+    pub const fn is_long_latency(self) -> bool {
+        matches!(self, AluOp::Mul | AluOp::Div | AluOp::Rem)
+    }
+
+    /// Evaluates the operation on two 64-bit values.
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b as u32 & 63),
+            AluOp::Shr => a.wrapping_shr(b as u32 & 63),
+            AluOp::Sar => ((a as i64).wrapping_shr(b as u32 & 63)) as u64,
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    u64::MAX
+                } else {
+                    a / b
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+            AluOp::Sltu => u64::from(a < b),
+            AluOp::Slt => u64::from((a as i64) < (b as i64)),
+        }
+    }
+}
+
+/// Floating-point ALU operation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// `dst = max(a, b)`.
+    Max,
+    /// `dst = min(a, b)`.
+    Min,
+}
+
+impl FpOp {
+    /// Evaluates the operation.
+    pub fn eval(self, a: f64, b: f64) -> f64 {
+        match self {
+            FpOp::Add => a + b,
+            FpOp::Sub => a - b,
+            FpOp::Mul => a * b,
+            FpOp::Div => a / b,
+            FpOp::Max => a.max(b),
+            FpOp::Min => a.min(b),
+        }
+    }
+}
+
+/// Branch condition comparing two integer registers.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// `a == b`
+    Eq,
+    /// `a != b`
+    Ne,
+    /// signed `a < b`
+    Lt,
+    /// signed `a <= b`
+    Le,
+    /// signed `a > b`
+    Gt,
+    /// signed `a >= b`
+    Ge,
+    /// unsigned `a < b`
+    Ltu,
+    /// unsigned `a >= b`
+    Geu,
+}
+
+impl Cond {
+    /// Evaluates the condition.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        let (sa, sb) = (a as i64, b as i64);
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => sa < sb,
+            Cond::Le => sa <= sb,
+            Cond::Gt => sa > sb,
+            Cond::Ge => sa >= sb,
+            Cond::Ltu => a < b,
+            Cond::Geu => a >= b,
+        }
+    }
+}
+
+/// A base-plus-displacement memory operand.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MemAddr {
+    /// Base register; its metadata sidecar is what the injected `check` µop
+    /// validates.
+    pub base: Gpr,
+    /// Signed byte displacement.
+    pub offset: i32,
+}
+
+impl MemAddr {
+    /// Operand with zero displacement.
+    pub const fn base(base: Gpr) -> Self {
+        MemAddr { base, offset: 0 }
+    }
+
+    /// Operand with displacement.
+    pub const fn offset(base: Gpr, offset: i32) -> Self {
+        MemAddr { base, offset }
+    }
+
+    /// Effective address for a given base-register value.
+    #[inline]
+    pub fn resolve(self, base_val: u64) -> u64 {
+        base_val.wrapping_add(self.offset as i64 as u64)
+    }
+}
+
+impl fmt::Display for MemAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.offset == 0 {
+            write!(f, "[{}]", self.base)
+        } else {
+            write!(f, "[{}{:+}]", self.base, self.offset)
+        }
+    }
+}
+
+/// Pointer-identification hint on a load/store (§5.2).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum PtrHint {
+    /// Defer to the active identification policy (conservative heuristic or
+    /// profile-derived marking).
+    #[default]
+    Auto,
+    /// Compiler-annotated pointer load/store variant: always propagate
+    /// metadata.
+    Pointer,
+    /// Compiler-annotated non-pointer variant: never propagate metadata.
+    NotPointer,
+}
+
+/// A macro-instruction of the guest ISA.
+///
+/// Each variant documents its Watchdog-relevant metadata behaviour; the
+/// exact µop expansion lives in [`crate::crack`].
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Inst {
+    /// No operation.
+    Nop,
+    /// Stop the machine; the program's architectural state is final.
+    Halt,
+    /// `dst = imm`. Metadata of `dst` becomes invalid (an immediate is never
+    /// a valid pointer).
+    MovImm {
+        /// Destination register.
+        dst: Gpr,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `dst = src`, copying the metadata sidecar (eliminated at rename).
+    Mov {
+        /// Destination register.
+        dst: Gpr,
+        /// Source register.
+        src: Gpr,
+    },
+    /// Three-operand ALU op. Either source may be the pointer, so a `select`
+    /// µop picks whichever metadata is valid (§6.2); long-latency ops
+    /// (`Mul`/`Div`/`Rem`) instead invalidate the destination metadata
+    /// (their result is never a valid pointer).
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        dst: Gpr,
+        /// First source.
+        a: Gpr,
+        /// Second source.
+        b: Gpr,
+    },
+    /// ALU op with immediate: `dst = a op imm`. Metadata copies from `a`
+    /// (eliminated at rename, Fig. 2c).
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        dst: Gpr,
+        /// Source register.
+        a: Gpr,
+        /// Immediate operand.
+        imm: i64,
+    },
+    /// Address computation `dst = base + offset`; inherits the base's
+    /// metadata.
+    Lea {
+        /// Destination register.
+        dst: Gpr,
+        /// Address operand.
+        addr: MemAddr,
+    },
+    /// PC-relative address of a global: `dst = addr`. Receives the single
+    /// *global* identifier (§7).
+    LeaGlobal {
+        /// Destination register.
+        dst: Gpr,
+        /// Absolute address of the global (in the global segment).
+        addr: u64,
+    },
+    /// Integer load. For 8-byte loads classified as pointer operations the
+    /// cracker injects a `shadow_load` of the metadata (Fig. 2a); every load
+    /// gets a `check` µop.
+    Load {
+        /// Destination register.
+        dst: Gpr,
+        /// Address operand.
+        addr: MemAddr,
+        /// Access width.
+        width: Width,
+        /// Pointer-identification hint.
+        hint: PtrHint,
+    },
+    /// Integer store; pointer stores also shadow-store the metadata
+    /// (Fig. 2b).
+    Store {
+        /// Source register.
+        src: Gpr,
+        /// Address operand.
+        addr: MemAddr,
+        /// Access width.
+        width: Width,
+        /// Pointer-identification hint.
+        hint: PtrHint,
+    },
+    /// Floating-point load (never a pointer operation).
+    LoadFp {
+        /// Destination FP register.
+        dst: Fpr,
+        /// Address operand.
+        addr: MemAddr,
+        /// Access width.
+        width: FpWidth,
+    },
+    /// Floating-point store (never a pointer operation).
+    StoreFp {
+        /// Source FP register.
+        src: Fpr,
+        /// Address operand.
+        addr: MemAddr,
+        /// Access width.
+        width: FpWidth,
+    },
+    /// Floating-point three-operand ALU op.
+    FpAlu {
+        /// Operation.
+        op: FpOp,
+        /// Destination FP register.
+        dst: Fpr,
+        /// First source.
+        a: Fpr,
+        /// Second source.
+        b: Fpr,
+    },
+    /// `dst = imm` (floating point).
+    FpMovImm {
+        /// Destination FP register.
+        dst: Fpr,
+        /// Immediate value.
+        imm: f64,
+    },
+    /// FP register move.
+    FpMov {
+        /// Destination FP register.
+        dst: Fpr,
+        /// Source FP register.
+        src: Fpr,
+    },
+    /// Convert integer to double.
+    IntToFp {
+        /// Destination FP register.
+        dst: Fpr,
+        /// Integer source.
+        src: Gpr,
+    },
+    /// Convert double to integer (truncating); destination metadata becomes
+    /// invalid.
+    FpToInt {
+        /// Integer destination.
+        dst: Gpr,
+        /// FP source.
+        src: Fpr,
+    },
+    /// Conditional branch on two registers.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// First compared register.
+        a: Gpr,
+        /// Second compared register.
+        b: Gpr,
+        /// Branch target.
+        target: Label,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// Jump target.
+        target: Label,
+    },
+    /// Direct call: pushes the return address and enters the callee. The
+    /// Watchdog cracker appends the four stack-frame identifier-allocation
+    /// µops (Fig. 3c).
+    Call {
+        /// Callee entry label.
+        target: Label,
+    },
+    /// Return: pops the return address. The Watchdog cracker appends the
+    /// four identifier-deallocation µops (Fig. 3d).
+    Ret,
+    /// Runtime→hardware: associate identifier `(key, lock)` with the pointer
+    /// in `ptr` (Fig. 3a).
+    SetIdent {
+        /// Pointer register whose sidecar is written.
+        ptr: Gpr,
+        /// Register holding the 64-bit key.
+        key: Gpr,
+        /// Register holding the 64-bit lock address.
+        lock: Gpr,
+    },
+    /// Hardware→runtime: read the identifier associated with `ptr` into
+    /// `key`/`lock` (Fig. 3b).
+    GetIdent {
+        /// Pointer register whose sidecar is read.
+        ptr: Gpr,
+        /// Destination for the key.
+        key: Gpr,
+        /// Destination for the lock address.
+        lock: Gpr,
+    },
+    /// Bounds extension: set `[base, bound)` on the pointer in `ptr` (§8).
+    SetBounds {
+        /// Pointer register whose sidecar is updated.
+        ptr: Gpr,
+        /// Register holding the inclusive lower bound.
+        base: Gpr,
+        /// Register holding the exclusive upper bound.
+        bound: Gpr,
+    },
+    /// Runtime entry point: `dst = malloc(size)`. Expands to the
+    /// representative allocator µop sequence; under Watchdog this includes
+    /// the lock-location store and `setident` (and `setbounds` in bounds
+    /// mode).
+    Malloc {
+        /// Receives the allocated pointer.
+        dst: Gpr,
+        /// Register holding the requested size in bytes.
+        size: Gpr,
+    },
+    /// Runtime entry point: `free(ptr)`. Under Watchdog the runtime checks
+    /// the identifier (catching double/invalid frees), invalidates the lock
+    /// location and recycles it.
+    Free {
+        /// Register holding the pointer to free.
+        ptr: Gpr,
+    },
+    /// Runtime entry point for *instrumented custom allocators* (§7):
+    /// allocate a fresh never-reused key and a lock location, write the key
+    /// into the lock, and return both. Pair with [`Inst::SetIdent`] to give
+    /// a sub-allocation its own identifier so Watchdog performs "exact
+    /// checking for these allocators".
+    NewIdent {
+        /// Receives the fresh 64-bit key.
+        key: Gpr,
+        /// Receives the lock-location address.
+        lock: Gpr,
+    },
+    /// Runtime entry point for instrumented custom allocators (§7):
+    /// invalidate the identifier `(key, lock)` — every pointer carrying it
+    /// becomes dangling — and recycle the lock location.
+    KillIdent {
+        /// Register holding the key.
+        key: Gpr,
+        /// Register holding the lock-location address.
+        lock: Gpr,
+    },
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Nop => write!(f, "nop"),
+            Inst::Halt => write!(f, "halt"),
+            Inst::MovImm { dst, imm } => write!(f, "li {dst}, {imm}"),
+            Inst::Mov { dst, src } => write!(f, "mov {dst}, {src}"),
+            Inst::Alu { op, dst, a, b } => write!(f, "{op:?} {dst}, {a}, {b}"),
+            Inst::AluImm { op, dst, a, imm } => write!(f, "{op:?}i {dst}, {a}, {imm}"),
+            Inst::Lea { dst, addr } => write!(f, "lea {dst}, {addr}"),
+            Inst::LeaGlobal { dst, addr } => write!(f, "lea {dst}, global:{addr:#x}"),
+            Inst::Load { dst, addr, width, .. } => write!(f, "ld{} {dst}, {addr}", width.bytes()),
+            Inst::Store { src, addr, width, .. } => write!(f, "st{} {src}, {addr}", width.bytes()),
+            Inst::LoadFp { dst, addr, width } => write!(f, "ldf{} {dst}, {addr}", width.bytes()),
+            Inst::StoreFp { src, addr, width } => write!(f, "stf{} {src}, {addr}", width.bytes()),
+            Inst::FpAlu { op, dst, a, b } => write!(f, "f{op:?} {dst}, {a}, {b}"),
+            Inst::FpMovImm { dst, imm } => write!(f, "fli {dst}, {imm}"),
+            Inst::FpMov { dst, src } => write!(f, "fmov {dst}, {src}"),
+            Inst::IntToFp { dst, src } => write!(f, "i2f {dst}, {src}"),
+            Inst::FpToInt { dst, src } => write!(f, "f2i {dst}, {src}"),
+            Inst::Branch { cond, a, b, target } => write!(f, "b{cond:?} {a}, {b}, L{}", target.index()),
+            Inst::Jump { target } => write!(f, "jmp L{}", target.index()),
+            Inst::Call { target } => write!(f, "call L{}", target.index()),
+            Inst::Ret => write!(f, "ret"),
+            Inst::SetIdent { ptr, key, lock } => write!(f, "setident {ptr}, {key}, {lock}"),
+            Inst::GetIdent { ptr, key, lock } => write!(f, "getident {ptr} -> {key}, {lock}"),
+            Inst::SetBounds { ptr, base, bound } => write!(f, "setbounds {ptr}, {base}, {bound}"),
+            Inst::Malloc { dst, size } => write!(f, "malloc {dst}, {size}"),
+            Inst::Free { ptr } => write!(f, "free {ptr}"),
+            Inst::NewIdent { key, lock } => write!(f, "newident {key}, {lock}"),
+            Inst::KillIdent { key, lock } => write!(f, "killident {key}, {lock}"),
+        }
+    }
+}
+
+impl Inst {
+    /// Approximate encoded length in bytes, used by the fetch-bandwidth
+    /// model (16 fetch bytes per cycle, Table 2).
+    pub fn encoded_len(&self) -> u8 {
+        match self {
+            Inst::Nop | Inst::Ret | Inst::Halt => 1,
+            Inst::Mov { .. } | Inst::FpMov { .. } => 3,
+            Inst::Alu { .. } | Inst::FpAlu { .. } => 3,
+            Inst::AluImm { imm, .. } => {
+                if i32::try_from(*imm).is_ok() {
+                    5
+                } else {
+                    10
+                }
+            }
+            Inst::MovImm { imm, .. } => {
+                if i32::try_from(*imm).is_ok() {
+                    6
+                } else {
+                    10
+                }
+            }
+            Inst::FpMovImm { .. } => 10,
+            Inst::Lea { .. } | Inst::LeaGlobal { .. } => 7,
+            Inst::Load { .. } | Inst::Store { .. } | Inst::LoadFp { .. } | Inst::StoreFp { .. } => 5,
+            Inst::IntToFp { .. } | Inst::FpToInt { .. } => 4,
+            Inst::Branch { .. } => 6,
+            Inst::Jump { .. } | Inst::Call { .. } => 5,
+            Inst::SetIdent { .. } | Inst::GetIdent { .. } | Inst::SetBounds { .. } => 4,
+            Inst::Malloc { .. } | Inst::Free { .. } => 5,
+            Inst::NewIdent { .. } | Inst::KillIdent { .. } => 5,
+        }
+    }
+
+    /// Whether the instruction accesses data memory (excluding the injected
+    /// metadata accesses).
+    pub fn is_mem(&self) -> bool {
+        matches!(
+            self,
+            Inst::Load { .. } | Inst::Store { .. } | Inst::LoadFp { .. } | Inst::StoreFp { .. }
+        )
+    }
+
+    /// Whether the instruction is a control-flow transfer.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Inst::Branch { .. } | Inst::Jump { .. } | Inst::Call { .. } | Inst::Ret
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.eval(u64::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.eval(0, 1), u64::MAX);
+        assert_eq!(AluOp::Shl.eval(1, 65), 2, "shift amounts are mod 64");
+        assert_eq!(AluOp::Sar.eval(-8i64 as u64, 1), -4i64 as u64);
+        assert_eq!(AluOp::Div.eval(7, 0), u64::MAX, "div-by-zero saturates");
+        assert_eq!(AluOp::Rem.eval(7, 0), 7);
+        assert_eq!(AluOp::Slt.eval(-1i64 as u64, 0), 1);
+        assert_eq!(AluOp::Sltu.eval(-1i64 as u64, 0), 0);
+    }
+
+    #[test]
+    fn cond_signed_vs_unsigned() {
+        assert!(Cond::Lt.eval(-1i64 as u64, 0));
+        assert!(!Cond::Ltu.eval(-1i64 as u64, 0));
+        assert!(Cond::Geu.eval(-1i64 as u64, 0));
+        assert!(Cond::Eq.eval(5, 5));
+        assert!(Cond::Ne.eval(5, 6));
+        assert!(Cond::Le.eval(5, 5));
+        assert!(Cond::Gt.eval(6, 5));
+        assert!(Cond::Ge.eval(5, 5));
+    }
+
+    #[test]
+    fn mem_addr_resolution_wraps() {
+        let a = MemAddr::offset(Gpr::new(0), -8);
+        assert_eq!(a.resolve(16), 8);
+        assert_eq!(a.resolve(0), (-8i64) as u64);
+        assert_eq!(format!("{a}"), "[r0-8]");
+        assert_eq!(format!("{}", MemAddr::base(Gpr::new(2))), "[r2]");
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(Width::B1.bytes(), 1);
+        assert_eq!(Width::B8.bytes(), 8);
+        assert_eq!(FpWidth::F4.bytes(), 4);
+        assert_eq!(FpWidth::F8.bytes(), 8);
+    }
+
+    #[test]
+    fn long_latency_classification() {
+        assert!(AluOp::Mul.is_long_latency());
+        assert!(AluOp::Div.is_long_latency());
+        assert!(AluOp::Rem.is_long_latency());
+        assert!(!AluOp::Add.is_long_latency());
+    }
+
+    #[test]
+    fn encoded_lengths_are_reasonable() {
+        let small = Inst::MovImm { dst: Gpr::new(0), imm: 1 };
+        let big = Inst::MovImm { dst: Gpr::new(0), imm: i64::MAX };
+        assert!(small.encoded_len() < big.encoded_len());
+        assert_eq!(Inst::Ret.encoded_len(), 1);
+    }
+
+    #[test]
+    fn fp_eval() {
+        assert_eq!(FpOp::Add.eval(1.5, 2.5), 4.0);
+        assert_eq!(FpOp::Max.eval(1.0, 2.0), 2.0);
+        assert_eq!(FpOp::Min.eval(1.0, 2.0), 1.0);
+        assert_eq!(FpOp::Div.eval(1.0, 2.0), 0.5);
+    }
+}

@@ -1,0 +1,519 @@
+//! Program container and assembler-style builder.
+//!
+//! A [`Program`] is a fully-resolved sequence of macro-instructions plus a
+//! description of its global data segment. Workloads construct programs with
+//! [`ProgramBuilder`], which provides labels, forward references and global
+//! allocation, in the style of a small assembler.
+
+use crate::insn::{AluOp, Cond, FpOp, FpWidth, Inst, MemAddr, PtrHint, Width};
+use crate::layout::{CODE_BASE, GLOBAL_BASE, GLOBAL_SIZE};
+use crate::reg::{Fpr, Gpr};
+use std::fmt;
+
+/// An opaque branch-target label issued by [`ProgramBuilder::label`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Label(pub(crate) u32);
+
+impl Label {
+    /// The label's ordinal (for disassembly display).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Error building a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A label was created but never bound to a position.
+    UnboundLabel(u32),
+    /// The program contains no instructions.
+    Empty,
+    /// The global segment overflowed [`GLOBAL_SIZE`].
+    GlobalOverflow {
+        /// Bytes requested in total.
+        requested: u64,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::UnboundLabel(l) => write!(f, "label {l} was never bound"),
+            ProgramError::Empty => write!(f, "program has no instructions"),
+            ProgramError::GlobalOverflow { requested } => {
+                write!(f, "global segment overflow: {requested} bytes requested")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A fully-resolved guest program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    name: String,
+    insts: Vec<Inst>,
+    addrs: Vec<u64>,
+    targets: Vec<usize>,
+    globals_size: u64,
+    global_words: Vec<(u64, u64)>,
+    global_ptrs: Vec<(u64, u64)>,
+}
+
+impl Program {
+    /// Human-readable program name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of macro-instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn inst(&self, idx: usize) -> &Inst {
+        &self.insts[idx]
+    }
+
+    /// Byte address of the instruction at `idx` (for fetch modelling).
+    pub fn addr_of(&self, idx: usize) -> u64 {
+        self.addrs[idx]
+    }
+
+    /// Resolves a label to its instruction index.
+    pub fn target(&self, label: Label) -> usize {
+        self.targets[label.0 as usize]
+    }
+
+    /// Total bytes reserved in the global segment.
+    pub fn globals_size(&self) -> u64 {
+        self.globals_size
+    }
+
+    /// Initialized 64-bit global words: `(absolute address, value)`.
+    pub fn global_words(&self) -> &[(u64, u64)] {
+        &self.global_words
+    }
+
+    /// Initialized global *pointer* slots: `(absolute slot address, absolute
+    /// target address)`. These receive the global identifier in their shadow
+    /// metadata at program load (§7: "Watchdog also initializes the entire
+    /// metadata shadow space for the global data segment").
+    pub fn global_ptrs(&self) -> &[(u64, u64)] {
+        &self.global_ptrs
+    }
+
+    /// Disassembles the program: one line per instruction with its byte
+    /// address, resolving branch targets to instruction indices.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, inst) in self.insts.iter().enumerate() {
+            let _ = writeln!(out, "{:>5}  {:#010x}  {}", i, self.addrs[i], inst);
+        }
+        out
+    }
+}
+
+/// Incremental builder for [`Program`]s.
+///
+/// # Example
+///
+/// ```
+/// use watchdog_isa::{ProgramBuilder, Gpr, Cond};
+/// let mut b = ProgramBuilder::new("count");
+/// let (r0, r1) = (Gpr::new(0), Gpr::new(1));
+/// let top = b.label();
+/// b.li(r0, 0);
+/// b.li(r1, 10);
+/// b.bind(top);
+/// b.addi(r0, r0, 1);
+/// b.branch(Cond::Lt, r0, r1, top);
+/// b.halt();
+/// let p = b.build()?;
+/// assert_eq!(p.target(top), 2);
+/// # Ok::<(), watchdog_isa::ProgramError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    insts: Vec<Inst>,
+    label_targets: Vec<Option<usize>>,
+    global_cursor: u64,
+    global_words: Vec<(u64, u64)>,
+    global_ptrs: Vec<(u64, u64)>,
+}
+
+impl ProgramBuilder {
+    /// Starts an empty program named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder { name: name.into(), ..Default::default() }
+    }
+
+    /// Issues a fresh (unbound) label.
+    pub fn label(&mut self) -> Label {
+        self.label_targets.push(None);
+        Label(self.label_targets.len() as u32 - 1)
+    }
+
+    /// Binds `label` to the *next* instruction emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (builder misuse).
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.label_targets[label.0 as usize];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.insts.len());
+    }
+
+    /// Issues a label already bound to the next instruction.
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Emits a raw instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience emitters.
+    // ------------------------------------------------------------------
+
+    /// `nop`
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::Nop)
+    }
+
+    /// `halt`
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::Halt)
+    }
+
+    /// `dst = imm`
+    pub fn li(&mut self, dst: Gpr, imm: i64) -> &mut Self {
+        self.push(Inst::MovImm { dst, imm })
+    }
+
+    /// `dst = src`
+    pub fn mov(&mut self, dst: Gpr, src: Gpr) -> &mut Self {
+        self.push(Inst::Mov { dst, src })
+    }
+
+    /// Three-operand ALU.
+    pub fn alu(&mut self, op: AluOp, dst: Gpr, a: Gpr, b: Gpr) -> &mut Self {
+        self.push(Inst::Alu { op, dst, a, b })
+    }
+
+    /// ALU with immediate.
+    pub fn alui(&mut self, op: AluOp, dst: Gpr, a: Gpr, imm: i64) -> &mut Self {
+        self.push(Inst::AluImm { op, dst, a, imm })
+    }
+
+    /// `dst = a + b`
+    pub fn add(&mut self, dst: Gpr, a: Gpr, b: Gpr) -> &mut Self {
+        self.alu(AluOp::Add, dst, a, b)
+    }
+
+    /// `dst = a + imm`
+    pub fn addi(&mut self, dst: Gpr, a: Gpr, imm: i64) -> &mut Self {
+        self.alui(AluOp::Add, dst, a, imm)
+    }
+
+    /// `dst = base + offset` (pointer arithmetic; metadata propagates).
+    pub fn lea(&mut self, dst: Gpr, base: Gpr, offset: i32) -> &mut Self {
+        self.push(Inst::Lea { dst, addr: MemAddr::offset(base, offset) })
+    }
+
+    /// `dst = &global` — receives the global identifier.
+    pub fn lea_global(&mut self, dst: Gpr, addr: u64) -> &mut Self {
+        self.push(Inst::LeaGlobal { dst, addr })
+    }
+
+    /// Typed integer load.
+    pub fn load(&mut self, dst: Gpr, base: Gpr, offset: i32, width: Width) -> &mut Self {
+        self.push(Inst::Load { dst, addr: MemAddr::offset(base, offset), width, hint: PtrHint::Auto })
+    }
+
+    /// 8-byte load (pointer-capable).
+    pub fn ld8(&mut self, dst: Gpr, base: Gpr, offset: i32) -> &mut Self {
+        self.load(dst, base, offset, Width::B8)
+    }
+
+    /// 4-byte load.
+    pub fn ld4(&mut self, dst: Gpr, base: Gpr, offset: i32) -> &mut Self {
+        self.load(dst, base, offset, Width::B4)
+    }
+
+    /// 1-byte load.
+    pub fn ld1(&mut self, dst: Gpr, base: Gpr, offset: i32) -> &mut Self {
+        self.load(dst, base, offset, Width::B1)
+    }
+
+    /// Typed integer store.
+    pub fn store(&mut self, src: Gpr, base: Gpr, offset: i32, width: Width) -> &mut Self {
+        self.push(Inst::Store { src, addr: MemAddr::offset(base, offset), width, hint: PtrHint::Auto })
+    }
+
+    /// 8-byte store (pointer-capable).
+    pub fn st8(&mut self, src: Gpr, base: Gpr, offset: i32) -> &mut Self {
+        self.store(src, base, offset, Width::B8)
+    }
+
+    /// 4-byte store.
+    pub fn st4(&mut self, src: Gpr, base: Gpr, offset: i32) -> &mut Self {
+        self.store(src, base, offset, Width::B4)
+    }
+
+    /// 1-byte store.
+    pub fn st1(&mut self, src: Gpr, base: Gpr, offset: i32) -> &mut Self {
+        self.store(src, base, offset, Width::B1)
+    }
+
+    /// Floating-point load.
+    pub fn ldf(&mut self, dst: Fpr, base: Gpr, offset: i32, width: FpWidth) -> &mut Self {
+        self.push(Inst::LoadFp { dst, addr: MemAddr::offset(base, offset), width })
+    }
+
+    /// Floating-point store.
+    pub fn stf(&mut self, src: Fpr, base: Gpr, offset: i32, width: FpWidth) -> &mut Self {
+        self.push(Inst::StoreFp { src, addr: MemAddr::offset(base, offset), width })
+    }
+
+    /// FP three-operand ALU.
+    pub fn falu(&mut self, op: FpOp, dst: Fpr, a: Fpr, b: Fpr) -> &mut Self {
+        self.push(Inst::FpAlu { op, dst, a, b })
+    }
+
+    /// `dst = imm` (FP).
+    pub fn fli(&mut self, dst: Fpr, imm: f64) -> &mut Self {
+        self.push(Inst::FpMovImm { dst, imm })
+    }
+
+    /// Integer→FP conversion.
+    pub fn i2f(&mut self, dst: Fpr, src: Gpr) -> &mut Self {
+        self.push(Inst::IntToFp { dst, src })
+    }
+
+    /// FP→integer conversion.
+    pub fn f2i(&mut self, dst: Gpr, src: Fpr) -> &mut Self {
+        self.push(Inst::FpToInt { dst, src })
+    }
+
+    /// Conditional branch.
+    pub fn branch(&mut self, cond: Cond, a: Gpr, b: Gpr, target: Label) -> &mut Self {
+        self.push(Inst::Branch { cond, a, b, target })
+    }
+
+    /// Unconditional jump.
+    pub fn jmp(&mut self, target: Label) -> &mut Self {
+        self.push(Inst::Jump { target })
+    }
+
+    /// Direct call.
+    pub fn call(&mut self, target: Label) -> &mut Self {
+        self.push(Inst::Call { target })
+    }
+
+    /// Return.
+    pub fn ret(&mut self) -> &mut Self {
+        self.push(Inst::Ret)
+    }
+
+    /// `dst = malloc(size_reg)`
+    pub fn malloc(&mut self, dst: Gpr, size: Gpr) -> &mut Self {
+        self.push(Inst::Malloc { dst, size })
+    }
+
+    /// `free(ptr)`
+    pub fn free(&mut self, ptr: Gpr) -> &mut Self {
+        self.push(Inst::Free { ptr })
+    }
+
+    /// `(key, lock) = new_ident()` — custom-allocator runtime call (§7).
+    pub fn new_ident(&mut self, key: Gpr, lock: Gpr) -> &mut Self {
+        self.push(Inst::NewIdent { key, lock })
+    }
+
+    /// `kill_ident(key, lock)` — invalidate a custom allocation's
+    /// identifier (§7).
+    pub fn kill_ident(&mut self, key: Gpr, lock: Gpr) -> &mut Self {
+        self.push(Inst::KillIdent { key, lock })
+    }
+
+    /// `setident(ptr, key, lock)` — associate an identifier with a pointer.
+    pub fn set_ident(&mut self, ptr: Gpr, key: Gpr, lock: Gpr) -> &mut Self {
+        self.push(Inst::SetIdent { ptr, key, lock })
+    }
+
+    /// `setbounds(ptr, base, bound)` — bounds-extension pointer narrowing.
+    pub fn set_bounds(&mut self, ptr: Gpr, base: Gpr, bound: Gpr) -> &mut Self {
+        self.push(Inst::SetBounds { ptr, base, bound })
+    }
+
+    // ------------------------------------------------------------------
+    // Globals.
+    // ------------------------------------------------------------------
+
+    /// Reserves `size` bytes in the global segment with the given alignment
+    /// and returns the **absolute address** of the reservation.
+    pub fn global_bytes(&mut self, size: u64, align: u64) -> u64 {
+        let align = align.max(1);
+        self.global_cursor = (self.global_cursor + align - 1) & !(align - 1);
+        let addr = GLOBAL_BASE + self.global_cursor;
+        self.global_cursor += size;
+        addr
+    }
+
+    /// Reserves and initializes one 64-bit global word; returns its address.
+    pub fn global_u64(&mut self, value: u64) -> u64 {
+        let addr = self.global_bytes(8, 8);
+        self.global_words.push((addr, value));
+        addr
+    }
+
+    /// Reserves a global pointer slot initialized to point at
+    /// `target` (another global). Its shadow metadata will carry the global
+    /// identifier at load time (§7).
+    pub fn global_ptr(&mut self, target: u64) -> u64 {
+        let addr = self.global_bytes(8, 8);
+        self.global_ptrs.push((addr, target));
+        addr
+    }
+
+    /// Reserves an array of `n` 64-bit words; returns the base address.
+    pub fn global_array_u64(&mut self, n: u64) -> u64 {
+        self.global_bytes(n * 8, 8)
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::UnboundLabel`] if any issued label was never
+    /// bound, [`ProgramError::Empty`] for an instruction-less program and
+    /// [`ProgramError::GlobalOverflow`] if global reservations exceed the
+    /// segment size.
+    pub fn build(self) -> Result<Program, ProgramError> {
+        if self.insts.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        if self.global_cursor > GLOBAL_SIZE {
+            return Err(ProgramError::GlobalOverflow { requested: self.global_cursor });
+        }
+        let mut targets = Vec::with_capacity(self.label_targets.len());
+        for (i, t) in self.label_targets.iter().enumerate() {
+            match t {
+                Some(idx) => targets.push(*idx),
+                None => return Err(ProgramError::UnboundLabel(i as u32)),
+            }
+        }
+        let mut addrs = Vec::with_capacity(self.insts.len());
+        let mut pc = CODE_BASE;
+        for inst in &self.insts {
+            addrs.push(pc);
+            pc += u64::from(inst.encoded_len());
+        }
+        Ok(Program {
+            name: self.name,
+            insts: self.insts,
+            addrs,
+            targets,
+            globals_size: self.global_cursor,
+            global_words: self.global_words,
+            global_ptrs: self.global_ptrs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_resolves_labels_and_addresses() {
+        let mut b = ProgramBuilder::new("t");
+        let r0 = Gpr::new(0);
+        let end = b.label();
+        b.li(r0, 1);
+        b.jmp(end);
+        b.nop();
+        b.bind(end);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.name(), "t");
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.target(end), 3);
+        assert_eq!(p.addr_of(0), CODE_BASE);
+        assert!(p.addr_of(1) > p.addr_of(0));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.label();
+        b.jmp(l);
+        assert!(matches!(b.build(), Err(ProgramError::UnboundLabel(0))));
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        assert!(matches!(ProgramBuilder::new("t").build(), Err(ProgramError::Empty)));
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.label();
+        b.nop();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn globals_are_aligned_and_sequential() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.global_bytes(3, 1);
+        let c = b.global_bytes(8, 8);
+        assert_eq!(a, GLOBAL_BASE);
+        assert_eq!(c % 8, 0);
+        assert!(c >= a + 3);
+        let w = b.global_u64(42);
+        let p = b.global_ptr(w);
+        b.halt();
+        let prog = b.build().unwrap();
+        assert_eq!(prog.global_words(), &[(w, 42)]);
+        assert_eq!(prog.global_ptrs(), &[(p, w)]);
+        assert!(prog.globals_size() >= 16);
+    }
+
+    #[test]
+    fn global_overflow_is_an_error() {
+        let mut b = ProgramBuilder::new("t");
+        b.global_bytes(GLOBAL_SIZE + 1, 1);
+        b.halt();
+        assert!(matches!(b.build(), Err(ProgramError::GlobalOverflow { .. })));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(ProgramError::Empty.to_string(), "program has no instructions");
+        assert!(ProgramError::UnboundLabel(3).to_string().contains('3'));
+    }
+}

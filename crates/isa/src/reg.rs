@@ -1,0 +1,254 @@
+//! Architectural registers and the logical-register namespace.
+//!
+//! Watchdog conceptually extends every register with a *sidecar* identifier
+//! register (§3.4 of the paper). We model that by giving every
+//! general-purpose register [`Gpr`] a metadata twin in the logical-register
+//! namespace [`LReg`]: `LReg::G(r)` names the data half and `LReg::M(r)` the
+//! 128-/256-bit metadata half. The rename stage maps the two halves to
+//! *separate* physical registers (decoupled metadata, §6.2).
+
+use std::fmt;
+
+/// A general-purpose 64-bit integer register, `r0`–`r15`.
+///
+/// `r15` doubles as the stack pointer ([`Gpr::RSP`]), mirroring x86-64's
+/// `%rsp`; it receives the stack-frame identifier on calls and returns
+/// (Fig. 3c/3d).
+///
+/// # Example
+///
+/// ```
+/// use watchdog_isa::Gpr;
+/// let r3 = Gpr::new(3);
+/// assert_eq!(r3.index(), 3);
+/// assert_eq!(Gpr::RSP.index(), 15);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gpr(u8);
+
+impl Gpr {
+    /// Number of architectural general-purpose registers.
+    pub const COUNT: usize = 16;
+
+    /// The stack-pointer register (`r15`).
+    pub const RSP: Gpr = Gpr(15);
+
+    /// Creates register `r{n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 16`.
+    pub const fn new(n: u8) -> Self {
+        assert!(n < Self::COUNT as u8, "GPR index out of range");
+        Gpr(n)
+    }
+
+    /// The register's index, `0..16`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over all general-purpose registers.
+    pub fn all() -> impl Iterator<Item = Gpr> {
+        (0..Self::COUNT as u8).map(Gpr)
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Self::RSP {
+            write!(f, "rsp")
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A floating-point register, `f0`–`f7`.
+///
+/// Floating-point values are never pointers, so FP registers carry no
+/// metadata sidecar (§5.1).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fpr(u8);
+
+impl Fpr {
+    /// Number of architectural floating-point registers.
+    pub const COUNT: usize = 8;
+
+    /// Creates register `f{n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 8`.
+    pub const fn new(n: u8) -> Self {
+        assert!(n < Self::COUNT as u8, "FPR index out of range");
+        Fpr(n)
+    }
+
+    /// The register's index, `0..8`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over all floating-point registers.
+    pub fn all() -> impl Iterator<Item = Fpr> {
+        (0..Self::COUNT as u8).map(Fpr)
+    }
+}
+
+impl fmt::Display for Fpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Debug for Fpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Number of data temporaries available to the cracker.
+pub const NUM_TEMPS: usize = 4;
+/// Number of metadata temporaries available to the cracker.
+pub const NUM_META_TEMPS: usize = 2;
+/// Size of the compact logical-register index space (see [`LReg::index`]).
+pub const NUM_LREGS: usize = Gpr::COUNT + Fpr::COUNT + Gpr::COUNT + NUM_TEMPS + NUM_META_TEMPS + 2;
+
+/// A logical register as seen by µops, *after* cracking but *before*
+/// renaming.
+///
+/// The namespace contains the architectural data registers (`G`, `F`), the
+/// per-GPR metadata sidecars (`M`), cracking temporaries (`T`, `Tm`) and the
+/// two Watchdog control registers that manage stack-frame identifiers
+/// (`StackKey`, `StackLock`, §4.1).
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub enum LReg {
+    /// Data half of a general-purpose register.
+    G(Gpr),
+    /// A floating-point register.
+    F(Fpr),
+    /// Metadata sidecar of a general-purpose register.
+    M(Gpr),
+    /// Cracker data temporary.
+    T(u8),
+    /// Cracker metadata temporary.
+    Tm(u8),
+    /// The `stack_key` control register: next stack-frame key to allocate.
+    StackKey,
+    /// The `stack_lock` control register: top of the in-memory lock stack.
+    StackLock,
+}
+
+impl LReg {
+    /// Compact index in `0..NUM_LREGS`, suitable for table lookups in the
+    /// rename stage and timing model.
+    ///
+    /// ```
+    /// use watchdog_isa::{LReg, Gpr};
+    /// assert_eq!(LReg::G(Gpr::new(0)).index(), 0);
+    /// assert!(LReg::StackLock.index() < watchdog_isa::reg::NUM_LREGS);
+    /// ```
+    pub const fn index(self) -> usize {
+        match self {
+            LReg::G(g) => g.index(),
+            LReg::F(f) => Gpr::COUNT + f.index(),
+            LReg::M(g) => Gpr::COUNT + Fpr::COUNT + g.index(),
+            LReg::T(t) => Gpr::COUNT + Fpr::COUNT + Gpr::COUNT + t as usize,
+            LReg::Tm(t) => Gpr::COUNT + Fpr::COUNT + Gpr::COUNT + NUM_TEMPS + t as usize,
+            LReg::StackKey => NUM_LREGS - 2,
+            LReg::StackLock => NUM_LREGS - 1,
+        }
+    }
+
+    /// Whether this logical register names metadata (a sidecar, metadata
+    /// temporary or identifier control register).
+    pub const fn is_metadata(self) -> bool {
+        matches!(self, LReg::M(_) | LReg::Tm(_) | LReg::StackKey | LReg::StackLock)
+    }
+}
+
+impl fmt::Display for LReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LReg::G(g) => write!(f, "{g}"),
+            LReg::F(r) => write!(f, "{r}"),
+            LReg::M(g) => write!(f, "{g}.id"),
+            LReg::T(t) => write!(f, "t{t}"),
+            LReg::Tm(t) => write!(f, "tm{t}"),
+            LReg::StackKey => write!(f, "stack_key"),
+            LReg::StackLock => write!(f, "stack_lock"),
+        }
+    }
+}
+
+impl fmt::Debug for LReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn gpr_roundtrip_and_display() {
+        for (i, g) in Gpr::all().enumerate() {
+            assert_eq!(g.index(), i);
+        }
+        assert_eq!(Gpr::new(4).to_string(), "r4");
+        assert_eq!(Gpr::RSP.to_string(), "rsp");
+    }
+
+    #[test]
+    #[should_panic(expected = "GPR index out of range")]
+    fn gpr_out_of_range_panics() {
+        let _ = Gpr::new(16);
+    }
+
+    #[test]
+    fn fpr_roundtrip() {
+        for (i, f) in Fpr::all().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+        assert_eq!(Fpr::new(7).to_string(), "f7");
+    }
+
+    #[test]
+    fn lreg_indices_are_unique_and_dense() {
+        let mut seen = HashSet::new();
+        let mut all: Vec<LReg> = Vec::new();
+        all.extend(Gpr::all().map(LReg::G));
+        all.extend(Fpr::all().map(LReg::F));
+        all.extend(Gpr::all().map(LReg::M));
+        all.extend((0..NUM_TEMPS as u8).map(LReg::T));
+        all.extend((0..NUM_META_TEMPS as u8).map(LReg::Tm));
+        all.push(LReg::StackKey);
+        all.push(LReg::StackLock);
+        assert_eq!(all.len(), NUM_LREGS);
+        for r in all {
+            let i = r.index();
+            assert!(i < NUM_LREGS, "{r} index {i} out of range");
+            assert!(seen.insert(i), "{r} collides at index {i}");
+        }
+    }
+
+    #[test]
+    fn metadata_classification() {
+        assert!(LReg::M(Gpr::new(0)).is_metadata());
+        assert!(LReg::StackKey.is_metadata());
+        assert!(LReg::StackLock.is_metadata());
+        assert!(LReg::Tm(0).is_metadata());
+        assert!(!LReg::G(Gpr::new(0)).is_metadata());
+        assert!(!LReg::F(Fpr::new(0)).is_metadata());
+        assert!(!LReg::T(0).is_metadata());
+    }
+}

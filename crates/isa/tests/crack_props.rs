@@ -1,0 +1,144 @@
+//! Property tests on the cracker: structural invariants that must hold for
+//! every instruction under every configuration.
+
+use proptest::prelude::*;
+use watchdog_isa::crack::{baseline_uop_count, crack, BoundsUops, CrackConfig, CtrlKind};
+use watchdog_isa::insn::{AluOp, Cond, FpOp, FpWidth, Inst, MemAddr, PtrHint, Width};
+use watchdog_isa::reg::{Fpr, Gpr};
+use watchdog_isa::uop::{UopKind, UopTag};
+use watchdog_isa::ProgramBuilder;
+
+fn arb_gpr() -> impl Strategy<Value = Gpr> {
+    (0u8..16).prop_map(Gpr::new)
+}
+
+fn arb_fpr() -> impl Strategy<Value = Fpr> {
+    (0u8..8).prop_map(Fpr::new)
+}
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::B1), Just(Width::B2), Just(Width::B4), Just(Width::B8)]
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::And), Just(AluOp::Or),
+        Just(AluOp::Xor), Just(AluOp::Shl), Just(AluOp::Shr), Just(AluOp::Sar),
+        Just(AluOp::Mul), Just(AluOp::Div), Just(AluOp::Rem), Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+    ]
+}
+
+/// Generates a non-control instruction (control flow needs bound labels,
+/// covered separately).
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        Just(Inst::Nop),
+        (arb_gpr(), any::<i64>()).prop_map(|(dst, imm)| Inst::MovImm { dst, imm }),
+        (arb_gpr(), arb_gpr()).prop_map(|(dst, src)| Inst::Mov { dst, src }),
+        (arb_alu_op(), arb_gpr(), arb_gpr(), arb_gpr()).prop_map(|(op, dst, a, b)| Inst::Alu { op, dst, a, b }),
+        (arb_alu_op(), arb_gpr(), arb_gpr(), any::<i32>()).prop_map(|(op, dst, a, imm)| Inst::AluImm { op, dst, a, imm: imm as i64 }),
+        (arb_gpr(), arb_gpr(), any::<i16>()).prop_map(|(dst, base, off)| Inst::Lea { dst, addr: MemAddr::offset(base, off as i32) }),
+        (arb_gpr(), arb_gpr(), any::<i16>(), arb_width()).prop_map(|(dst, base, off, width)| Inst::Load {
+            dst, addr: MemAddr::offset(base, off as i32), width, hint: PtrHint::Auto
+        }),
+        (arb_gpr(), arb_gpr(), any::<i16>(), arb_width()).prop_map(|(src, base, off, width)| Inst::Store {
+            src, addr: MemAddr::offset(base, off as i32), width, hint: PtrHint::Auto
+        }),
+        (arb_fpr(), arb_gpr(), any::<i16>()).prop_map(|(dst, base, off)| Inst::LoadFp { dst, addr: MemAddr::offset(base, off as i32), width: FpWidth::F8 }),
+        (arb_fpr(), arb_fpr(), arb_fpr()).prop_map(|(dst, a, b)| Inst::FpAlu { op: FpOp::Mul, dst, a, b }),
+        (arb_gpr(), arb_gpr()).prop_map(|(dst, size)| Inst::Malloc { dst, size }),
+        arb_gpr().prop_map(|ptr| Inst::Free { ptr }),
+        (arb_gpr(), arb_gpr(), arb_gpr()).prop_map(|(ptr, key, lock)| Inst::SetIdent { ptr, key, lock }),
+        (arb_gpr(), arb_gpr()).prop_map(|(key, lock)| Inst::NewIdent { key, lock }),
+        (arb_gpr(), arb_gpr()).prop_map(|(key, lock)| Inst::KillIdent { key, lock }),
+        Just(Inst::Ret),
+    ]
+}
+
+proptest! {
+    /// Watchdog cracking only *adds* µops, never removes or reorders the
+    /// baseline work, and baseline cracking never contains metadata µops.
+    #[test]
+    fn watchdog_is_additive(inst in arb_inst(), ptr_op in any::<bool>()) {
+        let base = crack(&inst, ptr_op, &CrackConfig::baseline());
+        let wd = crack(&inst, ptr_op, &CrackConfig::watchdog());
+        let b2 = crack(&inst, ptr_op, &CrackConfig::with_bounds(BoundsUops::Split));
+        prop_assert!(wd.uops.len() >= base.uops.len());
+        prop_assert!(b2.uops.len() >= wd.uops.len(), "split bounds add µops");
+        for u in base.uops.iter() {
+            prop_assert_eq!(u.uop.tag, UopTag::Base, "baseline has only base µops");
+            prop_assert!(!u.uop.kind.is_lock_access() && !u.uop.kind.is_shadow_access());
+        }
+        // The baseline µops appear, in order, within the Watchdog expansion
+        // (except for the runtime-interface instructions, whose whole body
+        // *is* identifier work under Watchdog).
+        let runtime_iface = matches!(
+            inst,
+            Inst::SetIdent { .. } | Inst::GetIdent { .. } | Inst::SetBounds { .. }
+        );
+        if !runtime_iface {
+            let wd_kinds: Vec<UopKind> =
+                wd.uops.iter().filter(|u| u.uop.tag == UopTag::Base).map(|u| u.uop.kind).collect();
+            let base_kinds: Vec<UopKind> = base.uops.iter().map(|u| u.uop.kind).collect();
+            prop_assert_eq!(wd_kinds, base_kinds, "baseline work preserved");
+        }
+        prop_assert_eq!(base.uops.len(), baseline_uop_count(&inst));
+    }
+
+    /// Every memory access in a Watchdog expansion is guarded: if the
+    /// expansion contains a program Load/Store, a check precedes it.
+    #[test]
+    fn every_program_access_is_checked(inst in arb_inst(), ptr_op in any::<bool>()) {
+        if !inst.is_mem() {
+            return Ok(());
+        }
+        let wd = crack(&inst, ptr_op, &CrackConfig::watchdog());
+        let kinds: Vec<UopKind> = wd.uops.iter().map(|u| u.uop.kind).collect();
+        let check_pos = kinds.iter().position(|k| matches!(k, UopKind::Check | UopKind::CheckCombined));
+        let mem_pos = kinds.iter().position(|k| matches!(k, UopKind::Load | UopKind::Store));
+        prop_assert!(check_pos.is_some(), "no check in {kinds:?}");
+        prop_assert!(check_pos < mem_pos, "check must precede the access in {kinds:?}");
+    }
+
+    /// Control classification matches the instruction.
+    #[test]
+    fn ctrl_kind_is_consistent(inst in arb_inst()) {
+        let c = crack(&inst, false, &CrackConfig::watchdog());
+        prop_assert_eq!(c.ctrl == CtrlKind::None, !inst.is_control());
+    }
+
+    /// Shadow µops appear iff the access is a classified 8-byte operation.
+    #[test]
+    fn shadow_uops_track_classification(
+        dst in arb_gpr(), base in arb_gpr(), width in arb_width(), ptr_op in any::<bool>()
+    ) {
+        let inst = Inst::Load { dst, addr: MemAddr::base(base), width, hint: PtrHint::Auto };
+        let wd = crack(&inst, ptr_op, &CrackConfig::watchdog());
+        let has_shadow = wd.uops.iter().any(|u| u.uop.kind.is_shadow_access());
+        prop_assert_eq!(has_shadow, ptr_op, "shadow load iff classified");
+    }
+
+    /// Disassembly is total (never panics) and non-empty for any program.
+    #[test]
+    fn disassembly_is_total(insts in proptest::collection::vec(arb_inst(), 1..40)) {
+        let mut b = ProgramBuilder::new("prop");
+        // Replace Ret (needs a stack) placement constraints: it is fine
+        // syntactically; we only disassemble.
+        for i in &insts {
+            b.push(*i);
+        }
+        b.halt();
+        let p = b.build().unwrap();
+        let text = p.disassemble();
+        prop_assert_eq!(text.lines().count(), insts.len() + 1);
+        prop_assert!(text.contains("halt"));
+        let _ = Inst::Branch { cond: Cond::Eq, a: Gpr::new(0), b: Gpr::new(0), target: {
+            let mut bb = ProgramBuilder::new("x");
+            let l = bb.label();
+            bb.bind(l);
+            bb.nop();
+            l
+        } };
+    }
+}

@@ -1,0 +1,386 @@
+//! The simulated memory hierarchy of Table 2.
+//!
+//! Three-level cache hierarchy (L1I + L1D + dedicated lock-location cache,
+//! private L2, shared L3, DRAM) with stream prefetchers and TLBs. The
+//! hierarchy answers one question for the timing model: *how many cycles
+//! does this access take?* — composing per-level latencies along the miss
+//! path and updating replacement state (caches are inclusive and
+//! write-allocate).
+//!
+//! Two Watchdog-specific knobs:
+//!
+//! * `lock_cache` — when enabled, lock-location accesses (check µops and
+//!   identifier management) go to the dedicated 4KB cache, a *peer* of the
+//!   L1 caches with its own small TLB (§4.2, Fig. 4c); when disabled they
+//!   contend with ordinary data accesses in the L1 D-cache (Fig. 9's
+//!   ablation).
+//! * `ideal_shadow` — shadow-metadata accesses "occupy cache ports but
+//!   never cache miss and do not actually consume space in the data cache"
+//!   (§9.3's cache-pressure isolation experiment).
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::prefetch::StreamPrefetcher;
+use crate::tlb::Tlb;
+
+/// Classification of a memory access for routing and accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessClass {
+    /// Ordinary program data.
+    Data,
+    /// Shadow-space metadata (injected `shadow_load` / `shadow_store`).
+    Shadow,
+    /// Lock-location access (`check` µops, identifier management).
+    Lock,
+    /// Instruction fetch.
+    Ifetch,
+}
+
+/// Hierarchy configuration (defaults reproduce Table 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache geometry (32KB, 4-way, 64B).
+    pub l1i: CacheConfig,
+    /// L1 data cache geometry (32KB, 8-way, 64B).
+    pub l1d: CacheConfig,
+    /// Lock-location cache geometry (4KB, 8-way, 64B).
+    pub ll: CacheConfig,
+    /// Private L2 geometry (256KB, 8-way, 64B).
+    pub l2: CacheConfig,
+    /// Shared L3 geometry (16MB, 16-way, 64B).
+    pub l3: CacheConfig,
+    /// L1 hit latency in cycles.
+    pub l1_lat: u64,
+    /// L2 hit latency (added to L1 latency).
+    pub l2_lat: u64,
+    /// L3 hit latency (added to L1+L2).
+    pub l3_lat: u64,
+    /// DRAM latency (added to the full cache path).
+    pub mem_lat: u64,
+    /// Data TLB entries.
+    pub dtlb_entries: usize,
+    /// Lock-location cache TLB entries.
+    pub lltlb_entries: usize,
+    /// Page-walk penalty on a TLB miss.
+    pub tlb_miss_penalty: u64,
+    /// L1D prefetcher: `(streams, degree)`.
+    pub l1_prefetch: (usize, u64),
+    /// L2 prefetcher: `(streams, degree)`.
+    pub l2_prefetch: (usize, u64),
+    /// Route lock accesses to the dedicated lock-location cache (§4.2).
+    pub lock_cache: bool,
+    /// Idealize shadow accesses (§9.3 ablation).
+    pub ideal_shadow: bool,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            l1i: CacheConfig::new(32 * 1024, 4, 64),
+            l1d: CacheConfig::new(32 * 1024, 8, 64),
+            ll: CacheConfig::new(4 * 1024, 8, 64),
+            l2: CacheConfig::new(256 * 1024, 8, 64),
+            l3: CacheConfig::new(16 * 1024 * 1024, 16, 64),
+            l1_lat: 3,
+            l2_lat: 10,
+            l3_lat: 25,
+            mem_lat: 100,
+            dtlb_entries: 64,
+            lltlb_entries: 32,
+            tlb_miss_penalty: 30,
+            l1_prefetch: (4, 4),
+            l2_prefetch: (8, 16),
+            lock_cache: true,
+            ideal_shadow: false,
+        }
+    }
+}
+
+/// Per-class access counters plus per-cache statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HierarchyStats {
+    /// Accesses by class: data, shadow, lock, ifetch.
+    pub data_accesses: u64,
+    /// Shadow accesses.
+    pub shadow_accesses: u64,
+    /// Lock-location accesses.
+    pub lock_accesses: u64,
+    /// Instruction fetches.
+    pub ifetch_accesses: u64,
+    /// L1I counters.
+    pub l1i: CacheStats,
+    /// L1D counters.
+    pub l1d: CacheStats,
+    /// Lock-location cache counters.
+    pub ll: CacheStats,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// L3 counters.
+    pub l3: CacheStats,
+    /// Data-TLB `(accesses, misses)`.
+    pub dtlb: (u64, u64),
+    /// Lock-TLB `(accesses, misses)`.
+    pub lltlb: (u64, u64),
+}
+
+impl HierarchyStats {
+    /// Lock-location cache misses per 1000 lock accesses (the paper quotes
+    /// "<1 miss per 1000 instructions" for a 4KB cache).
+    pub fn ll_mpk(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.ll.misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+/// The simulated memory hierarchy.
+#[derive(Debug)]
+pub struct Hierarchy {
+    cfg: HierarchyConfig,
+    l1i: Cache,
+    l1d: Cache,
+    ll: Cache,
+    l2: Cache,
+    l3: Cache,
+    dtlb: Tlb,
+    lltlb: Tlb,
+    l1_pf: StreamPrefetcher,
+    l2_pf: StreamPrefetcher,
+    stats: HierarchyStats,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        Hierarchy {
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            ll: Cache::new(cfg.ll),
+            l2: Cache::new(cfg.l2),
+            l3: Cache::new(cfg.l3),
+            dtlb: Tlb::new(cfg.dtlb_entries),
+            lltlb: Tlb::new(cfg.lltlb_entries),
+            l1_pf: StreamPrefetcher::new(cfg.l1_prefetch.0, cfg.l1_prefetch.1),
+            l2_pf: StreamPrefetcher::new(cfg.l2_prefetch.0, cfg.l2_prefetch.1),
+            stats: HierarchyStats::default(),
+            cfg,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// Whether the dedicated lock-location cache is in use.
+    pub fn lock_cache_enabled(&self) -> bool {
+        self.cfg.lock_cache
+    }
+
+    /// Performs one access and returns its latency in cycles.
+    pub fn access(&mut self, class: AccessClass, addr: u64, _write: bool) -> u64 {
+        match class {
+            AccessClass::Ifetch => {
+                self.stats.ifetch_accesses += 1;
+                let mut lat = self.cfg.l1_lat;
+                if !self.l1i.access(addr) {
+                    lat += self.level2_and_beyond(addr);
+                }
+                // Next-line instruction prefetch (Table 2: I-cache stream
+                // prefetcher, 2 streams × 4 blocks): sequential code should
+                // not miss on every new block.
+                let block = addr / self.cfg.l1i.block;
+                for i in 1..=2u64 {
+                    let next = (block + i) * self.cfg.l1i.block;
+                    if !self.l1i.probe(next) {
+                        self.l1i.prefetch_fill(next);
+                        self.l2.prefetch_fill(next);
+                        self.l3.prefetch_fill(next);
+                    }
+                }
+                self.stats.l1i = self.l1i.stats();
+                lat
+            }
+            AccessClass::Shadow if self.cfg.ideal_shadow => {
+                // §9.3: occupies a port (handled by the pipeline model) but
+                // never misses and pollutes nothing.
+                self.stats.shadow_accesses += 1;
+                self.cfg.l1_lat
+            }
+            AccessClass::Lock if self.cfg.lock_cache => {
+                self.stats.lock_accesses += 1;
+                let mut lat = self.cfg.l1_lat;
+                if !self.lltlb.access(addr) {
+                    lat += self.cfg.tlb_miss_penalty;
+                }
+                if !self.ll.access(addr) {
+                    lat += self.level2_and_beyond(addr);
+                }
+                self.stats.ll = self.ll.stats();
+                self.stats.lltlb = self.lltlb.stats();
+                lat
+            }
+            _ => {
+                // Data, shadow (non-ideal) and lock accesses without the
+                // dedicated cache all go through the L1 D-cache.
+                match class {
+                    AccessClass::Data => self.stats.data_accesses += 1,
+                    AccessClass::Shadow => self.stats.shadow_accesses += 1,
+                    AccessClass::Lock => self.stats.lock_accesses += 1,
+                    AccessClass::Ifetch => unreachable!(),
+                }
+                let mut lat = self.cfg.l1_lat;
+                if !self.dtlb.access(addr) {
+                    lat += self.cfg.tlb_miss_penalty;
+                }
+                if !self.l1d.access(addr) {
+                    lat += self.level2_and_beyond(addr);
+                    // Train the L1 stream prefetcher on the miss.
+                    let block = addr / self.cfg.l1d.block;
+                    for pf in self.l1_pf.on_miss(block) {
+                        let a = pf * self.cfg.l1d.block;
+                        self.l1d.prefetch_fill(a);
+                        self.l2.prefetch_fill(a);
+                        self.l3.prefetch_fill(a);
+                    }
+                }
+                self.stats.l1d = self.l1d.stats();
+                self.stats.dtlb = self.dtlb.stats();
+                lat
+            }
+        }
+    }
+
+    /// Walks L2 → L3 → memory on an L1-level miss; returns the *additional*
+    /// latency beyond the L1 access.
+    fn level2_and_beyond(&mut self, addr: u64) -> u64 {
+        let mut lat = self.cfg.l2_lat;
+        if !self.l2.access(addr) {
+            let block = addr / self.cfg.l2.block;
+            for pf in self.l2_pf.on_miss(block) {
+                let a = pf * self.cfg.l2.block;
+                self.l2.prefetch_fill(a);
+                self.l3.prefetch_fill(a);
+            }
+            lat += self.cfg.l3_lat;
+            if !self.l3.access(addr) {
+                lat += self.cfg.mem_lat;
+            }
+            self.stats.l3 = self.l3.stats();
+        }
+        self.stats.l2 = self.l2.stats();
+        lat
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> HierarchyStats {
+        let mut s = self.stats;
+        s.l1i = self.l1i.stats();
+        s.l1d = self.l1d.stats();
+        s.ll = self.ll.stats();
+        s.l2 = self.l2.stats();
+        s.l3 = self.l3.stats();
+        s.dtlb = self.dtlb.stats();
+        s.lltlb = self.lltlb.stats();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(cfg: HierarchyConfig) -> Hierarchy {
+        Hierarchy::new(cfg)
+    }
+
+    #[test]
+    fn cold_miss_then_hit_latency() {
+        let mut hy = h(HierarchyConfig::default());
+        let cold = hy.access(AccessClass::Data, 0x2000_0000, false);
+        let warm = hy.access(AccessClass::Data, 0x2000_0000, false);
+        // Cold: L1 + TLB walk + L2 + L3 + memory.
+        assert_eq!(cold, 3 + 30 + 10 + 25 + 100);
+        assert_eq!(warm, 3);
+    }
+
+    #[test]
+    fn lock_accesses_use_dedicated_cache() {
+        let mut hy = h(HierarchyConfig::default());
+        hy.access(AccessClass::Lock, 0x5000_0000, false);
+        hy.access(AccessClass::Lock, 0x5000_0000, false);
+        let s = hy.stats();
+        assert_eq!(s.ll.accesses, 2);
+        assert_eq!(s.l1d.accesses, 0, "lock traffic must not touch L1D");
+    }
+
+    #[test]
+    fn lock_accesses_fall_back_to_l1d_when_disabled() {
+        let mut hy = h(HierarchyConfig { lock_cache: false, ..Default::default() });
+        hy.access(AccessClass::Lock, 0x5000_0000, false);
+        let s = hy.stats();
+        assert_eq!(s.ll.accesses, 0);
+        assert_eq!(s.l1d.accesses, 1);
+    }
+
+    #[test]
+    fn ideal_shadow_never_misses_or_pollutes() {
+        let mut hy = h(HierarchyConfig { ideal_shadow: true, ..Default::default() });
+        for i in 0..1000 {
+            let lat = hy.access(AccessClass::Shadow, 0x4000_0000_0000 + i * 4096, false);
+            assert_eq!(lat, 3);
+        }
+        let s = hy.stats();
+        assert_eq!(s.shadow_accesses, 1000);
+        assert_eq!(s.l1d.accesses, 0);
+    }
+
+    #[test]
+    fn shadow_pollutes_l1d_when_not_ideal() {
+        let mut hy = h(HierarchyConfig::default());
+        hy.access(AccessClass::Shadow, 0x4000_0000_0000, false);
+        assert_eq!(hy.stats().l1d.accesses, 1);
+    }
+
+    #[test]
+    fn streaming_pattern_benefits_from_prefetch() {
+        let mut cfg = HierarchyConfig::default();
+        cfg.tlb_miss_penalty = 0;
+        let mut with_pf = h(cfg);
+        cfg.l1_prefetch = (1, 0);
+        cfg.l2_prefetch = (1, 0);
+        let mut without_pf = h(cfg);
+        let mut lat_with = 0;
+        let mut lat_without = 0;
+        for i in 0..512u64 {
+            let a = 0x3000_0000 + i * 64;
+            lat_with += with_pf.access(AccessClass::Data, a, false);
+            lat_without += without_pf.access(AccessClass::Data, a, false);
+        }
+        assert!(
+            lat_with < lat_without,
+            "prefetching must help a streaming pattern ({lat_with} vs {lat_without})"
+        );
+    }
+
+    #[test]
+    fn ifetch_uses_l1i() {
+        let mut hy = h(HierarchyConfig::default());
+        hy.access(AccessClass::Ifetch, 0x40_0000, false);
+        hy.access(AccessClass::Ifetch, 0x40_0000, false);
+        let s = hy.stats();
+        assert_eq!(s.l1i.accesses, 2);
+        assert_eq!(s.l1i.misses, 1);
+        assert_eq!(s.ifetch_accesses, 2);
+    }
+
+    #[test]
+    fn ll_mpk_metric() {
+        let mut hy = h(HierarchyConfig::default());
+        hy.access(AccessClass::Lock, 0x5000_0000, false);
+        let s = hy.stats();
+        assert!(s.ll_mpk(1000) > 0.0);
+        assert_eq!(s.ll_mpk(0), 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Memory subsystem for the Watchdog reproduction.
+//!
+//! * [`vm`] — sparse paged guest memory with footprint accounting (distinct
+//!   words and 4KB pages touched, split into program data vs. metadata —
+//!   the measurements behind Fig. 10).
+//! * [`shadow`] — the disjoint shadow metadata space: 128-bit (identifier)
+//!   or 256-bit (identifier + bounds) records per 8-byte data word (§3.3,
+//!   §8).
+//! * [`cache`] — set-associative write-back caches with LRU replacement.
+//! * [`tlb`] — translation lookaside buffers.
+//! * [`prefetch`] — stream prefetchers (Table 2 lists per-level stream
+//!   prefetchers).
+//! * [`hierarchy`] — the full simulated memory hierarchy of Table 2:
+//!   L1I/L1D, the dedicated 4KB lock-location cache (§4.2), private L2,
+//!   shared L3 and DRAM, with per-class latency composition and an
+//!   "idealized shadow accesses" mode (§9.3's cache-pressure ablation).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod hierarchy;
+pub mod prefetch;
+pub mod shadow;
+pub mod tlb;
+pub mod vm;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::{AccessClass, Hierarchy, HierarchyConfig, HierarchyStats};
+pub use shadow::{MetaRecord, ShadowSpace};
+pub use vm::{Footprint, GuestMem};

@@ -1,0 +1,124 @@
+//! Stream prefetchers.
+//!
+//! Table 2 specifies stream prefetchers at every cache level (e.g. "4
+//! streams, 4 blocks each" at the L1 D-cache). We implement a classic
+//! next-N-blocks stream prefetcher: a miss that extends a detected
+//! ascending or descending block stream triggers prefetches of the next
+//! `degree` blocks in stride order.
+
+/// A multi-stream block prefetcher.
+#[derive(Debug)]
+pub struct StreamPrefetcher {
+    streams: Vec<Stream>,
+    max_streams: usize,
+    degree: u64,
+    issued: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stream {
+    last_block: u64,
+    stride: i64,
+    confidence: u8,
+    lru: u64,
+}
+
+impl StreamPrefetcher {
+    /// Builds a prefetcher tracking `max_streams` streams and prefetching
+    /// `degree` blocks ahead.
+    pub fn new(max_streams: usize, degree: u64) -> Self {
+        StreamPrefetcher { streams: Vec::new(), max_streams, degree, issued: 0 }
+    }
+
+    /// Observes a demand miss on `block` (a block *index*, not a byte
+    /// address) and returns the block indices to prefetch.
+    pub fn on_miss(&mut self, block: u64) -> Vec<u64> {
+        self.issued += 1;
+        let clock = self.issued;
+        // Try to extend an existing stream.
+        for s in &mut self.streams {
+            let stride = block as i64 - s.last_block as i64;
+            if stride != 0 && stride.abs() <= 2 && (s.confidence == 0 || stride == s.stride) {
+                s.stride = stride;
+                s.last_block = block;
+                s.lru = clock;
+                if s.confidence < 3 {
+                    s.confidence += 1;
+                }
+                if s.confidence >= 2 {
+                    return (1..=self.degree)
+                        .filter_map(|i| {
+                            let b = block as i64 + stride * i as i64;
+                            u64::try_from(b).ok()
+                        })
+                        .collect();
+                }
+                return Vec::new();
+            }
+        }
+        // Allocate a new stream.
+        if self.streams.len() == self.max_streams {
+            let victim = self
+                .streams
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.lru)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.streams.swap_remove(victim);
+        }
+        self.streams.push(Stream { last_block: block, stride: 0, confidence: 0, lru: clock });
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_stream_triggers_prefetch() {
+        let mut p = StreamPrefetcher::new(2, 4);
+        assert!(p.on_miss(100).is_empty(), "first touch trains only");
+        assert!(p.on_miss(101).is_empty(), "confidence building");
+        let pf = p.on_miss(102);
+        assert_eq!(pf, vec![103, 104, 105, 106]);
+    }
+
+    #[test]
+    fn descending_stream_supported() {
+        let mut p = StreamPrefetcher::new(2, 2);
+        p.on_miss(100);
+        p.on_miss(99);
+        let pf = p.on_miss(98);
+        assert_eq!(pf, vec![97, 96]);
+    }
+
+    #[test]
+    fn random_misses_do_not_prefetch() {
+        let mut p = StreamPrefetcher::new(2, 4);
+        assert!(p.on_miss(10).is_empty());
+        assert!(p.on_miss(500).is_empty());
+        assert!(p.on_miss(2000).is_empty());
+        assert!(p.on_miss(77).is_empty());
+    }
+
+    #[test]
+    fn streams_are_replaced_lru() {
+        let mut p = StreamPrefetcher::new(1, 1);
+        p.on_miss(10);
+        p.on_miss(1000); // replaces the only stream
+        p.on_miss(1001);
+        let pf = p.on_miss(1002);
+        assert_eq!(pf, vec![1003]);
+    }
+
+    #[test]
+    fn prefetch_never_underflows_block_zero() {
+        let mut p = StreamPrefetcher::new(1, 4);
+        p.on_miss(2);
+        p.on_miss(1);
+        let pf = p.on_miss(0);
+        assert!(pf.is_empty() || pf.iter().all(|b| *b < 2));
+    }
+}

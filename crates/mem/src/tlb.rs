@@ -1,0 +1,90 @@
+//! Translation lookaside buffers.
+//!
+//! The shadow space "allows shadow accesses to be handled as normal memory
+//! accesses using the usual address translation ... mechanisms" (§3.3), and
+//! the lock-location cache "has its own (small) TLB" (§4.2). We model TLBs
+//! as fully-associative LRU arrays of 4KB page translations; a miss charges
+//! a fixed page-walk penalty in the hierarchy.
+
+/// A fully-associative TLB over 4KB pages with LRU replacement.
+#[derive(Debug)]
+pub struct Tlb {
+    entries: Vec<(u64, u64)>, // (vpn, lru stamp)
+    capacity: usize,
+    clock: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Builds a TLB holding `capacity` translations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB capacity must be positive");
+        Tlb { entries: Vec::with_capacity(capacity), capacity, clock: 0, accesses: 0, misses: 0 }
+    }
+
+    /// Looks up the page containing `addr`; fills on miss. Returns `true`
+    /// on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let vpn = addr >> 12;
+        self.accesses += 1;
+        self.clock += 1;
+        if let Some(e) = self.entries.iter_mut().find(|(v, _)| *v == vpn) {
+            e.1 = self.clock;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() == self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, lru))| *lru)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.entries.swap_remove(victim);
+        }
+        self.entries.push((vpn, self.clock));
+        false
+    }
+
+    /// `(accesses, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.accesses, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut t = Tlb::new(4);
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1fff), "same page");
+        assert!(!t.access(0x2000), "next page misses");
+        assert_eq!(t.stats(), (3, 2));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Tlb::new(2);
+        t.access(0x1000);
+        t.access(0x2000);
+        t.access(0x1000); // refresh
+        t.access(0x3000); // evicts 0x2000
+        assert!(t.access(0x1000));
+        assert!(!t.access(0x2000));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Tlb::new(0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Sparse paged guest memory with footprint accounting.
+//!
+//! The guest address space is materialized on demand in 4KB pages, exactly
+//! like the operating system would allocate shadow pages on demand for
+//! Watchdog (§3.3). Footprint accounting distinguishes *program* memory
+//! from *metadata* memory (shadow records and lock locations) at both word
+//! and page granularity, which is precisely what Fig. 10 reports.
+
+use std::collections::{HashMap, HashSet};
+use watchdog_isa::layout;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Memory footprint summary, in distinct 8-byte words and distinct 4KB
+/// pages, split by space.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Distinct program-data words touched (code excluded).
+    pub data_words: u64,
+    /// Distinct shadow-metadata words touched.
+    pub shadow_words: u64,
+    /// Distinct lock-location words touched.
+    pub lock_words: u64,
+    /// Distinct program-data pages touched.
+    pub data_pages: u64,
+    /// Distinct shadow-metadata pages touched.
+    pub shadow_pages: u64,
+    /// Distinct lock-location pages touched.
+    pub lock_pages: u64,
+}
+
+impl Footprint {
+    /// Metadata overhead at word granularity, as a fraction of program
+    /// words (Fig. 10, left bars).
+    pub fn word_overhead(&self) -> f64 {
+        if self.data_words == 0 {
+            0.0
+        } else {
+            (self.shadow_words + self.lock_words) as f64 / self.data_words as f64
+        }
+    }
+
+    /// Metadata overhead at page granularity (Fig. 10, right bars) —
+    /// reflects on-demand page allocation of the shadow space.
+    pub fn page_overhead(&self) -> f64 {
+        if self.data_pages == 0 {
+            0.0
+        } else {
+            (self.shadow_pages + self.lock_pages) as f64 / self.data_pages as f64
+        }
+    }
+}
+
+/// Byte-addressable sparse guest memory.
+///
+/// All loads/stores are little-endian and may be unaligned (they are
+/// assembled byte-by-byte across page boundaries). Uninitialized memory
+/// reads as zero, as from freshly mapped pages.
+#[derive(Debug, Default)]
+pub struct GuestMem {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    data_words: HashSet<u64>,
+    shadow_words: HashSet<u64>,
+    lock_words: HashSet<u64>,
+    data_pages: HashSet<u64>,
+    shadow_pages: HashSet<u64>,
+    lock_pages: HashSet<u64>,
+    track: bool,
+}
+
+impl GuestMem {
+    /// Empty memory with footprint tracking enabled.
+    pub fn new() -> Self {
+        GuestMem { track: true, ..Default::default() }
+    }
+
+    /// Enables or disables footprint tracking (tracking costs a hash insert
+    /// per access).
+    pub fn set_tracking(&mut self, on: bool) {
+        self.track = on;
+    }
+
+    fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages.entry(page).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    #[inline]
+    fn touch(&mut self, addr: u64, len: u64) {
+        if !self.track {
+            return;
+        }
+        let first_word = addr >> 3;
+        let last_word = (addr + len.max(1) - 1) >> 3;
+        let page = addr >> PAGE_SHIFT;
+        if layout::is_shadow(addr) {
+            for w in first_word..=last_word {
+                self.shadow_words.insert(w);
+            }
+            self.shadow_pages.insert(page);
+        } else if layout::is_lock_region(addr) {
+            for w in first_word..=last_word {
+                self.lock_words.insert(w);
+            }
+            self.lock_pages.insert(page);
+        } else if addr >= layout::GLOBAL_BASE {
+            // Program data: globals, heap, stack. Code is not counted.
+            for w in first_word..=last_word {
+                self.data_words.insert(w);
+            }
+            self.data_pages.insert(page);
+        }
+    }
+
+    /// Reads `len <= 8` bytes at `addr` as a little-endian integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is 0 or greater than 8.
+    pub fn read(&mut self, addr: u64, len: u64) -> u64 {
+        assert!(len >= 1 && len <= 8, "read length out of range");
+        self.touch(addr, len);
+        let mut out = 0u64;
+        for i in 0..len {
+            let a = addr + i;
+            let byte = match self.pages.get(&(a >> PAGE_SHIFT)) {
+                Some(p) => p[(a & (PAGE_SIZE as u64 - 1)) as usize],
+                None => 0,
+            };
+            out |= (byte as u64) << (8 * i);
+        }
+        out
+    }
+
+    /// Writes the low `len <= 8` bytes of `value` at `addr`, little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is 0 or greater than 8.
+    pub fn write(&mut self, addr: u64, len: u64, value: u64) {
+        assert!(len >= 1 && len <= 8, "write length out of range");
+        self.touch(addr, len);
+        for i in 0..len {
+            let a = addr + i;
+            let page = self.page_mut(a >> PAGE_SHIFT);
+            page[(a & (PAGE_SIZE as u64 - 1)) as usize] = (value >> (8 * i)) as u8;
+        }
+    }
+
+    /// Reads a 64-bit word.
+    pub fn read_u64(&mut self, addr: u64) -> u64 {
+        self.read(addr, 8)
+    }
+
+    /// Writes a 64-bit word.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write(addr, 8, value);
+    }
+
+    /// Reads an IEEE-754 double.
+    pub fn read_f64(&mut self, addr: u64) -> f64 {
+        f64::from_bits(self.read(addr, 8))
+    }
+
+    /// Writes an IEEE-754 double.
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write(addr, 8, value.to_bits());
+    }
+
+    /// Reads an IEEE-754 single.
+    pub fn read_f32(&mut self, addr: u64) -> f32 {
+        f32::from_bits(self.read(addr, 4) as u32)
+    }
+
+    /// Writes an IEEE-754 single.
+    pub fn write_f32(&mut self, addr: u64, value: f32) {
+        self.write(addr, 4, value.to_bits() as u64);
+    }
+
+    /// Current footprint summary.
+    pub fn footprint(&self) -> Footprint {
+        Footprint {
+            data_words: self.data_words.len() as u64,
+            shadow_words: self.shadow_words.len() as u64,
+            lock_words: self.lock_words.len() as u64,
+            data_pages: self.data_pages.len() as u64,
+            shadow_pages: self.shadow_pages.len() as u64,
+            lock_pages: self.lock_pages.len() as u64,
+        }
+    }
+
+    /// Number of 4KB pages materialized (for capacity diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watchdog_isa::layout::{shadow_addr, HEAP_BASE, HEAP_LOCK_BASE, META_BYTES_ID};
+
+    #[test]
+    fn zero_initialized_and_little_endian() {
+        let mut m = GuestMem::new();
+        assert_eq!(m.read_u64(HEAP_BASE), 0);
+        m.write_u64(HEAP_BASE, 0x1122_3344_5566_7788);
+        assert_eq!(m.read(HEAP_BASE, 1), 0x88);
+        assert_eq!(m.read(HEAP_BASE + 7, 1), 0x11);
+        assert_eq!(m.read(HEAP_BASE, 4), 0x5566_7788);
+    }
+
+    #[test]
+    fn unaligned_and_cross_page_access() {
+        let mut m = GuestMem::new();
+        let addr = HEAP_BASE + 4096 - 4; // straddles a page boundary
+        m.write_u64(addr, 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(m.read_u64(addr), 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        let mut m = GuestMem::new();
+        m.write_f64(HEAP_BASE, 3.25);
+        assert_eq!(m.read_f64(HEAP_BASE), 3.25);
+        m.write_f32(HEAP_BASE + 8, -1.5);
+        assert_eq!(m.read_f32(HEAP_BASE + 8), -1.5);
+    }
+
+    #[test]
+    fn footprint_classifies_spaces() {
+        let mut m = GuestMem::new();
+        m.write_u64(HEAP_BASE, 1); // data
+        m.write_u64(shadow_addr(HEAP_BASE, META_BYTES_ID), 2); // shadow
+        m.write_u64(HEAP_LOCK_BASE, 3); // lock
+        let f = m.footprint();
+        assert_eq!(f.data_words, 1);
+        assert_eq!(f.shadow_words, 1);
+        assert_eq!(f.lock_words, 1);
+        assert_eq!(f.data_pages, 1);
+        assert_eq!(f.shadow_pages, 1);
+        assert_eq!(f.lock_pages, 1);
+        assert_eq!(f.word_overhead(), 2.0);
+        assert_eq!(f.page_overhead(), 2.0);
+    }
+
+    #[test]
+    fn word_accounting_is_distinct() {
+        let mut m = GuestMem::new();
+        for _ in 0..10 {
+            m.write_u64(HEAP_BASE + 16, 7);
+        }
+        assert_eq!(m.footprint().data_words, 1, "repeated access counts once");
+        // A 4-byte access inside the same word does not add a word.
+        m.write(HEAP_BASE + 20, 4, 1);
+        assert_eq!(m.footprint().data_words, 1);
+        // But one spanning two words counts both.
+        m.write_u64(HEAP_BASE + 28, 1);
+        assert_eq!(m.footprint().data_words, 3);
+    }
+
+    #[test]
+    fn tracking_can_be_disabled() {
+        let mut m = GuestMem::new();
+        m.set_tracking(false);
+        m.write_u64(HEAP_BASE, 1);
+        assert_eq!(m.footprint().data_words, 0);
+    }
+
+    #[test]
+    fn reads_count_toward_footprint() {
+        let mut m = GuestMem::new();
+        let _ = m.read_u64(HEAP_BASE + 64);
+        assert_eq!(m.footprint().data_words, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "read length out of range")]
+    fn oversized_read_panics() {
+        let mut m = GuestMem::new();
+        let _ = m.read(HEAP_BASE, 9);
+    }
+
+    #[test]
+    fn empty_footprint_overheads_are_zero() {
+        let f = Footprint::default();
+        assert_eq!(f.word_overhead(), 0.0);
+        assert_eq!(f.page_overhead(), 0.0);
+    }
+}

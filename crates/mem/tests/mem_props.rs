@@ -1,0 +1,77 @@
+//! Property tests on the memory subsystem.
+
+use proptest::prelude::*;
+use watchdog_mem::{Cache, CacheConfig, GuestMem, MetaRecord, ShadowSpace};
+
+proptest! {
+    /// Memory is a map: the last write to an address wins, regardless of
+    /// overlapping widths and ordering elsewhere.
+    #[test]
+    fn last_write_wins(
+        writes in proptest::collection::vec((0x2000_0000u64..0x2000_2000, 1u64..9, any::<u64>()), 1..60)
+    ) {
+        let mut m = GuestMem::new();
+        let mut model: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        for (addr, len, val) in &writes {
+            let len = (*len).min(8).max(1);
+            m.write(*addr, len, *val);
+            for i in 0..len {
+                model.insert(addr + i, (val >> (8 * i)) as u8);
+            }
+        }
+        for (addr, byte) in model {
+            prop_assert_eq!(m.read(addr, 1) as u8, byte);
+        }
+    }
+
+    /// Shadow records round-trip for any key/lock/base/bound and any
+    /// word-aligned address, in both record widths.
+    #[test]
+    fn shadow_records_round_trip(
+        addr in (0u64..0x7000_0000).prop_map(|a| a & !7),
+        key in 1u64.., lock in any::<u64>(), base in any::<u64>(), bound in any::<u64>(),
+    ) {
+        let mut m = GuestMem::new();
+        let s = ShadowSpace::with_bounds();
+        let rec = MetaRecord::with_bounds(key, lock, base, bound);
+        s.store(&mut m, addr, rec);
+        prop_assert_eq!(s.load(&mut m, addr), rec);
+        let s2 = ShadowSpace::ident_only();
+        s2.store(&mut m, addr, rec);
+        let got = s2.load(&mut m, addr);
+        prop_assert_eq!(got.key, key);
+        prop_assert_eq!(got.lock, lock);
+    }
+
+    /// A cache never reports a hit for a block it was never given, and
+    /// always hits a block accessed twice in a row.
+    #[test]
+    fn cache_soundness(accesses in proptest::collection::vec(0u64..0x10_0000, 1..200)) {
+        let mut c = Cache::new(CacheConfig::new(4096, 4, 64));
+        let mut seen = std::collections::HashSet::new();
+        for a in &accesses {
+            let hit = c.access(*a);
+            if hit {
+                prop_assert!(seen.contains(&(a / 64)), "hit on never-seen block {a:#x}");
+            }
+            seen.insert(a / 64);
+            prop_assert!(c.probe(*a), "just-accessed block must be resident");
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses, accesses.len() as u64);
+        prop_assert!(s.misses <= s.accesses);
+    }
+
+    /// Footprint word counts equal the number of distinct words touched.
+    #[test]
+    fn footprint_counts_distinct_words(
+        addrs in proptest::collection::vec((0x2000_0000u64..0x2000_4000).prop_map(|a| a & !7), 1..100)
+    ) {
+        let mut m = GuestMem::new();
+        for a in &addrs {
+            m.write_u64(*a, 1);
+        }
+        let distinct: std::collections::HashSet<u64> = addrs.iter().map(|a| a >> 3).collect();
+        prop_assert_eq!(m.footprint().data_words, distinct.len() as u64);
+    }
+}

@@ -1,0 +1,275 @@
+//! Branch prediction: 3-table PPM predictor plus a return-address stack.
+//!
+//! Table 2 specifies "3-table PPM: 256x2, 128x4, 128x4, 8-bit tags, 2-bit
+//! counters". We implement it PPM/TAGE-style: a 256-entry bimodal base
+//! table and two partially-tagged tables indexed with 4- and 8-bit global
+//! history; the longest matching tagged entry provides the prediction, and
+//! allocation on mispredictions moves hard branches into longer-history
+//! tables.
+//!
+//! Direct jumps and calls are always predicted correctly (their targets are
+//! in the BTB); returns are predicted through the return-address stack and
+//! mispredict only on overflow.
+
+use watchdog_isa::crack::CtrlKind;
+
+const BASE_ENTRIES: usize = 256;
+const TAGGED_ENTRIES: usize = 128;
+const HIST_LENS: [u32; 2] = [4, 8];
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TaggedEntry {
+    tag: u8,
+    ctr: u8, // 2-bit saturating, taken if >= 2
+    useful: bool,
+}
+
+/// Prediction statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BpredStats {
+    /// Conditional branches observed.
+    pub cond_branches: u64,
+    /// Conditional-branch mispredictions.
+    pub cond_mispredicts: u64,
+    /// Returns observed.
+    pub returns: u64,
+    /// Return mispredictions (RAS underflow/overflow).
+    pub ret_mispredicts: u64,
+}
+
+impl BpredStats {
+    /// Mispredictions per 1000 conditional branches.
+    pub fn mpki(&self) -> f64 {
+        if self.cond_branches == 0 {
+            0.0
+        } else {
+            self.cond_mispredicts as f64 * 1000.0 / self.cond_branches as f64
+        }
+    }
+}
+
+/// The PPM direction predictor + return-address stack.
+#[derive(Debug)]
+pub struct Predictor {
+    base: [u8; BASE_ENTRIES],
+    tagged: [[TaggedEntry; TAGGED_ENTRIES]; 2],
+    ghr: u64,
+    ras: Vec<u64>,
+    ras_cap: usize,
+    stats: BpredStats,
+}
+
+impl Predictor {
+    /// Builds the predictor with a `ras_entries`-deep return-address stack.
+    pub fn new(ras_entries: usize) -> Self {
+        Predictor {
+            base: [1; BASE_ENTRIES], // weakly not-taken
+            tagged: [[TaggedEntry::default(); TAGGED_ENTRIES]; 2],
+            ghr: 0,
+            ras: Vec::new(),
+            ras_cap: ras_entries,
+            stats: BpredStats::default(),
+        }
+    }
+
+    fn fold_hist(&self, bits: u32) -> u64 {
+        let mask = (1u64 << bits) - 1;
+        let h = self.ghr & mask;
+        h ^ (h >> (bits / 2).max(1))
+    }
+
+    fn index(&self, pc: u64, table: usize) -> usize {
+        let h = self.fold_hist(HIST_LENS[table]);
+        ((pc >> 2) ^ h ^ (h << 3)) as usize % TAGGED_ENTRIES
+    }
+
+    fn tag(&self, pc: u64, table: usize) -> u8 {
+        let h = self.fold_hist(HIST_LENS[table]);
+        (((pc >> 9) ^ h ^ (pc >> 2)) & 0xFF) as u8
+    }
+
+    fn predict_dir(&self, pc: u64) -> (bool, Option<usize>) {
+        // Longest-history tagged table with a tag match provides the
+        // prediction.
+        for table in (0..2).rev() {
+            let e = &self.tagged[table][self.index(pc, table)];
+            if e.tag == self.tag(pc, table) && e.useful {
+                return (e.ctr >= 2, Some(table));
+            }
+        }
+        (self.base[(pc >> 2) as usize % BASE_ENTRIES] >= 2, None)
+    }
+
+    fn update_dir(&mut self, pc: u64, taken: bool, provider: Option<usize>, correct: bool) {
+        match provider {
+            Some(t) => {
+                let idx = self.index(pc, t);
+                let e = &mut self.tagged[t][idx];
+                e.ctr = bump(e.ctr, taken);
+            }
+            None => {
+                let idx = (pc >> 2) as usize % BASE_ENTRIES;
+                self.base[idx] = bump(self.base[idx], taken);
+            }
+        }
+        // On a mispredict, allocate in a longer-history table.
+        if !correct {
+            let next = provider.map_or(0, |t| t + 1);
+            if next < 2 {
+                let idx = self.index(pc, next);
+                let tag = self.tag(pc, next);
+                self.tagged[next][idx] =
+                    TaggedEntry { tag, ctr: if taken { 2 } else { 1 }, useful: true };
+            }
+        }
+        self.ghr = (self.ghr << 1) | u64::from(taken);
+    }
+
+    /// Observes one control-flow instruction: predicts it, updates predictor
+    /// state, and returns whether the prediction was **correct**.
+    ///
+    /// `taken` and `target` are the actual outcome; `fallthrough` is the
+    /// address of the next sequential instruction (pushed on the RAS for
+    /// calls).
+    pub fn observe(
+        &mut self,
+        pc: u64,
+        ctrl: CtrlKind,
+        taken: bool,
+        target: u64,
+        fallthrough: u64,
+    ) -> bool {
+        match ctrl {
+            CtrlKind::None => true,
+            CtrlKind::Jump => true,
+            CtrlKind::CondBranch => {
+                self.stats.cond_branches += 1;
+                let (pred, provider) = self.predict_dir(pc);
+                let correct = pred == taken;
+                if !correct {
+                    self.stats.cond_mispredicts += 1;
+                }
+                self.update_dir(pc, taken, provider, correct);
+                correct
+            }
+            CtrlKind::Call => {
+                if self.ras.len() == self.ras_cap {
+                    self.ras.remove(0); // overflow: oldest entry lost
+                }
+                self.ras.push(fallthrough);
+                true
+            }
+            CtrlKind::Ret => {
+                self.stats.returns += 1;
+                let predicted = self.ras.pop();
+                let correct = predicted == Some(target);
+                if !correct {
+                    self.stats.ret_mispredicts += 1;
+                }
+                correct
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> BpredStats {
+        self.stats
+    }
+}
+
+fn bump(ctr: u8, up: bool) -> u8 {
+    if up {
+        (ctr + 1).min(3)
+    } else {
+        ctr.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_an_always_taken_branch() {
+        let mut p = Predictor::new(16);
+        let mut wrong = 0;
+        for _ in 0..100 {
+            if !p.observe(0x1000, CtrlKind::CondBranch, true, 0x2000, 0x1004) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong <= 3, "always-taken branch should be learned quickly ({wrong} wrong)");
+    }
+
+    #[test]
+    fn learns_an_alternating_branch_via_history() {
+        let mut p = Predictor::new(16);
+        let mut wrong_late = 0;
+        for i in 0..400 {
+            let taken = i % 2 == 0;
+            let ok = p.observe(0x1000, CtrlKind::CondBranch, taken, 0x2000, 0x1004);
+            if i >= 200 && !ok {
+                wrong_late += 1;
+            }
+        }
+        assert!(
+            wrong_late < 40,
+            "history tables should capture the alternating pattern ({wrong_late}/200 wrong)"
+        );
+    }
+
+    #[test]
+    fn random_branches_mispredict_sometimes() {
+        let mut p = Predictor::new(16);
+        // Deterministic pseudo-random outcome stream.
+        let mut x: u64 = 0x12345;
+        let mut wrong = 0;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let taken = (x >> 33) & 1 == 1;
+            if !p.observe(0x1000, CtrlKind::CondBranch, taken, 0x2000, 0x1004) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong > 100, "random outcomes cannot be predicted ({wrong}/500 wrong)");
+    }
+
+    #[test]
+    fn calls_and_matched_returns_always_predict() {
+        let mut p = Predictor::new(16);
+        for depth in 0..8u64 {
+            assert!(p.observe(0x100 + depth, CtrlKind::Call, true, 0x5000, 0x104 + depth));
+        }
+        for depth in (0..8u64).rev() {
+            assert!(p.observe(0x5000, CtrlKind::Ret, true, 0x104 + depth, 0x5004));
+        }
+        assert_eq!(p.stats().ret_mispredicts, 0);
+    }
+
+    #[test]
+    fn ras_overflow_mispredicts_deep_returns() {
+        let mut p = Predictor::new(2);
+        for d in 0..4u64 {
+            p.observe(0x100 + d, CtrlKind::Call, true, 0x5000, 0x200 + d);
+        }
+        // Only the two most recent return addresses survive.
+        assert!(p.observe(0x5000, CtrlKind::Ret, true, 0x203, 0x5004));
+        assert!(p.observe(0x5000, CtrlKind::Ret, true, 0x202, 0x5004));
+        assert!(!p.observe(0x5000, CtrlKind::Ret, true, 0x201, 0x5004));
+        assert!(p.stats().ret_mispredicts >= 1);
+    }
+
+    #[test]
+    fn jumps_never_mispredict() {
+        let mut p = Predictor::new(16);
+        assert!(p.observe(0x1000, CtrlKind::Jump, true, 0x9999, 0x1004));
+        assert!(p.observe(0x1000, CtrlKind::None, false, 0, 0x1004));
+    }
+
+    #[test]
+    fn mpki_metric() {
+        let s = BpredStats { cond_branches: 1000, cond_mispredicts: 5, ..Default::default() };
+        assert_eq!(s.mpki(), 5.0);
+        assert_eq!(BpredStats::default().mpki(), 0.0);
+    }
+}

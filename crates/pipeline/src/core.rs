@@ -1,0 +1,757 @@
+//! The timestamp-based out-of-order timing model.
+//!
+//! The model processes the committed µop stream in program order and
+//! computes, for every µop, its **dispatch**, **issue**, **completion** and
+//! **commit** timestamps under the machine constraints of Table 2:
+//!
+//! * frontend: 16 fetch bytes/cycle, 6 µops renamed+dispatched per cycle,
+//!   I-cache misses and branch-misprediction redirects stall it;
+//! * windows: dispatch stalls when the 168-entry ROB, 54-entry IQ or the
+//!   64/36-entry load/store queues are full;
+//! * scheduling: a µop issues when its sources are ready and a functional
+//!   unit / cache port of the right class is free (checks use the dedicated
+//!   lock-location-cache port when present — the Fig. 9 effect);
+//! * memory: load-type µops complete after address generation plus the
+//!   latency reported by the cache hierarchy;
+//! * commit: in order, 6 µops per cycle.
+//!
+//! Because injected check/metadata µops have no consumers on the program's
+//! critical path, they naturally overlap with real work — which is exactly
+//! why the paper's 44% µop overhead turns into only ~15% slowdown (§9.3).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use watchdog_isa::crack::{CrackedInst, CtrlKind, MetaEffect};
+use watchdog_isa::reg::{LReg, NUM_LREGS};
+use watchdog_isa::uop::{UopKind, UopTag};
+use watchdog_mem::{AccessClass, Hierarchy, HierarchyConfig, HierarchyStats};
+
+use crate::bpred::{BpredStats, Predictor};
+use crate::config::CoreConfig;
+use crate::rename::{Rename, RenameConfig, RenameStats};
+
+/// Number of µop accounting tags.
+pub const NUM_TAGS: usize = 6;
+
+const fn tag_index(tag: UopTag) -> usize {
+    match tag {
+        UopTag::Base => 0,
+        UopTag::Check => 1,
+        UopTag::PtrLoad => 2,
+        UopTag::PtrStore => 3,
+        UopTag::Propagate => 4,
+        UopTag::AllocDealloc => 5,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fu {
+    IntAlu,
+    MulDiv,
+    FpAlu,
+    FpMul,
+    FpDiv,
+    Branch,
+    LoadPort,
+    StorePort,
+    LlPort,
+    /// Global issue bandwidth (Table 2: "Issue: 6-wide") — every µop
+    /// consumes one issue slot in addition to its functional unit.
+    IssueSlot,
+}
+
+const NUM_FUS: usize = 10;
+
+/// Frontend stall cycles by cause (diagnostic).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StallCycles {
+    /// Cycles the frontend waited on a full reorder buffer.
+    pub rob: u64,
+    /// Cycles waited on a full issue queue.
+    pub iq: u64,
+    /// Cycles waited on a full load queue.
+    pub lq: u64,
+    /// Cycles waited on a full store queue.
+    pub sq: u64,
+    /// Cycles lost to I-cache misses.
+    pub icache: u64,
+    /// Cycles lost to branch-misprediction redirects.
+    pub redirect: u64,
+}
+
+/// Final timing statistics for one run.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Total execution cycles (commit time of the last µop).
+    pub cycles: u64,
+    /// Macro-instructions processed.
+    pub insts: u64,
+    /// Total µops executed.
+    pub uops: u64,
+    /// µops by accounting tag: `[base, check, ptr_load, ptr_store,
+    /// propagate, alloc_dealloc]` (Fig. 8's breakdown).
+    pub uops_by_tag: [u64; NUM_TAGS],
+    /// Branch-predictor statistics.
+    pub bpred: BpredStats,
+    /// Rename statistics (copy elimination, refcount high-water).
+    pub rename: RenameStats,
+    /// Memory-hierarchy statistics.
+    pub hierarchy: HierarchyStats,
+    /// Frontend stall cycles by cause.
+    pub stalls: StallCycles,
+}
+
+impl TimingReport {
+    /// µops per cycle.
+    pub fn uops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.uops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Macro-instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Watchdog µop overhead relative to the baseline µops in this run
+    /// (Fig. 8): `(total - base) / base`.
+    pub fn uop_overhead(&self) -> f64 {
+        let base = self.uops_by_tag[0];
+        if base == 0 {
+            0.0
+        } else {
+            (self.uops - base) as f64 / base as f64
+        }
+    }
+}
+
+/// A point-in-time counter snapshot, used by the sampling driver (§9.1)
+/// to measure deltas over sample windows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Commit timestamp of the last committed µop.
+    pub cycles: u64,
+    /// µops consumed so far.
+    pub uops: u64,
+    /// Macro-instructions consumed so far.
+    pub insts: u64,
+    /// µops by accounting tag.
+    pub uops_by_tag: [u64; NUM_TAGS],
+}
+
+impl Snapshot {
+    /// Component-wise difference `self - earlier`.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let mut tags = [0u64; NUM_TAGS];
+        for i in 0..NUM_TAGS {
+            tags[i] = self.uops_by_tag[i] - earlier.uops_by_tag[i];
+        }
+        Snapshot {
+            cycles: self.cycles - earlier.cycles,
+            uops: self.uops - earlier.uops,
+            insts: self.insts - earlier.insts,
+            uops_by_tag: tags,
+        }
+    }
+
+    /// Component-wise accumulation.
+    pub fn accumulate(&mut self, d: &Snapshot) {
+        self.cycles += d.cycles;
+        self.uops += d.uops;
+        self.insts += d.insts;
+        for i in 0..NUM_TAGS {
+            self.uops_by_tag[i] += d.uops_by_tag[i];
+        }
+    }
+}
+
+/// The timing core. Feed it the committed instruction stream via
+/// [`TimingCore::consume`], then call [`TimingCore::finish`].
+#[derive(Debug)]
+pub struct TimingCore {
+    cfg: CoreConfig,
+    hier: Hierarchy,
+    bpred: Predictor,
+    rename: Rename,
+    // Frontend state.
+    fe_cycle: u64,
+    fe_slots: u64,
+    fe_bytes: u64,
+    next_fetch_earliest: u64,
+    last_fetch_block: u64,
+    // Window occupancy (timestamps at which entries are released).
+    rob: VecDeque<u64>,
+    iq: BinaryHeap<Reverse<u64>>,
+    lq: BinaryHeap<Reverse<u64>>,
+    sq: BinaryHeap<Reverse<u64>>,
+    // Dependence tracking: completion time per logical register.
+    reg_ready: [u64; NUM_LREGS],
+    // Per-FU-class next-free times (one entry per unit/port).
+    fu: [Vec<u64>; NUM_FUS],
+    // In-order commit state.
+    last_commit: u64,
+    commit_cycle: u64,
+    commit_count: u64,
+    // Counters.
+    insts: u64,
+    uops: u64,
+    uops_by_tag: [u64; NUM_TAGS],
+    stalls: StallCycles,
+}
+
+impl TimingCore {
+    /// Builds a core with the given pipeline and hierarchy configurations.
+    pub fn new(cfg: CoreConfig, hier_cfg: HierarchyConfig) -> Self {
+        let fu: [Vec<u64>; NUM_FUS] = [
+            vec![0; cfg.int_alus],
+            vec![0; cfg.muldiv_units],
+            vec![0; cfg.fp_alus],
+            vec![0; cfg.fp_muls],
+            vec![0; cfg.fp_divs],
+            vec![0; cfg.branch_units],
+            vec![0; cfg.load_ports],
+            vec![0; cfg.store_ports],
+            vec![0; cfg.ll_ports],
+            vec![0; cfg.issue_width as usize],
+        ];
+        TimingCore {
+            hier: Hierarchy::new(hier_cfg),
+            bpred: Predictor::new(cfg.ras_entries),
+            rename: Rename::new(RenameConfig {
+                int_regs: cfg.int_phys_regs,
+                fp_regs: cfg.fp_phys_regs,
+                meta_regs: cfg.meta_phys_regs,
+            }),
+            cfg,
+            fe_cycle: 0,
+            fe_slots: 0,
+            fe_bytes: 0,
+            next_fetch_earliest: 0,
+            last_fetch_block: u64::MAX,
+            rob: VecDeque::new(),
+            iq: BinaryHeap::new(),
+            lq: BinaryHeap::new(),
+            sq: BinaryHeap::new(),
+            reg_ready: [0; NUM_LREGS],
+            fu,
+            last_commit: 0,
+            commit_cycle: 0,
+            commit_count: 0,
+            insts: 0,
+            uops: 0,
+            uops_by_tag: [0; NUM_TAGS],
+            stalls: StallCycles::default(),
+        }
+    }
+
+    /// Immutable view of the memory hierarchy (for diagnostics).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hier
+    }
+
+    /// Current counter snapshot (for sampled measurement windows).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            cycles: self.last_commit,
+            uops: self.uops,
+            insts: self.insts,
+            uops_by_tag: self.uops_by_tag,
+        }
+    }
+
+    fn fe_next_cycle(&mut self) {
+        self.fe_cycle += 1;
+        self.fe_slots = 0;
+        self.fe_bytes = 0;
+    }
+
+    fn fe_stall_to(&mut self, t: u64) {
+        if t > self.fe_cycle {
+            self.fe_cycle = t;
+            self.fe_slots = 0;
+            self.fe_bytes = 0;
+        }
+    }
+
+    /// Reserves the earliest unit of class `fu`, not before `earliest`;
+    /// occupies it for `busy` cycles. Returns the start time.
+    fn reserve(&mut self, fu: Fu, earliest: u64, busy: u64) -> u64 {
+        let pool = &mut self.fu[fu as usize];
+        let (idx, free_at) = pool
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .map(|(i, t)| (i, *t))
+            .expect("every FU class has at least one unit");
+        let start = earliest.max(free_at);
+        pool[idx] = start + busy;
+        start
+    }
+
+    /// `reserve_issue` for a dynamically-chosen port.
+    fn reserve_issue2(&mut self, fu: Fu, earliest: u64) -> u64 {
+        self.reserve_issue(fu, earliest, 1)
+    }
+
+    /// Reserves a global issue slot, then the requested functional unit —
+    /// enforcing both the 6-wide issue limit and per-unit availability.
+    fn reserve_issue(&mut self, fu: Fu, earliest: u64, busy: u64) -> u64 {
+        let slot = self.reserve(Fu::IssueSlot, earliest, 1);
+        self.reserve(fu, slot, busy)
+    }
+
+    /// Assigns a µop's commit timestamp (in order, `commit_width` per
+    /// cycle).
+    fn commit_time(&mut self, complete: u64) -> u64 {
+        let mut t = complete.max(self.last_commit);
+        if t == self.commit_cycle {
+            if self.commit_count >= self.cfg.commit_width {
+                t += 1;
+                self.commit_cycle = t;
+                self.commit_count = 1;
+            } else {
+                self.commit_count += 1;
+            }
+        } else {
+            self.commit_cycle = t;
+            self.commit_count = 1;
+        }
+        self.last_commit = t;
+        t
+    }
+
+    /// Consumes one committed macro-instruction.
+    pub fn consume(&mut self, inst: &CrackedInst) {
+        self.insts += 1;
+
+        // Honour a pending redirect (mispredicted branch before us).
+        if self.next_fetch_earliest > self.fe_cycle {
+            self.stalls.redirect += self.next_fetch_earliest - self.fe_cycle;
+            self.fe_stall_to(self.next_fetch_earliest);
+        }
+
+        // Instruction fetch: one I-cache access per new 64-byte block.
+        let block = inst.pc / 64;
+        if block != self.last_fetch_block {
+            self.last_fetch_block = block;
+            let lat = self.hier.access(AccessClass::Ifetch, inst.pc, false);
+            let l1 = 3;
+            if lat > l1 {
+                // An I-cache miss starves the frontend for the extra cycles.
+                self.stalls.icache += lat - l1;
+                let stall_to = self.fe_cycle + (lat - l1);
+                self.fe_stall_to(stall_to);
+            }
+        }
+
+        // Fetch bandwidth: 16 bytes per cycle.
+        let len = u64::from(inst.len);
+        if self.fe_bytes + len > self.cfg.fetch_bytes_per_cycle {
+            self.fe_next_cycle();
+        }
+        self.fe_bytes += len;
+
+        // Rename bookkeeping (map-table structure + copy elimination) and
+        // its timing effect: a metadata copy makes the destination ready
+        // exactly when the source is — with no µop executed.
+        self.rename.process(inst);
+        match inst.meta {
+            MetaEffect::None => {}
+            MetaEffect::Copy { dst, src } => {
+                self.reg_ready[LReg::M(dst).index()] = self.reg_ready[LReg::M(src).index()];
+            }
+            MetaEffect::Invalidate(r) | MetaEffect::Global(r) => {
+                self.reg_ready[LReg::M(r).index()] = 0;
+            }
+        }
+
+        let mut branch_complete = 0u64;
+        let lock_via_ll = self.hier.lock_cache_enabled();
+
+        for u in inst.uops.iter() {
+            self.uops += 1;
+            self.uops_by_tag[tag_index(u.uop.tag)] += 1;
+
+            // Frontend slot (rename/dispatch width).
+            if self.fe_slots >= self.cfg.rename_width {
+                self.fe_next_cycle();
+            }
+            self.fe_slots += 1;
+            let mut disp = self.fe_cycle;
+
+            // ROB occupancy.
+            if self.rob.len() >= self.cfg.rob_entries {
+                let head = self.rob.pop_front().expect("rob non-empty");
+                if head > disp {
+                    self.stalls.rob += head - disp;
+                    self.fe_stall_to(head);
+                    disp = head;
+                }
+            }
+            // IQ occupancy: entries leave at issue.
+            while let Some(&Reverse(t)) = self.iq.peek() {
+                if t <= disp {
+                    self.iq.pop();
+                } else {
+                    break;
+                }
+            }
+            if self.iq.len() >= self.cfg.iq_entries {
+                if let Some(Reverse(t)) = self.iq.pop() {
+                    if t > disp {
+                        self.stalls.iq += t - disp;
+                        self.fe_stall_to(t);
+                        disp = t;
+                    }
+                }
+            }
+            // LQ/SQ occupancy: entries leave at commit.
+            let kind = u.uop.kind;
+            let is_load_like = kind.is_mem() && !kind.is_mem_write();
+            let is_store_like = kind.is_mem_write();
+            if is_load_like {
+                while let Some(&Reverse(t)) = self.lq.peek() {
+                    if t <= disp {
+                        self.lq.pop();
+                    } else {
+                        break;
+                    }
+                }
+                if self.lq.len() >= self.cfg.lq_entries {
+                    if let Some(Reverse(t)) = self.lq.pop() {
+                        if t > disp {
+                            self.stalls.lq += t - disp;
+                            self.fe_stall_to(t);
+                            disp = t;
+                        }
+                    }
+                }
+            } else if is_store_like {
+                while let Some(&Reverse(t)) = self.sq.peek() {
+                    if t <= disp {
+                        self.sq.pop();
+                    } else {
+                        break;
+                    }
+                }
+                if self.sq.len() >= self.cfg.sq_entries {
+                    if let Some(Reverse(t)) = self.sq.pop() {
+                        if t > disp {
+                            self.stalls.sq += t - disp;
+                            self.fe_stall_to(t);
+                            disp = t;
+                        }
+                    }
+                }
+            }
+
+            // Source readiness.
+            let mut ready = 0u64;
+            if let Some(s) = u.uop.src1 {
+                ready = ready.max(self.reg_ready[s.index()]);
+            }
+            if let Some(s) = u.uop.src2 {
+                ready = ready.max(self.reg_ready[s.index()]);
+            }
+            let earliest = (disp + self.cfg.dispatch_latency).max(ready);
+
+            // Schedule on a functional unit / cache port.
+            let (issue, complete) = match kind {
+                UopKind::IntAlu | UopKind::SelectMeta | UopKind::BoundsCheck | UopKind::Nop => {
+                    let s = self.reserve_issue(Fu::IntAlu, earliest, 1);
+                    (s, s + self.cfg.lat_int_alu)
+                }
+                UopKind::IntMul => {
+                    let s = self.reserve_issue(Fu::MulDiv, earliest, 1);
+                    (s, s + self.cfg.lat_int_mul)
+                }
+                UopKind::IntDiv => {
+                    let s = self.reserve_issue(Fu::MulDiv, earliest, self.cfg.lat_int_div);
+                    (s, s + self.cfg.lat_int_div)
+                }
+                UopKind::FpAlu => {
+                    let s = self.reserve_issue(Fu::FpAlu, earliest, 1);
+                    (s, s + self.cfg.lat_fp_alu)
+                }
+                UopKind::FpMul => {
+                    let s = self.reserve_issue(Fu::FpMul, earliest, 1);
+                    (s, s + self.cfg.lat_fp_mul)
+                }
+                UopKind::FpDiv => {
+                    let s = self.reserve_issue(Fu::FpDiv, earliest, self.cfg.lat_fp_div);
+                    (s, s + self.cfg.lat_fp_div)
+                }
+                UopKind::Branch => {
+                    let s = self.reserve_issue(Fu::Branch, earliest, 1);
+                    (s, s + 1)
+                }
+                UopKind::Load | UopKind::ShadowLoad => {
+                    let s = self.reserve_issue(Fu::LoadPort, earliest, 1);
+                    let class = if kind == UopKind::ShadowLoad {
+                        AccessClass::Shadow
+                    } else {
+                        AccessClass::Data
+                    };
+                    let addr = u.addr.expect("load µop without address");
+                    let lat = self.hier.access(class, addr, false);
+                    (s, s + self.cfg.lat_agu + lat)
+                }
+                UopKind::Store | UopKind::ShadowStore => {
+                    let s = self.reserve_issue(Fu::StorePort, earliest, 1);
+                    let class = if kind == UopKind::ShadowStore {
+                        AccessClass::Shadow
+                    } else {
+                        AccessClass::Data
+                    };
+                    let addr = u.addr.expect("store µop without address");
+                    let _ = self.hier.access(class, addr, true);
+                    // Stores complete once address+data are staged; the
+                    // write drains from the SQ after commit.
+                    (s, s + 1)
+                }
+                UopKind::Check | UopKind::CheckCombined | UopKind::LockLoad => {
+                    let port = if lock_via_ll { Fu::LlPort } else { Fu::LoadPort };
+                    let s = self.reserve_issue2(port, earliest);
+                    let addr = u.addr.expect("lock µop without address");
+                    let lat = self.hier.access(AccessClass::Lock, addr, false);
+                    (s, s + self.cfg.lat_agu + lat)
+                }
+                UopKind::LockStore => {
+                    let port = if lock_via_ll { Fu::LlPort } else { Fu::StorePort };
+                    let s = self.reserve_issue2(port, earliest);
+                    let addr = u.addr.expect("lock µop without address");
+                    let _ = self.hier.access(AccessClass::Lock, addr, true);
+                    (s, s + 1)
+                }
+            };
+
+            if let Some(d) = u.uop.dst {
+                self.reg_ready[d.index()] = complete;
+            }
+            if kind == UopKind::Branch {
+                branch_complete = complete;
+            }
+
+            let commit = self.commit_time(complete);
+            self.rob.push_back(commit);
+            self.iq.push(Reverse(issue));
+            if is_load_like {
+                self.lq.push(Reverse(commit));
+            } else if is_store_like {
+                self.sq.push(Reverse(commit));
+            }
+        }
+
+        // Branch prediction: a mispredict redirects the frontend after the
+        // branch resolves; a correctly-predicted taken branch still ends
+        // the current fetch group.
+        if inst.ctrl != CtrlKind::None {
+            let last = inst.uops.as_slice().last().expect("control inst has µops");
+            let (taken, target) = (last.taken, last.target);
+            let fallthrough = inst.pc + u64::from(inst.len);
+            let correct = self.bpred.observe(inst.pc, inst.ctrl, taken, target, fallthrough);
+            if !correct {
+                self.next_fetch_earliest = branch_complete + self.cfg.redirect_penalty;
+            } else if taken {
+                self.fe_next_cycle();
+                self.last_fetch_block = u64::MAX;
+            }
+        }
+    }
+
+    /// Finalizes the run and returns the report.
+    pub fn finish(self) -> TimingReport {
+        TimingReport {
+            cycles: self.last_commit.max(self.fe_cycle) + 1,
+            insts: self.insts,
+            uops: self.uops,
+            uops_by_tag: self.uops_by_tag,
+            bpred: self.bpred.stats(),
+            rename: self.rename.stats(),
+            hierarchy: self.hier.stats(),
+            stalls: self.stalls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watchdog_isa::crack::{crack, CrackConfig, Cracked};
+    use watchdog_isa::insn::{AluOp, Inst, MemAddr, PtrHint, Width};
+    use watchdog_isa::reg::Gpr;
+
+    fn g(n: u8) -> Gpr {
+        Gpr::new(n)
+    }
+
+    fn cracked(inst: &Inst, ptr_op: bool, cfg: &CrackConfig, pc: u64, addrs: &[u64]) -> CrackedInst {
+        let Cracked { mut uops, meta, ctrl } = crack(inst, ptr_op, cfg);
+        watchdog_isa::crack::fill_mem_addrs(&mut uops, addrs);
+        CrackedInst { pc, len: inst.encoded_len(), uops, meta, ctrl }
+    }
+
+    fn run_alu_stream(dependent: bool, n: u64) -> TimingReport {
+        let mut core = TimingCore::new(CoreConfig::sandy_bridge(), HierarchyConfig::default());
+        for i in 0..n {
+            let (dst, a) = if dependent { (g(1), g(1)) } else { (g((i % 8) as u8), g(8)) };
+            let inst = Inst::AluImm { op: AluOp::Add, dst, a, imm: 1 };
+            let ci = cracked(&inst, false, &CrackConfig::baseline(), 0x40_0000 + i * 5, &[]);
+            core.consume(&ci);
+        }
+        core.finish()
+    }
+
+    #[test]
+    fn independent_alus_reach_wide_ipc() {
+        let r = run_alu_stream(false, 3000);
+        assert!(r.ipc() > 2.5, "independent ALU stream should be wide (ipc={})", r.ipc());
+    }
+
+    #[test]
+    fn dependent_chain_limits_to_one_per_cycle() {
+        let r = run_alu_stream(true, 3000);
+        assert!(r.ipc() < 1.2, "dependent chain must serialize (ipc={})", r.ipc());
+        assert!(r.ipc() > 0.8, "but still one per cycle (ipc={})", r.ipc());
+    }
+
+    #[test]
+    fn check_uops_overlap_with_work() {
+        // The same loads with and without Watchdog: the injected checks and
+        // shadow loads must cost far less than their µop share.
+        let mk = |wd: bool| {
+            let mut core = TimingCore::new(CoreConfig::sandy_bridge(), HierarchyConfig::default());
+            let cfg = if wd { CrackConfig::watchdog() } else { CrackConfig::baseline() };
+            for i in 0..4000u64 {
+                let addr = 0x2000_0000 + (i % 64) * 8;
+                let inst = Inst::Load { dst: g(1), addr: MemAddr::base(g(2)), width: Width::B8, hint: PtrHint::Auto };
+                let addrs: Vec<u64> = if wd {
+                    vec![0x5000_0000, addr, 0x4000_0000_0000 + (addr >> 3) * 16]
+                } else {
+                    vec![addr]
+                };
+                let ci = cracked(&inst, wd, &cfg, 0x40_0000 + i * 5, &addrs);
+                core.consume(&ci);
+                // A consumer of the loaded value.
+                let use_inst = Inst::AluImm { op: AluOp::Add, dst: g(3), a: g(1), imm: 1 };
+                core.consume(&cracked(&use_inst, false, &cfg, 0x40_0010 + i * 5, &[]));
+            }
+            core.finish()
+        };
+        let base = mk(false);
+        let wd = mk(true);
+        let uop_ovh = wd.uops as f64 / base.uops as f64 - 1.0;
+        let time_ovh = wd.cycles as f64 / base.cycles as f64 - 1.0;
+        assert!(uop_ovh > 0.5, "watchdog should add >50% µops here ({uop_ovh:.2})");
+        assert!(
+            time_ovh < uop_ovh * 0.7,
+            "checks must be (mostly) off the critical path: time {time_ovh:.2} vs uops {uop_ovh:.2}"
+        );
+    }
+
+    #[test]
+    fn mispredicts_cost_cycles() {
+        let mk = |pattern_random: bool| {
+            let mut core = TimingCore::new(CoreConfig::sandy_bridge(), HierarchyConfig::default());
+            let mut b = watchdog_isa::ProgramBuilder::new("x");
+            let l = b.label();
+            b.bind(l);
+            b.nop();
+            let mut x = 0x9E3779B97F4A7C15u64;
+            for i in 0..4000u64 {
+                let taken = if pattern_random {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (x >> 62) & 1 == 1
+                } else {
+                    true
+                };
+                let inst = Inst::Branch { cond: watchdog_isa::Cond::Eq, a: g(0), b: g(0), target: l };
+                let mut ci = cracked(&inst, false, &CrackConfig::baseline(), 0x40_0000 + (i % 13) * 6, &[]);
+                let n = ci.uops.len();
+                ci.uops.as_mut_slice()[n - 1].taken = taken;
+                ci.uops.as_mut_slice()[n - 1].target = 0x40_0000;
+                core.consume(&ci);
+            }
+            core.finish()
+        };
+        let predictable = mk(false);
+        let random = mk(true);
+        assert!(
+            random.cycles > predictable.cycles * 2,
+            "random branches must be much slower ({} vs {})",
+            random.cycles,
+            predictable.cycles
+        );
+    }
+
+    #[test]
+    fn cache_misses_slow_down_pointer_chase() {
+        let mk = |stride: u64| {
+            let mut core = TimingCore::new(CoreConfig::sandy_bridge(), HierarchyConfig::default());
+            for i in 0..3000u64 {
+                // Dependent loads (pointer chase): dst is also the base.
+                let inst = Inst::Load { dst: g(1), addr: MemAddr::base(g(1)), width: Width::B8, hint: PtrHint::Auto };
+                // Large strides defeat caches and the prefetcher.
+                let addr = 0x2000_0000 + (i * stride) % (64 << 20);
+                let ci = cracked(&inst, false, &CrackConfig::baseline(), 0x40_0000, &[addr]);
+                core.consume(&ci);
+            }
+            core.finish()
+        };
+        let near = mk(8);
+        let far = mk(4097 * 64);
+        assert!(
+            far.cycles > near.cycles * 3,
+            "cache-hostile chase must be slower ({} vs {})",
+            far.cycles,
+            near.cycles
+        );
+    }
+
+    #[test]
+    fn snapshots_measure_deltas() {
+        let mut core = TimingCore::new(CoreConfig::sandy_bridge(), HierarchyConfig::default());
+        let mk = |i: u64| {
+            cracked(
+                &Inst::AluImm { op: AluOp::Add, dst: g(1), a: g(1), imm: 1 },
+                false,
+                &CrackConfig::baseline(),
+                0x40_0000 + i * 5,
+                &[],
+            )
+        };
+        for i in 0..100 {
+            core.consume(&mk(i));
+        }
+        let s1 = core.snapshot();
+        for i in 100..300 {
+            core.consume(&mk(i));
+        }
+        let s2 = core.snapshot();
+        let d = s2.delta(&s1);
+        assert_eq!(d.insts, 200);
+        assert_eq!(d.uops, 200);
+        assert!(d.cycles > 150, "a dependent chain takes ~1 cycle per µop");
+        let mut acc = Snapshot::default();
+        acc.accumulate(&d);
+        acc.accumulate(&d);
+        assert_eq!(acc.insts, 400);
+    }
+
+    #[test]
+    fn report_metrics() {
+        let r = run_alu_stream(false, 100);
+        assert_eq!(r.insts, 100);
+        assert_eq!(r.uops, 100);
+        assert!(r.uops_per_cycle() > 0.0);
+        assert_eq!(r.uop_overhead(), 0.0, "baseline run has no overhead µops");
+    }
+}

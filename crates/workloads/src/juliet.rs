@@ -1,0 +1,727 @@
+//! A NIST-Juliet-style use-after-free test-case generator (§9.2).
+//!
+//! The paper evaluates "the 291 test cases for use-after-free
+//! vulnerabilities (CWE-416 and CWE-562) from the NIST Juliet Test Suite
+//! for C/C++ ... It successfully detected and thwarted the attack in all
+//! the 291 test cases, and it did so without any false positives."
+//!
+//! Juliet cases are a cross product of *base flaws* and *control-flow
+//! variants*. We reproduce that structure: fourteen base scenarios
+//! (ten CWE-416 heap flaws, four CWE-562 stack flaws) × seven control-flow
+//! variants × three allocation sizes = 294, trimmed to the paper's 291.
+//! Every *bad* case has a *benign twin* (the Juliet "good" function) used
+//! for false-positive testing.
+
+use watchdog_core::error::ViolationKind;
+use watchdog_isa::{AluOp, Cond, Gpr, Program, ProgramBuilder};
+
+/// CWE class of a case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cwe {
+    /// CWE-416: use after free.
+    Cwe416,
+    /// CWE-562: return of stack variable address.
+    Cwe562,
+}
+
+/// One generated test case.
+#[derive(Debug)]
+pub struct JulietCase {
+    /// Case name, e.g. `CWE416_read_after_free__via_call_64`.
+    pub name: String,
+    /// CWE class.
+    pub cwe: Cwe,
+    /// The guest program.
+    pub program: Program,
+    /// Expected detection: `Some(kind)` for bad cases, `None` for benign
+    /// twins.
+    pub expected: Option<ViolationKind>,
+}
+
+fn g(n: u8) -> Gpr {
+    Gpr::new(n)
+}
+
+const ZERO: Gpr = Gpr::new(13);
+
+/// A scenario body: emits the (good or bad) flaw site. Scenario bodies may
+/// use registers `g1..g8`; `g11`/`g12` belong to the flow wrapper and
+/// `g13` is the zero register.
+type Body = fn(&mut ProgramBuilder, bool, i64);
+
+#[derive(Debug, Clone, Copy)]
+struct Scenario {
+    name: &'static str,
+    cwe: Cwe,
+    expected: ViolationKind,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------
+// CWE-416 scenario bodies.
+// ---------------------------------------------------------------------
+
+fn read_after_free(b: &mut ProgramBuilder, bad: bool, size: i64) {
+    let (p, sz, v) = (g(1), g(4), g(3));
+    b.li(sz, size);
+    b.malloc(p, sz);
+    b.li(v, 7);
+    b.st8(v, p, 0);
+    if bad {
+        b.free(p);
+        b.ld8(v, p, 0);
+    } else {
+        b.ld8(v, p, 0);
+        b.free(p);
+    }
+}
+
+fn write_after_free(b: &mut ProgramBuilder, bad: bool, size: i64) {
+    let (p, sz, v) = (g(1), g(4), g(3));
+    b.li(sz, size);
+    b.malloc(p, sz);
+    b.li(v, 41);
+    if bad {
+        b.free(p);
+        b.st8(v, p, 0);
+    } else {
+        b.st8(v, p, 0);
+        b.free(p);
+    }
+}
+
+fn use_after_realloc(b: &mut ProgramBuilder, bad: bool, size: i64) {
+    // Fig. 1 left: the freed memory is immediately recycled by another
+    // allocation, so location-based checking would pass.
+    let (p, q, r, sz, v) = (g(1), g(2), g(7), g(4), g(3));
+    b.li(sz, size);
+    b.malloc(p, sz);
+    b.mov(q, p);
+    b.free(p);
+    b.malloc(r, sz); // LIFO reuse: r == q's address
+    if bad {
+        b.ld8(v, q, 0);
+    } else {
+        b.ld8(v, r, 0);
+        b.free(r);
+    }
+}
+
+fn aliased_use(b: &mut ProgramBuilder, bad: bool, size: i64) {
+    let (p, q, sz, v) = (g(1), g(2), g(4), g(3));
+    b.li(sz, size);
+    b.malloc(p, sz);
+    b.lea(q, p, 8); // interior alias
+    if bad {
+        b.free(p);
+        b.ld8(v, q, 0);
+    } else {
+        b.ld8(v, q, 0);
+        b.free(p);
+    }
+}
+
+fn global_stashed(b: &mut ProgramBuilder, bad: bool, size: i64) {
+    let (p, q, sz, v, t) = (g(1), g(2), g(4), g(3), g(5));
+    let slot = b.global_bytes(8, 8);
+    b.li(sz, size);
+    b.malloc(p, sz);
+    b.lea_global(t, slot);
+    b.st8(p, t, 0); // stash the pointer in a global
+    if bad {
+        b.free(p);
+        b.ld8(q, t, 0); // reload the (now dangling) pointer
+        b.ld8(v, q, 0);
+    } else {
+        b.ld8(q, t, 0);
+        b.ld8(v, q, 0);
+        b.free(p);
+    }
+}
+
+fn callee_use(b: &mut ProgramBuilder, bad: bool, size: i64) {
+    let (p, sz, v) = (g(1), g(4), g(3));
+    let func = b.label();
+    let after = b.label();
+    b.jmp(after);
+    b.bind(func); // fn: dereference g1
+    b.ld8(v, p, 0);
+    b.ret();
+    b.bind(after);
+    b.li(sz, size);
+    b.malloc(p, sz);
+    if bad {
+        b.free(p);
+        b.call(func);
+    } else {
+        b.call(func);
+        b.free(p);
+    }
+}
+
+fn field_use(b: &mut ProgramBuilder, bad: bool, size: i64) {
+    let (p, sz, v) = (g(1), g(4), g(3));
+    b.li(sz, size);
+    b.malloc(p, sz);
+    b.li(v, 5);
+    if bad {
+        b.free(p);
+        b.st8(v, p, 8); // struct field write
+    } else {
+        b.st8(v, p, 8);
+        b.free(p);
+    }
+}
+
+fn loop_use(b: &mut ProgramBuilder, bad: bool, size: i64) {
+    // Free on one loop iteration, dereference on the other.
+    let (p, sz, v, i, two) = (g(1), g(4), g(3), g(6), g(7));
+    b.li(sz, size);
+    b.malloc(p, sz);
+    b.li(i, 0);
+    b.li(two, 2);
+    let top = b.here();
+    let second = b.label();
+    let cont = b.label();
+    b.branch(Cond::Ne, i, ZERO, second);
+    // Iteration 0.
+    if bad {
+        b.free(p);
+    } else {
+        b.ld8(v, p, 0);
+    }
+    b.jmp(cont);
+    b.bind(second);
+    // Iteration 1.
+    if bad {
+        b.ld8(v, p, 0); // use after the iteration-0 free
+    } else {
+        b.free(p);
+    }
+    b.bind(cont);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, two, top);
+}
+
+fn conditional_free(b: &mut ProgramBuilder, bad: bool, size: i64) {
+    let (p, sz, v, t) = (g(1), g(4), g(3), g(5));
+    b.li(sz, size);
+    b.malloc(p, sz);
+    b.li(t, if bad { 1 } else { 0 });
+    let skip = b.label();
+    b.branch(Cond::Eq, t, ZERO, skip);
+    b.free(p);
+    b.bind(skip);
+    b.ld8(v, p, 0); // dangling only when the condition held
+    if !bad {
+        b.free(p);
+    }
+}
+
+fn chain_use(b: &mut ProgramBuilder, bad: bool, size: i64) {
+    // a->next = node; free(node); dereference a->next.
+    let (a, node, q, sz, v) = (g(1), g(2), g(7), g(4), g(3));
+    b.li(sz, size);
+    b.malloc(a, sz);
+    b.malloc(node, sz);
+    b.st8(node, a, 0); // pointer store
+    if bad {
+        b.free(node);
+        b.ld8(q, a, 0); // reload the dangling link
+        b.ld8(v, q, 0);
+    } else {
+        b.ld8(q, a, 0);
+        b.ld8(v, q, 0);
+        b.free(node);
+    }
+    b.free(a);
+}
+
+// ---------------------------------------------------------------------
+// CWE-562 scenario bodies.
+// ---------------------------------------------------------------------
+
+/// Emits a callee that publishes an address through a global slot and
+/// returns; `publish_stack` selects a frame-local (bad) or heap (good)
+/// address. Returns the slot address.
+fn emit_publisher(b: &mut ProgramBuilder, frame: i64, publish_stack: bool) -> u64 {
+    let rsp = Gpr::RSP;
+    let (q, v, t, sz) = (g(2), g(3), g(5), g(4));
+    let slot = b.global_bytes(8, 8);
+    let func = b.label();
+    let after = b.label();
+    b.jmp(after);
+    b.bind(func);
+    b.alui(AluOp::Sub, rsp, rsp, frame);
+    b.li(v, 42);
+    b.st8(v, rsp, 0); // local = 42
+    if publish_stack {
+        b.lea(q, rsp, 0); // &local
+    } else {
+        b.li(sz, frame);
+        b.malloc(q, sz); // heap escape: legal
+        b.st8(v, q, 0);
+    }
+    b.lea_global(t, slot);
+    b.st8(q, t, 0); // publish
+    b.alui(AluOp::Add, rsp, rsp, frame);
+    b.ret();
+    b.bind(after);
+    b.call(func);
+    slot
+}
+
+fn stack_read_after_return(b: &mut ProgramBuilder, bad: bool, size: i64) {
+    let (q, v, t) = (g(2), g(3), g(5));
+    let slot = emit_publisher(b, size.max(16), bad);
+    b.lea_global(t, slot);
+    b.ld8(q, t, 0);
+    b.ld8(v, q, 0); // dangling when the published address was the local
+    if !bad {
+        b.free(q);
+    }
+}
+
+fn stack_write_after_return(b: &mut ProgramBuilder, bad: bool, size: i64) {
+    let (q, v, t) = (g(2), g(3), g(5));
+    let slot = emit_publisher(b, size.max(16), bad);
+    b.lea_global(t, slot);
+    b.ld8(q, t, 0);
+    b.li(v, 1337);
+    b.st8(v, q, 0);
+    if !bad {
+        b.free(q);
+    }
+}
+
+fn deep_stack_publish(b: &mut ProgramBuilder, bad: bool, size: i64) {
+    // The publishing frame sits two calls deep.
+    let rsp = Gpr::RSP;
+    let (q, v, t, sz) = (g(2), g(3), g(5), g(4));
+    let frame = size.max(16);
+    let slot = b.global_bytes(8, 8);
+    let inner = b.label();
+    let outer = b.label();
+    let after = b.label();
+    b.jmp(after);
+    b.bind(inner);
+    b.alui(AluOp::Sub, rsp, rsp, frame);
+    b.li(v, 9);
+    b.st8(v, rsp, 0);
+    if bad {
+        b.lea(q, rsp, 0);
+    } else {
+        b.li(sz, frame);
+        b.malloc(q, sz);
+        b.st8(v, q, 0);
+    }
+    b.lea_global(t, slot);
+    b.st8(q, t, 0);
+    b.alui(AluOp::Add, rsp, rsp, frame);
+    b.ret();
+    b.bind(outer);
+    b.call(inner);
+    b.ret();
+    b.bind(after);
+    b.call(outer);
+    b.lea_global(t, slot);
+    b.ld8(q, t, 0);
+    b.ld8(v, q, 0);
+    if !bad {
+        b.free(q);
+    }
+}
+
+fn stack_arith_publish(b: &mut ProgramBuilder, bad: bool, size: i64) {
+    // The published address is derived by pointer arithmetic inside the
+    // frame.
+    let rsp = Gpr::RSP;
+    let (q, v, t, sz) = (g(2), g(3), g(5), g(4));
+    let frame = size.max(32);
+    let slot = b.global_bytes(8, 8);
+    let func = b.label();
+    let after = b.label();
+    b.jmp(after);
+    b.bind(func);
+    b.alui(AluOp::Sub, rsp, rsp, frame);
+    b.li(v, 3);
+    b.st8(v, rsp, 16);
+    if bad {
+        b.lea(q, rsp, 8);
+        b.addi(q, q, 8); // q = rsp + 16 via arithmetic
+    } else {
+        b.li(sz, frame);
+        b.malloc(q, sz);
+        b.st8(v, q, 16);
+        b.addi(q, q, 16);
+    }
+    b.lea_global(t, slot);
+    b.st8(q, t, 0);
+    b.alui(AluOp::Add, rsp, rsp, frame);
+    b.ret();
+    b.bind(after);
+    b.call(func);
+    b.lea_global(t, slot);
+    b.ld8(q, t, 0);
+    b.ld8(v, q, 0);
+    if !bad {
+        b.addi(q, q, -16);
+        b.free(q);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Control-flow variants (the Juliet "flow variants").
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    Plain,
+    IfTrue,
+    LoopOnce,
+    ViaCall,
+    WhileBreak,
+    DoubleNegation,
+    DeadCode,
+    SecondIteration,
+    ViaCallChain,
+    BranchLadder,
+}
+
+impl Flow {
+    const ALL: [Flow; 10] = [
+        Flow::Plain,
+        Flow::IfTrue,
+        Flow::LoopOnce,
+        Flow::ViaCall,
+        Flow::WhileBreak,
+        Flow::DoubleNegation,
+        Flow::DeadCode,
+        Flow::SecondIteration,
+        Flow::ViaCallChain,
+        Flow::BranchLadder,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Flow::Plain => "plain",
+            Flow::IfTrue => "if_true",
+            Flow::LoopOnce => "loop_once",
+            Flow::ViaCall => "via_call",
+            Flow::WhileBreak => "while_break",
+            Flow::DoubleNegation => "double_neg",
+            Flow::DeadCode => "dead_code",
+            Flow::SecondIteration => "second_iter",
+            Flow::ViaCallChain => "via_call_chain",
+            Flow::BranchLadder => "branch_ladder",
+        }
+    }
+
+    /// Wraps a scenario body in this control-flow shape.
+    fn wrap(self, b: &mut ProgramBuilder, body: Body, bad: bool, size: i64) {
+        let t = g(11);
+        match self {
+            Flow::Plain => body(b, bad, size),
+            Flow::IfTrue => {
+                let run = b.label();
+                let end = b.label();
+                b.li(t, 1);
+                b.branch(Cond::Ne, t, ZERO, run);
+                b.jmp(end);
+                b.bind(run);
+                body(b, bad, size);
+                b.bind(end);
+            }
+            Flow::LoopOnce => {
+                let i = g(12);
+                b.li(i, 0);
+                let top = b.here();
+                body(b, bad, size);
+                b.addi(i, i, 1);
+                b.li(t, 1);
+                b.branch(Cond::Lt, i, t, top);
+            }
+            Flow::ViaCall => {
+                let func = b.label();
+                let after = b.label();
+                b.call(func);
+                b.jmp(after);
+                b.bind(func);
+                body(b, bad, size);
+                b.ret();
+                b.bind(after);
+            }
+            Flow::WhileBreak => {
+                let out = b.label();
+                let top = b.here();
+                body(b, bad, size);
+                b.jmp(out); // break
+                b.jmp(top); // unreachable back-edge
+                b.bind(out);
+            }
+            Flow::DoubleNegation => {
+                let run = b.label();
+                let end = b.label();
+                b.li(t, 5);
+                b.alu(AluOp::Sltu, t, ZERO, t); // t = !!5 = 1
+                b.branch(Cond::Ne, t, ZERO, run);
+                b.jmp(end);
+                b.bind(run);
+                body(b, bad, size);
+                b.bind(end);
+            }
+            Flow::DeadCode => {
+                body(b, bad, size);
+                let end = b.label();
+                b.jmp(end);
+                // Unreachable garbage (never executed, never checked).
+                b.li(t, -1);
+                b.ld8(t, t, 0);
+                b.bind(end);
+            }
+            Flow::SecondIteration => {
+                // A two-iteration loop whose guarded body fires only on the
+                // second pass (Juliet's "bug reachable on iteration N"
+                // shape).
+                let i = g(12);
+                let skip = b.label();
+                let cont = b.label();
+                b.li(i, 0);
+                let top = b.here();
+                b.branch(Cond::Eq, i, ZERO, skip); // first pass: skip
+                body(b, bad, size);
+                b.jmp(cont);
+                b.bind(skip);
+                b.nop();
+                b.bind(cont);
+                b.addi(i, i, 1);
+                b.li(t, 2);
+                b.branch(Cond::Lt, i, t, top);
+            }
+            Flow::ViaCallChain => {
+                // The flaw sits two calls deep.
+                let outer = b.label();
+                let inner = b.label();
+                let after = b.label();
+                b.call(outer);
+                b.jmp(after);
+                b.bind(outer);
+                b.call(inner);
+                b.ret();
+                b.bind(inner);
+                body(b, bad, size);
+                b.ret();
+                b.bind(after);
+            }
+            Flow::BranchLadder => {
+                // A switch-like dispatch ladder selecting the flaw arm.
+                let arm0 = b.label();
+                let arm1 = b.label();
+                let arm2 = b.label();
+                let end = b.label();
+                b.li(t, 2);
+                let one = g(12);
+                b.li(one, 0);
+                b.branch(Cond::Eq, t, one, arm0);
+                b.li(one, 1);
+                b.branch(Cond::Eq, t, one, arm1);
+                b.jmp(arm2);
+                b.bind(arm0);
+                b.nop(); // dead arm
+                b.jmp(end);
+                b.bind(arm1);
+                b.nop(); // dead arm
+                b.jmp(end);
+                b.bind(arm2);
+                body(b, bad, size);
+                b.bind(end);
+            }
+        }
+    }
+}
+
+fn scenarios() -> Vec<Scenario> {
+    use Cwe::*;
+    use ViolationKind::*;
+    vec![
+        Scenario { name: "read_after_free", cwe: Cwe416, expected: UseAfterFree, body: read_after_free },
+        Scenario { name: "write_after_free", cwe: Cwe416, expected: UseAfterFree, body: write_after_free },
+        Scenario { name: "use_after_realloc", cwe: Cwe416, expected: UseAfterFree, body: use_after_realloc },
+        Scenario { name: "aliased_use", cwe: Cwe416, expected: UseAfterFree, body: aliased_use },
+        Scenario { name: "global_stashed", cwe: Cwe416, expected: UseAfterFree, body: global_stashed },
+        Scenario { name: "callee_use", cwe: Cwe416, expected: UseAfterFree, body: callee_use },
+        Scenario { name: "field_use", cwe: Cwe416, expected: UseAfterFree, body: field_use },
+        Scenario { name: "loop_use", cwe: Cwe416, expected: UseAfterFree, body: loop_use },
+        Scenario { name: "conditional_free", cwe: Cwe416, expected: UseAfterFree, body: conditional_free },
+        Scenario { name: "chain_use", cwe: Cwe416, expected: UseAfterFree, body: chain_use },
+        Scenario { name: "stack_read_after_return", cwe: Cwe562, expected: UseAfterReturn, body: stack_read_after_return },
+        Scenario { name: "stack_write_after_return", cwe: Cwe562, expected: UseAfterReturn, body: stack_write_after_return },
+        Scenario { name: "deep_stack_publish", cwe: Cwe562, expected: UseAfterReturn, body: deep_stack_publish },
+        Scenario { name: "stack_arith_publish", cwe: Cwe562, expected: UseAfterReturn, body: stack_arith_publish },
+    ]
+}
+
+const SIZES: [i64; 3] = [16, 64, 512];
+
+/// Number of cases in the suite (the paper's count).
+pub const SUITE_SIZE: usize = 291;
+
+fn build_case(s: &Scenario, flow: Flow, size: i64, bad: bool) -> JulietCase {
+    let cwe_tag = match s.cwe {
+        Cwe::Cwe416 => "CWE416",
+        Cwe::Cwe562 => "CWE562",
+    };
+    let kind = if bad { "bad" } else { "good" };
+    let name = format!("{cwe_tag}_{}__{}_{}_{}", s.name, flow.name(), size, kind);
+    let mut b = ProgramBuilder::new(name.clone());
+    flow.wrap(&mut b, s.body, bad, size);
+    b.halt();
+    let program = b.build().unwrap_or_else(|e| panic!("{name}: {e}"));
+    JulietCase { name, cwe: s.cwe, program, expected: bad.then_some(s.expected) }
+}
+
+fn suite(bad: bool) -> Vec<JulietCase> {
+    // Iterate (flow, size)-major so that trimming the cross product
+    // (14 scenarios × 10 flows × 3 sizes = 420) down to the paper's 291
+    // keeps every scenario and every flow variant represented.
+    let mut out = Vec::with_capacity(SUITE_SIZE);
+    'outer: for flow in Flow::ALL {
+        for size in SIZES {
+            for s in scenarios() {
+                if out.len() == SUITE_SIZE {
+                    break 'outer;
+                }
+                out.push(build_case(&s, flow, size, bad));
+            }
+        }
+    }
+    out
+}
+
+/// The 291 *bad* cases: every one must be detected, with the expected
+/// violation kind.
+pub fn juliet_suite() -> Vec<JulietCase> {
+    suite(true)
+}
+
+/// The 291 benign twins: none may trigger a violation (false-positive
+/// check).
+pub fn benign_suite() -> Vec<JulietCase> {
+    suite(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watchdog_core::machine::{Machine, MachineConfig, Step};
+
+    fn outcome(p: &Program, cfg: MachineConfig) -> Option<ViolationKind> {
+        let mut m = Machine::new(p, cfg);
+        for _ in 0..1_000_000u64 {
+            match m.step().expect("sim error") {
+                Step::Executed(_) => {}
+                Step::Halted => return None,
+                Step::Violation(v) => return Some(v.kind),
+            }
+        }
+        panic!("case did not terminate");
+    }
+
+    #[test]
+    fn suite_has_exactly_291_cases() {
+        assert_eq!(juliet_suite().len(), SUITE_SIZE);
+        assert_eq!(benign_suite().len(), SUITE_SIZE);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in juliet_suite().iter().chain(benign_suite().iter()) {
+            assert!(seen.insert(c.name.clone()), "duplicate case {}", c.name);
+        }
+    }
+
+    #[test]
+    fn watchdog_detects_every_bad_case() {
+        let mut cfg = MachineConfig::watchdog();
+        cfg.emit_uops = false;
+        for case in juliet_suite() {
+            let got = outcome(&case.program, cfg.clone());
+            assert_eq!(got, case.expected, "{}: wrong detection", case.name);
+        }
+    }
+
+    #[test]
+    fn watchdog_has_no_false_positives() {
+        let mut cfg = MachineConfig::watchdog();
+        cfg.emit_uops = false;
+        for case in benign_suite() {
+            let got = outcome(&case.program, cfg.clone());
+            assert_eq!(got, None, "{}: false positive", case.name);
+        }
+    }
+
+    #[test]
+    fn baseline_detects_nothing() {
+        let mut cfg = MachineConfig::baseline();
+        cfg.emit_uops = false;
+        for case in juliet_suite().iter().take(42) {
+            let got = outcome(&case.program, cfg.clone());
+            assert_eq!(got, None, "{}: baseline cannot detect", case.name);
+        }
+    }
+
+    #[test]
+    fn location_based_misses_the_realloc_cases() {
+        use watchdog_core::machine::CheckMode;
+        let mut cfg = MachineConfig::baseline();
+        cfg.check = CheckMode::Location;
+        cfg.emit_uops = false;
+        let mut missed = 0;
+        let mut total = 0;
+        for case in juliet_suite() {
+            if case.name.contains("use_after_realloc") {
+                total += 1;
+                if outcome(&case.program, cfg.clone()).is_none() {
+                    missed += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert_eq!(missed, total, "location-based checking is blind to reallocation ({missed}/{total})");
+    }
+
+    #[test]
+    fn bounds_mode_detects_everything_too() {
+        // Full memory safety is a superset: every temporal attack is still
+        // caught with the bounds extension enabled (§8).
+        let mut cfg = MachineConfig::watchdog();
+        cfg.bounds = Some(watchdog_isa::crack::BoundsUops::Fused);
+        cfg.emit_uops = false;
+        for case in juliet_suite().into_iter().step_by(7) {
+            let got = outcome(&case.program, cfg.clone());
+            assert!(got.is_some(), "{}: bounds mode must still detect", case.name);
+        }
+        for case in benign_suite().into_iter().step_by(7) {
+            let got = outcome(&case.program, cfg.clone());
+            assert_eq!(got, None, "{}: bounds-mode false positive", case.name);
+        }
+    }
+
+    #[test]
+    fn cases_disassemble(){
+        let c = &juliet_suite()[0];
+        let text = c.program.disassemble();
+        assert!(text.contains("malloc"));
+        assert!(text.contains("free"));
+    }
+
+    #[test]
+    fn cwe_split_matches_scenarios() {
+        let suite = juliet_suite();
+        let n562 = suite.iter().filter(|c| c.cwe == Cwe::Cwe562).count();
+        let n416 = suite.iter().filter(|c| c.cwe == Cwe::Cwe416).count();
+        assert_eq!(n416 + n562, SUITE_SIZE);
+        assert!(n562 >= 60, "all four CWE-562 scenarios present ({n562})");
+    }
+}

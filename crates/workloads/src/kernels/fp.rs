@@ -1,0 +1,483 @@
+//! Floating-point array kernels: `lbm`, `milc`, `equake`, `art`, `mesa`,
+//! `ammp`.
+//!
+//! These model SPEC's FP codes: large arrays streamed with FP arithmetic,
+//! few or no pointer-typed memory operations. Under conservative
+//! identification only their (integer) index tables are classified as
+//! potential pointer operations; under ISA-assisted identification almost
+//! nothing is — so they sit at the cheap end of Figs. 5 and 7.
+
+use crate::spec::Scale;
+use watchdog_isa::{AluOp, Cond, FpOp, FpWidth, Fpr, Gpr, Program, ProgramBuilder};
+
+fn g(n: u8) -> Gpr {
+    Gpr::new(n)
+}
+
+fn f(n: u8) -> Fpr {
+    Fpr::new(n)
+}
+
+/// `lbm`: a 2-D Jacobi/lattice-Boltzmann-style stencil sweep over two f64
+/// grids. Pure FP streaming; zero pointer operations.
+pub fn lbm(scale: Scale) -> Program {
+    const N: i64 = 64;
+    let sweeps = scale.factor() as i64;
+    let mut b = ProgramBuilder::new("lbm");
+    let grid_a = b.global_bytes((N * N * 8) as u64, 8);
+    let grid_b = b.global_bytes((N * N * 8) as u64, 8);
+    let (src, dst, y, x, addr, t, i, s, swp) = (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9));
+    let (nn, one) = (g(10), g(11));
+    let row = (N * 8) as i32;
+
+    // Init: grid_a[i] = (i & 7) as f64.
+    b.lea_global(src, grid_a);
+    b.li(i, 0);
+    b.li(nn, N * N);
+    let init = b.here();
+    b.alui(AluOp::And, t, i, 7);
+    b.i2f(f(0), t);
+    b.alui(AluOp::Shl, t, i, 3);
+    b.add(addr, src, t);
+    b.stf(f(0), addr, 0, FpWidth::F8);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, nn, init);
+
+    // Sweeps.
+    b.lea_global(src, grid_a);
+    b.lea_global(dst, grid_b);
+    b.li(s, 0);
+    b.li(one, sweeps);
+    b.fli(f(4), 0.25);
+    let sweep = b.here();
+    b.li(y, 1);
+    let yloop = b.here();
+    b.li(x, 1);
+    let xloop = b.here();
+    // addr = src + (y*N + x)*8
+    b.alui(AluOp::Shl, t, y, 6); // y*N
+    b.add(t, t, x);
+    b.alui(AluOp::Shl, t, t, 3);
+    b.add(addr, src, t);
+    b.ldf(f(0), addr, -row, FpWidth::F8);
+    b.ldf(f(1), addr, row, FpWidth::F8);
+    b.ldf(f(2), addr, -8, FpWidth::F8);
+    b.ldf(f(3), addr, 8, FpWidth::F8);
+    b.falu(FpOp::Add, f(0), f(0), f(1));
+    b.falu(FpOp::Add, f(2), f(2), f(3));
+    b.falu(FpOp::Add, f(0), f(0), f(2));
+    b.falu(FpOp::Mul, f(0), f(0), f(4));
+    b.alui(AluOp::Shl, t, y, 6);
+    b.add(t, t, x);
+    b.alui(AluOp::Shl, t, t, 3);
+    b.add(addr, dst, t);
+    b.stf(f(0), addr, 0, FpWidth::F8);
+    b.addi(x, x, 1);
+    b.li(t, N - 1);
+    b.branch(Cond::Lt, x, t, xloop);
+    b.addi(y, y, 1);
+    b.branch(Cond::Lt, y, t, yloop);
+    // Swap grids.
+    b.mov(swp, src);
+    b.mov(src, dst);
+    b.mov(dst, swp);
+    b.addi(s, s, 1);
+    b.branch(Cond::Lt, s, one, sweep);
+
+    // Checksum: center cell.
+    b.alui(AluOp::Add, addr, src, (N / 2 * N * 8 + N / 2 * 8) as i64);
+    b.ldf(f(0), addr, 0, FpWidth::F8);
+    b.f2i(g(0), f(0));
+    b.halt();
+    b.build().expect("lbm builds")
+}
+
+/// `milc`: lattice-QCD-flavoured kernel — per-site small-matrix updates
+/// with a 64-bit neighbor-index table (integer words that *conservative*
+/// identification must treat as pointers).
+pub fn milc(scale: Scale) -> Program {
+    const SITES: i64 = 2048;
+    let sweeps = 2 * scale.factor() as i64;
+    let mut b = ProgramBuilder::new("milc");
+    super::frame(&mut b, 32);
+    let lattice = b.global_bytes((SITES * 4 * 8) as u64, 8);
+    let links = b.global_bytes((SITES * 4 * 8) as u64, 8);
+    let nbr = b.global_bytes((SITES * 8) as u64, 8);
+    let (lat, lnk, nb, i, n, t, addr, s, lim, x) = (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10));
+
+    // Init: lattice/links values and a shuffled-ish neighbor table.
+    b.lea_global(lat, lattice);
+    b.lea_global(lnk, links);
+    b.lea_global(nb, nbr);
+    b.li(i, 0);
+    b.li(lim, SITES);
+    b.li(x, 0x1234_5678);
+    let init = b.here();
+    b.alui(AluOp::And, t, i, 15);
+    b.i2f(f(0), t);
+    b.alui(AluOp::Shl, t, i, 5);
+    b.add(addr, lat, t);
+    b.stf(f(0), addr, 0, FpWidth::F8);
+    b.stf(f(0), addr, 8, FpWidth::F8);
+    b.stf(f(0), addr, 16, FpWidth::F8);
+    b.stf(f(0), addr, 24, FpWidth::F8);
+    b.add(addr, lnk, t);
+    b.stf(f(0), addr, 0, FpWidth::F8);
+    b.stf(f(0), addr, 8, FpWidth::F8);
+    // nbr[i] = (i * 7 + 3) % SITES, a 64-bit integer word.
+    super::lcg_step(&mut b, x);
+    super::lcg_index(&mut b, t, x, SITES as u64);
+    b.alui(AluOp::Shl, n, i, 3);
+    b.add(addr, nb, n);
+    b.st8(t, addr, 0);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, init);
+
+    // Sweeps: site update with neighbor gather.
+    b.li(s, 0);
+    b.li(x, sweeps);
+    let sweep = b.here();
+    b.li(i, 0);
+    let site = b.here();
+    super::spill_reload(&mut b, lat, 0); // register-pressure spill
+    b.alui(AluOp::Shl, t, i, 3);
+    b.add(addr, nb, t);
+    b.ld8(n, addr, 0); // neighbor index: 64-bit integer load
+    b.alui(AluOp::Shl, n, n, 5);
+    b.add(addr, lat, n);
+    b.ldf(f(0), addr, 0, FpWidth::F8);
+    b.ldf(f(1), addr, 8, FpWidth::F8);
+    b.ldf(f(2), addr, 16, FpWidth::F8);
+    b.ldf(f(3), addr, 24, FpWidth::F8);
+    b.alui(AluOp::Shl, t, i, 5);
+    b.add(addr, lnk, t);
+    b.ldf(f(4), addr, 0, FpWidth::F8);
+    b.ldf(f(5), addr, 8, FpWidth::F8);
+    b.falu(FpOp::Mul, f(0), f(0), f(4));
+    b.falu(FpOp::Mul, f(1), f(1), f(5));
+    b.falu(FpOp::Add, f(0), f(0), f(1));
+    b.falu(FpOp::Mul, f(2), f(2), f(4));
+    b.falu(FpOp::Add, f(2), f(2), f(3));
+    b.add(addr, lat, t);
+    b.stf(f(0), addr, 0, FpWidth::F8);
+    b.stf(f(2), addr, 8, FpWidth::F8);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, site);
+    b.addi(s, s, 1);
+    b.branch(Cond::Lt, s, x, sweep);
+
+    b.lea_global(addr, lattice);
+    b.ldf(f(0), addr, 0, FpWidth::F8);
+    b.f2i(g(0), f(0));
+    b.halt();
+    b.build().expect("milc builds")
+}
+
+/// `equake`: sparse matrix–vector product in CSR form: 64-bit row
+/// pointers, 32-bit column indices, f64 values.
+pub fn equake(scale: Scale) -> Program {
+    const ROWS: i64 = 512;
+    const NNZ: i64 = 8; // per row
+    const COLS: u64 = 2048;
+    let sweeps = 2 * scale.factor() as i64;
+    let mut b = ProgramBuilder::new("equake");
+    super::frame(&mut b, 32);
+    let rowptr = b.global_bytes(((ROWS + 1) * 8) as u64, 8);
+    let colidx = b.global_bytes((ROWS * NNZ * 4) as u64, 8);
+    let vals = b.global_bytes((ROWS * NNZ * 8) as u64, 8);
+    let xvec = b.global_bytes(COLS * 8, 8);
+    let yvec = b.global_bytes((ROWS * 8) as u64, 8);
+    let (rp, ci, va, xv, yv) = (g(1), g(2), g(3), g(4), g(5));
+    let (i, t, addr, r, j, e, x) = (g(6), g(7), g(8), g(9), g(10), g(11), g(12));
+
+    b.lea_global(rp, rowptr);
+    b.lea_global(ci, colidx);
+    b.lea_global(va, vals);
+    b.lea_global(xv, xvec);
+    b.lea_global(yv, yvec);
+
+    // Init x.
+    b.li(i, 0);
+    b.li(e, COLS as i64);
+    let initx = b.here();
+    b.alui(AluOp::And, t, i, 31);
+    b.i2f(f(0), t);
+    b.alui(AluOp::Shl, t, i, 3);
+    b.add(addr, xv, t);
+    b.stf(f(0), addr, 0, FpWidth::F8);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, e, initx);
+    // Init row pointers (64-bit ints), columns (LCG) and values.
+    b.li(i, 0);
+    b.li(e, ROWS + 1);
+    let initrp = b.here();
+    b.alui(AluOp::Mul, t, i, NNZ);
+    b.alui(AluOp::Shl, j, i, 3);
+    b.add(addr, rp, j);
+    b.st8(t, addr, 0);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, e, initrp);
+    b.li(i, 0);
+    b.li(e, ROWS * NNZ);
+    b.li(x, 0xBEEF);
+    let initc = b.here();
+    super::lcg_step(&mut b, x);
+    super::lcg_index(&mut b, t, x, COLS);
+    b.alui(AluOp::Shl, j, i, 2);
+    b.add(addr, ci, j);
+    b.st4(t, addr, 0);
+    b.alui(AluOp::And, t, i, 7);
+    b.i2f(f(0), t);
+    b.alui(AluOp::Shl, j, i, 3);
+    b.add(addr, va, j);
+    b.stf(f(0), addr, 0, FpWidth::F8);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, e, initc);
+
+    // Sweeps: y = A*x.
+    b.li(r, 0); // reuse r as sweep counter via stack of loops
+    let (s, slim) = (g(13), g(14));
+    b.li(s, 0);
+    b.li(slim, sweeps);
+    let sweep = b.here();
+    b.li(r, 0);
+    b.li(e, ROWS);
+    let rowl = b.here();
+    super::spill_reload(&mut b, xv, 0); // register-pressure spill
+    b.alui(AluOp::Shl, t, r, 3);
+    b.add(addr, rp, t);
+    b.ld8(i, addr, 0); // row start (64-bit int load)
+    b.ld8(j, addr, 8); // row end
+    b.fli(f(1), 0.0);
+    let inner = b.here();
+    b.alui(AluOp::Shl, t, i, 2);
+    b.add(addr, ci, t);
+    b.ld4(t, addr, 0); // column index (32-bit)
+    b.alui(AluOp::Shl, t, t, 3);
+    b.add(addr, xv, t);
+    b.ldf(f(2), addr, 0, FpWidth::F8);
+    b.alui(AluOp::Shl, t, i, 3);
+    b.add(addr, va, t);
+    b.ldf(f(3), addr, 0, FpWidth::F8);
+    b.falu(FpOp::Mul, f(2), f(2), f(3));
+    b.falu(FpOp::Add, f(1), f(1), f(2));
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, j, inner);
+    b.alui(AluOp::Shl, t, r, 3);
+    b.add(addr, yv, t);
+    b.stf(f(1), addr, 0, FpWidth::F8);
+    b.addi(r, r, 1);
+    b.branch(Cond::Lt, r, e, rowl);
+    b.addi(s, s, 1);
+    b.branch(Cond::Lt, s, slim, sweep);
+
+    b.ldf(f(0), yv, 0, FpWidth::F8);
+    b.f2i(g(0), f(0));
+    b.halt();
+    b.build().expect("equake builds")
+}
+
+/// `art`: neural-network recognition — repeated dot products over an f64
+/// weight matrix with winner tracking via FP max.
+pub fn art(scale: Scale) -> Program {
+    const M: i64 = 8192;
+    let passes = scale.factor() as i64;
+    let mut b = ProgramBuilder::new("art");
+    let weights = b.global_bytes((M * 8) as u64, 8);
+    let input = b.global_bytes((M * 8) as u64, 8);
+    let (w, inp, i, t, addr, p, lim, plim) = (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8));
+
+    b.lea_global(w, weights);
+    b.lea_global(inp, input);
+    b.li(i, 0);
+    b.li(lim, M);
+    let init = b.here();
+    b.alui(AluOp::And, t, i, 63);
+    b.i2f(f(0), t);
+    b.alui(AluOp::Shl, t, i, 3);
+    b.add(addr, w, t);
+    b.stf(f(0), addr, 0, FpWidth::F8);
+    b.add(addr, inp, t);
+    b.stf(f(0), addr, 0, FpWidth::F8);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, init);
+
+    b.li(p, 0);
+    b.li(plim, passes);
+    b.fli(f(4), -1.0e30); // running max
+    let pass = b.here();
+    b.li(i, 0);
+    b.fli(f(1), 0.0);
+    let dot = b.here();
+    b.alui(AluOp::Shl, t, i, 3);
+    b.add(addr, w, t);
+    b.ldf(f(2), addr, 0, FpWidth::F8);
+    b.add(addr, inp, t);
+    b.ldf(f(3), addr, 0, FpWidth::F8);
+    b.falu(FpOp::Mul, f(2), f(2), f(3));
+    b.falu(FpOp::Add, f(1), f(1), f(2));
+    b.falu(FpOp::Max, f(4), f(4), f(2));
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, dot);
+    // Small weight update.
+    b.alui(AluOp::And, t, p, (M - 1) as i64);
+    b.alui(AluOp::Shl, t, t, 3);
+    b.add(addr, w, t);
+    b.stf(f(1), addr, 0, FpWidth::F8);
+    b.addi(p, p, 1);
+    b.branch(Cond::Lt, p, plim, pass);
+
+    b.f2i(g(0), f(4));
+    b.halt();
+    b.build().expect("art builds")
+}
+
+/// `mesa`: 3-D geometry pipeline — 4×4 matrix transform streamed over a
+/// vertex array.
+pub fn mesa(scale: Scale) -> Program {
+    const V: i64 = 1024;
+    let passes = scale.factor() as i64;
+    let mut b = ProgramBuilder::new("mesa");
+    super::frame(&mut b, 32);
+    let matrix = b.global_bytes(16 * 8, 8);
+    let verts = b.global_bytes((V * 4 * 8) as u64, 8);
+    let out = b.global_bytes((V * 4 * 8) as u64, 8);
+    let (mtx, vin, vout, i, t, addr, p, lim, plim, k) = (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10));
+
+    b.lea_global(mtx, matrix);
+    b.lea_global(vin, verts);
+    b.lea_global(vout, out);
+    // Init matrix and vertices.
+    b.li(i, 0);
+    b.li(lim, 16);
+    let initm = b.here();
+    b.alui(AluOp::And, t, i, 3);
+    b.i2f(f(0), t);
+    b.alui(AluOp::Shl, t, i, 3);
+    b.add(addr, mtx, t);
+    b.stf(f(0), addr, 0, FpWidth::F8);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, initm);
+    b.li(i, 0);
+    b.li(lim, V * 4);
+    let initv = b.here();
+    b.alui(AluOp::And, t, i, 15);
+    b.i2f(f(0), t);
+    b.alui(AluOp::Shl, t, i, 3);
+    b.add(addr, vin, t);
+    b.stf(f(0), addr, 0, FpWidth::F8);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, initv);
+
+    b.li(p, 0);
+    b.li(plim, passes);
+    let pass = b.here();
+    b.li(i, 0);
+    b.li(lim, V);
+    let vert = b.here();
+    super::spill_reload(&mut b, vin, 0); // register-pressure spill
+    b.alui(AluOp::Shl, t, i, 5); // vertex offset (4 doubles)
+    b.add(addr, vin, t);
+    b.ldf(f(0), addr, 0, FpWidth::F8);
+    b.ldf(f(1), addr, 8, FpWidth::F8);
+    b.ldf(f(2), addr, 16, FpWidth::F8);
+    b.ldf(f(3), addr, 24, FpWidth::F8);
+    // out[k] = dot(matrix_row_k, v) for k = 0..4
+    b.li(k, 0);
+    let comp = b.here();
+    b.alui(AluOp::Shl, t, k, 5);
+    b.add(addr, mtx, t);
+    b.ldf(f(4), addr, 0, FpWidth::F8);
+    b.ldf(f(5), addr, 8, FpWidth::F8);
+    b.ldf(f(6), addr, 16, FpWidth::F8);
+    b.ldf(f(7), addr, 24, FpWidth::F8);
+    b.falu(FpOp::Mul, f(4), f(4), f(0));
+    b.falu(FpOp::Mul, f(5), f(5), f(1));
+    b.falu(FpOp::Mul, f(6), f(6), f(2));
+    b.falu(FpOp::Mul, f(7), f(7), f(3));
+    b.falu(FpOp::Add, f(4), f(4), f(5));
+    b.falu(FpOp::Add, f(6), f(6), f(7));
+    b.falu(FpOp::Add, f(4), f(4), f(6));
+    b.alui(AluOp::Shl, t, i, 5);
+    b.add(addr, vout, t);
+    b.alui(AluOp::Shl, t, k, 3);
+    b.add(addr, addr, t);
+    b.stf(f(4), addr, 0, FpWidth::F8);
+    b.addi(k, k, 1);
+    b.li(t, 4);
+    b.branch(Cond::Lt, k, t, comp);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, vert);
+    b.addi(p, p, 1);
+    b.branch(Cond::Lt, p, plim, pass);
+
+    b.ldf(f(0), vout, 0, FpWidth::F8);
+    b.f2i(g(0), f(0));
+    b.halt();
+    b.build().expect("mesa builds")
+}
+
+/// `ammp`: molecular dynamics over heap-allocated atoms linked in a chain —
+/// FP force computation with one *real* pointer load per atom (the
+/// ISA-assisted case keeps exactly these).
+pub fn ammp(scale: Scale) -> Program {
+    const ATOMS: i64 = 1024;
+    let sweeps = 2 * scale.factor() as i64;
+    let mut b = ProgramBuilder::new("ammp");
+    let (head, cur, nxt, sz, i, lim, t) = (g(1), g(2), g(3), g(4), g(5), g(6), g(7));
+    let (s, slim, zero) = (g(8), g(9), g(13));
+
+    // Build the atom chain: [next:8][id:8][x:8][y:8][z:8][vx:8][vy:8][vz:8].
+    b.li(sz, 64);
+    b.li(head, 0);
+    b.li(i, 0);
+    b.li(lim, ATOMS);
+    let build = b.here();
+    b.malloc(nxt, sz);
+    b.st8(head, nxt, 0); // next = old head (pointer store)
+    b.st8(i, nxt, 8);
+    b.alui(AluOp::And, t, i, 31);
+    b.i2f(f(0), t);
+    b.stf(f(0), nxt, 16, FpWidth::F8);
+    b.stf(f(0), nxt, 24, FpWidth::F8);
+    b.stf(f(0), nxt, 32, FpWidth::F8);
+    b.mov(head, nxt);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, build);
+
+    // Force sweeps: chase the chain.
+    b.li(s, 0);
+    b.li(slim, sweeps);
+    b.fli(f(5), 0.5);
+    b.fli(f(6), 0.01);
+    let sweep = b.here();
+    b.mov(cur, head);
+    let atom = b.here();
+    b.ld8(nxt, cur, 0); // pointer load (real pointer)
+    b.ldf(f(0), cur, 16, FpWidth::F8);
+    b.ldf(f(1), cur, 24, FpWidth::F8);
+    b.ldf(f(2), cur, 32, FpWidth::F8);
+    b.falu(FpOp::Mul, f(3), f(0), f(5));
+    b.falu(FpOp::Add, f(3), f(3), f(1));
+    b.falu(FpOp::Mul, f(4), f(2), f(6));
+    b.falu(FpOp::Add, f(3), f(3), f(4));
+    b.stf(f(3), cur, 40, FpWidth::F8);
+    b.falu(FpOp::Add, f(0), f(0), f(6));
+    b.stf(f(0), cur, 16, FpWidth::F8);
+    b.mov(cur, nxt);
+    b.branch(Cond::Ne, cur, zero, atom);
+    b.addi(s, s, 1);
+    b.branch(Cond::Lt, s, slim, sweep);
+
+    // Checksum, then free the chain.
+    b.ldf(f(0), head, 16, FpWidth::F8);
+    b.f2i(g(0), f(0));
+    b.mov(cur, head);
+    let freel = b.here();
+    b.ld8(nxt, cur, 0);
+    b.free(cur);
+    b.mov(cur, nxt);
+    b.branch(Cond::Ne, cur, zero, freel);
+    b.halt();
+    b.build().expect("ammp builds")
+}

@@ -1,0 +1,721 @@
+//! Integer-compute kernels: `compress`, `gzip`, `bzip2`, `hmmer`, `ijpeg`,
+//! `h264`, `sjeng`, `go`, `gobmk`.
+//!
+//! These model SPEC's integer codes: table-driven compression, sorting,
+//! dynamic programming and game-tree evaluation. Their 64-bit integer
+//! table entries (hash heads, counters, piece lists) are exactly the
+//! traffic that *conservative* pointer identification must classify as
+//! potential pointers but ISA-assisted identification filters out — the
+//! bar-pair gap of Fig. 5. `hmmer` and `h264` are built branchless and
+//! memory-dense, reproducing their role as the benchmarks that suffer most
+//! without the lock-location cache (Fig. 9).
+
+use crate::spec::Scale;
+use watchdog_isa::{AluOp, Cond, Gpr, Program, ProgramBuilder};
+
+fn g(n: u8) -> Gpr {
+    Gpr::new(n)
+}
+
+/// Emits branchless `a = max(a, b)` using a sign mask (no mispredicts —
+/// keeps IPC high).
+fn emit_max(b: &mut ProgramBuilder, a: Gpr, bb: Gpr, t1: Gpr, t2: Gpr) {
+    b.alu(AluOp::Sub, t1, bb, a); // t1 = b - a
+    b.alu(AluOp::Slt, t2, a, bb); // t2 = (a < b)
+    b.li(g(14), 0);
+    b.alu(AluOp::Sub, t2, g(14), t2); // mask = 0 or -1
+    b.alu(AluOp::And, t1, t1, t2);
+    b.alu(AluOp::Add, a, a, t1);
+}
+
+/// `compress`: LZW-style coder — byte input stream, 64-bit code table
+/// probes, code emission.
+pub fn compress(scale: Scale) -> Program {
+    const INPUT: i64 = 8192;
+    const TABLE: u64 = 32768;
+    let passes = scale.factor() as i64;
+    let mut b = ProgramBuilder::new("comp");
+    super::frame(&mut b, 32);
+    let input = b.global_bytes(INPUT as u64, 8);
+    let table = b.global_bytes(TABLE * 8, 8);
+    let output = b.global_bytes(INPUT as u64 * 8, 8);
+    let (inp, tab, out, i, lim, byte, code, h, addr, t, p, plim, sum) =
+        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(12), g(0));
+
+    b.lea_global(inp, input);
+    b.lea_global(tab, table);
+    b.lea_global(out, output);
+    // Init input bytes from an LCG.
+    b.li(i, 0);
+    b.li(lim, INPUT);
+    b.li(t, 0xACE1);
+    let init = b.here();
+    super::lcg_step(&mut b, t);
+    b.alui(AluOp::Shr, byte, t, 40);
+    b.add(addr, inp, i);
+    b.st1(byte, addr, 0);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, init);
+
+    b.li(sum, 0);
+    b.li(p, 0);
+    b.li(plim, passes);
+    let pass = b.here();
+    b.li(i, 0);
+    b.li(code, 0);
+    let lp = b.here();
+    b.add(addr, inp, i);
+    b.ld1(byte, addr, 0);
+    // code = hash(code, byte)
+    b.alui(AluOp::Shl, code, code, 5);
+    b.alu(AluOp::Xor, code, code, byte);
+    b.alui(AluOp::And, h, code, (TABLE - 1) as i64);
+    b.alui(AluOp::Shl, t, h, 3);
+    b.add(addr, tab, t);
+    b.ld8(t, addr, 0); // 64-bit code-table probe
+    let hit = b.label();
+    let done = b.label();
+    b.branch(Cond::Eq, t, code, hit);
+    // Miss: install and emit (the table pointer spills under register
+    // pressure on this path, as in the original coder).
+    super::spill_reload(&mut b, tab, 0);
+    b.alui(AluOp::Shl, t, h, 3);
+    b.add(addr, tab, t);
+    b.st8(code, addr, 0);
+    b.alui(AluOp::And, t, i, (INPUT - 1) as i64);
+    b.alui(AluOp::Shl, t, t, 3);
+    b.add(addr, out, t);
+    b.st8(code, addr, 0);
+    b.li(code, 0);
+    b.jmp(done);
+    b.bind(hit);
+    b.add(sum, sum, t);
+    b.bind(done);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, lp);
+    b.addi(p, p, 1);
+    b.branch(Cond::Lt, p, plim, pass);
+    b.halt();
+    b.build().expect("comp builds")
+}
+
+/// `gzip`: LZ77-style matcher — 64-bit hash-head table, 32-bit previous
+/// chain, byte-wise match extension.
+pub fn gzip(scale: Scale) -> Program {
+    const WIN: i64 = 16384;
+    let positions = 1500 * scale.factor() as i64;
+    let mut b = ProgramBuilder::new("gzip");
+    super::frame(&mut b, 32);
+    let window = b.global_bytes(WIN as u64 * 2, 8);
+    let head = b.global_bytes(4096 * 8, 8);
+    let prev = b.global_bytes(WIN as u64 * 4, 8);
+    let (win, hd, pv, pos, lim, h, addr, t, cand, mlen, byte, x, sum) =
+        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(12), g(0));
+
+    b.lea_global(win, window);
+    b.lea_global(hd, head);
+    b.lea_global(pv, prev);
+    b.li(pos, 0);
+    b.li(lim, WIN * 2);
+    b.li(x, 0x1F2E);
+    let init = b.here();
+    super::lcg_step(&mut b, x);
+    b.alui(AluOp::Shr, t, x, 45); // small alphabet: repetitive input
+    b.add(addr, win, pos);
+    b.st1(t, addr, 0);
+    b.addi(pos, pos, 1);
+    b.branch(Cond::Lt, pos, lim, init);
+
+    b.li(sum, 0);
+    b.li(pos, 8);
+    b.li(lim, positions + 8);
+    let lp = b.here();
+    super::spill_reload(&mut b, win, 0); // register-pressure spill
+    // h = hash of 3 bytes at pos % WIN
+    b.alui(AluOp::And, t, pos, WIN - 1);
+    b.add(addr, win, t);
+    b.ld1(h, addr, 0);
+    b.ld1(byte, addr, 1);
+    b.alui(AluOp::Shl, h, h, 5);
+    b.alu(AluOp::Xor, h, h, byte);
+    b.ld1(byte, addr, 2);
+    b.alui(AluOp::Shl, h, h, 3);
+    b.alu(AluOp::Xor, h, h, byte);
+    b.alui(AluOp::And, h, h, 4095);
+    // cand = head[h]; head[h] = pos (64-bit words)
+    b.alui(AluOp::Shl, t, h, 3);
+    b.add(addr, hd, t);
+    b.ld8(cand, addr, 0);
+    b.st8(pos, addr, 0);
+    // prev[pos & mask] = cand (32-bit)
+    b.alui(AluOp::And, t, pos, WIN - 1);
+    b.alui(AluOp::Shl, t, t, 2);
+    b.add(addr, pv, t);
+    b.st4(cand, addr, 0);
+    // Match extension: compare up to 8 bytes.
+    b.li(mlen, 0);
+    let ext = b.label();
+    let stop = b.label();
+    b.bind(ext);
+    b.alui(AluOp::And, t, cand, WIN - 1);
+    b.add(addr, win, t);
+    b.add(addr, addr, mlen);
+    b.ld1(byte, addr, 0);
+    b.alui(AluOp::And, t, pos, WIN - 1);
+    b.add(addr, win, t);
+    b.add(addr, addr, mlen);
+    b.ld1(t, addr, 0);
+    b.branch(Cond::Ne, byte, t, stop);
+    b.addi(mlen, mlen, 1);
+    b.li(t, 8);
+    b.branch(Cond::Lt, mlen, t, ext);
+    b.bind(stop);
+    b.add(sum, sum, mlen);
+    b.addi(pos, pos, 1);
+    b.branch(Cond::Lt, pos, lim, lp);
+    b.halt();
+    b.build().expect("gzip builds")
+}
+
+/// `bzip2`: bucket-sort passes — 32-bit keys, 64-bit bucket counters.
+pub fn bzip2(scale: Scale) -> Program {
+    const N: i64 = 8192;
+    const BUCKETS: u64 = 2048;
+    let passes = scale.factor() as i64;
+    let mut b = ProgramBuilder::new("bzip2");
+    let keys = b.global_bytes(N as u64 * 4, 8);
+    let counts = b.global_bytes(BUCKETS * 8, 8);
+    let sorted = b.global_bytes(N as u64 * 4, 8);
+    let (ks, cn, so, i, lim, t, addr, k, p, plim, x, sum) =
+        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(0));
+
+    b.lea_global(ks, keys);
+    b.lea_global(cn, counts);
+    b.lea_global(so, sorted);
+    b.li(i, 0);
+    b.li(lim, N);
+    b.li(x, 0x5EED);
+    let init = b.here();
+    super::lcg_step(&mut b, x);
+    b.alui(AluOp::Shr, t, x, 33);
+    b.alui(AluOp::Shl, k, i, 2);
+    b.add(addr, ks, k);
+    b.st4(t, addr, 0);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, init);
+
+    b.li(sum, 0);
+    b.li(p, 0);
+    b.li(plim, passes);
+    let pass = b.here();
+    // Count pass.
+    b.li(i, 0);
+    let cl = b.here();
+    b.alui(AluOp::Shl, t, i, 2);
+    b.add(addr, ks, t);
+    b.ld4(k, addr, 0);
+    b.alui(AluOp::And, k, k, (BUCKETS - 1) as i64);
+    b.alui(AluOp::Shl, k, k, 3);
+    b.add(addr, cn, k);
+    b.ld8(t, addr, 0); // 64-bit counter
+    b.addi(t, t, 1);
+    b.st8(t, addr, 0);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, cl);
+    // Scatter pass (approximate: write key to bucket-indexed slot).
+    b.li(i, 0);
+    let sl = b.here();
+    b.alui(AluOp::Shl, t, i, 2);
+    b.add(addr, ks, t);
+    b.ld4(k, addr, 0);
+    b.alui(AluOp::And, t, k, N - 1);
+    b.alui(AluOp::Shl, t, t, 2);
+    b.add(addr, so, t);
+    b.st4(k, addr, 0);
+    b.add(sum, sum, k);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, sl);
+    b.addi(p, p, 1);
+    b.branch(Cond::Lt, p, plim, pass);
+    b.alui(AluOp::And, sum, sum, 0xFFFF_FFFF);
+    b.halt();
+    b.build().expect("bzip2 builds")
+}
+
+/// `hmmer`: profile-HMM Viterbi dynamic programming — dense 32-bit score
+/// rows, branchless max, very high IPC.
+pub fn hmmer(scale: Scale) -> Program {
+    const M: i64 = 96; // model states
+    const L: i64 = 32; // sequence length
+    let passes = scale.factor() as i64;
+    let mut b = ProgramBuilder::new("hmmer");
+    let mrow = b.global_bytes(M as u64 * 8 + 16, 8);
+    let irow = b.global_bytes(M as u64 * 4 + 8, 8);
+    let trans = b.global_bytes(M as u64 * 4 + 8, 8);
+    let (mr, ir, tr, i, jj, t1, t2, addr, sc, best, p, plim) =
+        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(12));
+
+    b.lea_global(mr, mrow);
+    b.lea_global(ir, irow);
+    b.lea_global(tr, trans);
+    b.li(i, 0);
+    b.li(t1, M);
+    let init = b.here();
+    b.alui(AluOp::Mul, t2, i, 7);
+    b.alui(AluOp::And, t2, t2, 127);
+    b.alui(AluOp::Shl, sc, i, 2);
+    b.add(addr, tr, sc);
+    b.st4(t2, addr, 0);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, t1, init);
+
+    b.li(best, 0);
+    b.li(p, 0);
+    b.li(plim, passes * L);
+    let row = b.here();
+    b.li(i, 1);
+    b.li(jj, M);
+    let cell = b.here();
+    // m[i] = max(m[i-1], i[i-1]) + trans[i]; the match row holds 64-bit
+    // scores (word-sized integers the conservative policy must shadow).
+    b.alui(AluOp::Shl, t1, i, 3);
+    b.add(addr, mr, t1);
+    b.ld8(sc, addr, -8);
+    b.alui(AluOp::Shl, t1, i, 2);
+    b.add(addr, ir, t1);
+    b.ld4(t2, addr, -4);
+    emit_max(&mut b, sc, t2, g(6), g(7));
+    b.alui(AluOp::Shl, t1, i, 2);
+    b.add(addr, tr, t1);
+    b.ld4(t2, addr, 0);
+    b.add(sc, sc, t2);
+    b.alui(AluOp::And, sc, sc, 0xFFFF);
+    b.alui(AluOp::Shl, t1, i, 3);
+    b.add(addr, mr, t1);
+    b.st8(sc, addr, 0);
+    b.alui(AluOp::Shl, t1, i, 2);
+    // i[i] = max(i[i], m[i]) (insertion state)
+    b.add(addr, ir, t1);
+    b.ld4(t2, addr, 0);
+    emit_max(&mut b, t2, sc, g(6), g(7));
+    b.st4(t2, addr, 0);
+    emit_max(&mut b, best, sc, g(6), g(7));
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, jj, cell);
+    b.addi(p, p, 1);
+    b.branch(Cond::Lt, p, plim, row);
+    b.mov(g(0), best);
+    b.halt();
+    b.build().expect("hmmer builds")
+}
+
+/// `ijpeg`: 8×8 integer DCT butterflies over 16-bit pixel blocks.
+pub fn ijpeg(scale: Scale) -> Program {
+    let blocks = 90 * scale.factor() as i64;
+    let mut b = ProgramBuilder::new("ijpeg");
+    let pixels = b.global_bytes(64 * 2, 8);
+    let coeffs = b.global_bytes(64 * 2, 8);
+    let (px, co, blk, blim, r, c, addr, a0, a1, a2, a3, t) =
+        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(12));
+
+    b.lea_global(px, pixels);
+    b.lea_global(co, coeffs);
+    // Init one block.
+    b.li(r, 0);
+    b.li(t, 64);
+    let init = b.here();
+    b.alui(AluOp::Mul, c, r, 13);
+    b.alui(AluOp::And, c, c, 255);
+    b.alui(AluOp::Shl, a0, r, 1);
+    b.add(addr, px, a0);
+    b.store(c, addr, 0, watchdog_isa::Width::B2);
+    b.addi(r, r, 1);
+    b.branch(Cond::Lt, r, t, init);
+
+    b.li(blk, 0);
+    b.li(blim, blocks);
+    let block = b.here();
+    b.li(r, 0);
+    let rowl = b.here();
+    // Load 4 pairs, butterfly, store.
+    b.alui(AluOp::Shl, t, r, 4); // row offset: r * 8 px * 2 bytes
+    b.add(addr, px, t);
+    b.load(a0, addr, 0, watchdog_isa::Width::B2);
+    b.load(a1, addr, 2, watchdog_isa::Width::B2);
+    b.load(a2, addr, 4, watchdog_isa::Width::B2);
+    b.load(a3, addr, 6, watchdog_isa::Width::B2);
+    b.alu(AluOp::Add, c, a0, a3);
+    b.alu(AluOp::Sub, a3, a0, a3);
+    b.alu(AluOp::Add, a0, a1, a2);
+    b.alu(AluOp::Sub, a2, a1, a2);
+    b.alu(AluOp::Add, a1, c, a0);
+    b.alu(AluOp::Sub, a0, c, a0);
+    b.alui(AluOp::Mul, a2, a2, 181);
+    b.alui(AluOp::Shr, a2, a2, 8);
+    b.add(addr, co, t);
+    b.store(a1, addr, 0, watchdog_isa::Width::B2);
+    b.store(a0, addr, 2, watchdog_isa::Width::B2);
+    b.store(a2, addr, 4, watchdog_isa::Width::B2);
+    b.store(a3, addr, 6, watchdog_isa::Width::B2);
+    b.load(a0, addr, 8, watchdog_isa::Width::B2);
+    b.load(a1, addr, 10, watchdog_isa::Width::B2);
+    b.alu(AluOp::Add, a0, a0, a1);
+    b.store(a0, addr, 8, watchdog_isa::Width::B2);
+    b.addi(r, r, 1);
+    b.li(t, 8);
+    b.branch(Cond::Lt, r, t, rowl);
+    b.addi(blk, blk, 1);
+    b.branch(Cond::Lt, blk, blim, block);
+    b.load(g(0), co, 0, watchdog_isa::Width::B2);
+    b.halt();
+    b.build().expect("ijpeg builds")
+}
+
+/// `h264`: sum-of-absolute-differences motion estimation — byte loads,
+/// branchless absolute value, very memory-dense.
+pub fn h264(scale: Scale) -> Program {
+    const BLOCK: i64 = 256; // 16x16
+    let searches = 5 * scale.factor() as i64;
+    let mut b = ProgramBuilder::new("h264");
+    let cur = b.global_bytes(BLOCK as u64, 8);
+    let refw = b.global_bytes((BLOCK + 512) as u64, 8);
+    let (cu, rf, s, slim, cand, i, addr, a, d, m, sad, best) =
+        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(12));
+
+    b.lea_global(cu, cur);
+    b.lea_global(rf, refw);
+    b.li(i, 0);
+    b.li(a, BLOCK + 512);
+    b.li(d, 0x77);
+    let init = b.here();
+    super::lcg_step(&mut b, d);
+    b.alui(AluOp::Shr, m, d, 48);
+    b.add(addr, rf, i);
+    b.st1(m, addr, 0);
+    b.li(m, BLOCK);
+    let skip = b.label();
+    b.branch(Cond::Geu, i, m, skip);
+    b.add(addr, cu, i);
+    b.alui(AluOp::Shr, m, d, 40);
+    b.st1(m, addr, 0);
+    b.bind(skip);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, a, init);
+
+    b.li(best, i64::MAX);
+    b.li(s, 0);
+    b.li(slim, searches);
+    let search = b.here();
+    b.li(cand, 0);
+    let cl = b.here();
+    b.li(sad, 0);
+    b.li(i, 0);
+    let pix = b.here();
+    b.add(addr, cu, i);
+    b.ld1(a, addr, 0);
+    b.alui(AluOp::Shl, d, cand, 6); // candidate offset = cand * 64
+    b.add(addr, rf, d);
+    b.add(addr, addr, i);
+    b.ld1(d, addr, 0);
+    b.alu(AluOp::Sub, d, a, d);
+    b.alui(AluOp::Sar, m, d, 63); // branchless abs
+    b.alu(AluOp::Xor, d, d, m);
+    b.alu(AluOp::Sub, d, d, m);
+    b.add(sad, sad, d);
+    b.addi(i, i, 1);
+    b.li(m, BLOCK);
+    b.branch(Cond::Lt, i, m, pix);
+    // best = min(best, sad), branchless.
+    b.alu(AluOp::Slt, m, sad, best);
+    b.li(d, 0);
+    b.alu(AluOp::Sub, m, d, m);
+    b.alu(AluOp::Sub, d, sad, best);
+    b.alu(AluOp::And, d, d, m);
+    b.alu(AluOp::Add, best, best, d);
+    b.addi(cand, cand, 1);
+    b.li(m, 8);
+    b.branch(Cond::Lt, cand, m, cl);
+    b.addi(s, s, 1);
+    b.branch(Cond::Lt, s, slim, search);
+    b.mov(g(0), best);
+    b.halt();
+    b.build().expect("h264 builds")
+}
+
+/// `sjeng`: chess evaluation — 64-bit piece-list words, byte board probes,
+/// piece-square tables, Zobrist-style hash probes into a transposition
+/// table.
+pub fn sjeng(scale: Scale) -> Program {
+    const PIECES: i64 = 16;
+    const TT: u64 = 8192;
+    let evals = 120 * scale.factor() as i64;
+    let mut b = ProgramBuilder::new("sjeng");
+    super::frame(&mut b, 32);
+    let board = b.global_bytes(64, 8);
+    let plist = b.global_bytes(PIECES as u64 * 8, 8);
+    let psq = b.global_bytes(64 * 4, 8);
+    let tt = b.global_bytes(TT * 8, 8);
+    let (bd, pl, pq, tb, e, elim, i, sq, pc, addr, t, hash, score) =
+        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(12), g(0));
+
+    b.lea_global(bd, board);
+    b.lea_global(pl, plist);
+    b.lea_global(pq, psq);
+    b.lea_global(tb, tt);
+    // Init board, piece list and piece-square table.
+    b.li(i, 0);
+    b.li(t, 64);
+    let init = b.here();
+    b.alui(AluOp::Mul, pc, i, 5);
+    b.alui(AluOp::And, pc, pc, 7);
+    b.add(addr, bd, i);
+    b.st1(pc, addr, 0);
+    b.alui(AluOp::Mul, pc, i, 11);
+    b.alui(AluOp::And, pc, pc, 127);
+    b.alui(AluOp::Shl, sq, i, 2);
+    b.add(addr, pq, sq);
+    b.st4(pc, addr, 0);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, t, init);
+    b.li(i, 0);
+    b.li(t, PIECES);
+    let initp = b.here();
+    b.alui(AluOp::Mul, sq, i, 13);
+    b.alui(AluOp::And, sq, sq, 63);
+    b.alui(AluOp::Shl, pc, i, 3);
+    b.add(addr, pl, pc);
+    b.st8(sq, addr, 0); // 64-bit square index
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, t, initp);
+
+    b.li(score, 0);
+    b.li(e, 0);
+    b.li(elim, evals);
+    let eval = b.here();
+    super::spill_reload(&mut b, bd, 0); // register-pressure spill
+    b.li(i, 0);
+    b.li(hash, 0x9E37);
+    let piece = b.here();
+    b.alui(AluOp::Shl, t, i, 3);
+    b.add(addr, pl, t);
+    b.ld8(sq, addr, 0); // piece list: 64-bit integer load
+    b.add(addr, bd, sq);
+    b.ld1(pc, addr, 0);
+    // Branchy piece dispatch.
+    let minor = b.label();
+    let major = b.label();
+    let donep = b.label();
+    b.alui(AluOp::And, t, pc, 4);
+    b.branch(Cond::Ne, t, g(13), major);
+    b.alui(AluOp::And, t, pc, 2);
+    b.branch(Cond::Ne, t, g(13), minor);
+    b.addi(score, score, 1); // pawn
+    b.jmp(donep);
+    b.bind(minor);
+    b.alui(AluOp::Shl, t, sq, 2);
+    b.add(addr, pq, t);
+    b.ld4(t, addr, 0);
+    b.add(score, score, t);
+    b.jmp(donep);
+    b.bind(major);
+    b.alui(AluOp::Shl, t, sq, 2);
+    b.add(addr, pq, t);
+    b.ld4(t, addr, 0);
+    b.alui(AluOp::Shl, t, t, 1);
+    b.add(score, score, t);
+    b.bind(donep);
+    // Zobrist-ish hash mix + TT probe.
+    b.alu(AluOp::Xor, hash, hash, sq);
+    b.alui(AluOp::Mul, hash, hash, 0x100000001B3u64 as i64);
+    b.addi(i, i, 1);
+    b.li(t, PIECES);
+    b.branch(Cond::Lt, i, t, piece);
+    b.alui(AluOp::Shr, t, hash, 33);
+    b.alui(AluOp::And, t, t, (TT - 1) as i64);
+    b.alui(AluOp::Shl, t, t, 3);
+    b.add(addr, tb, t);
+    b.ld8(t, addr, 0); // transposition-table probe (64-bit)
+    let miss = b.label();
+    b.branch(Cond::Ne, t, hash, miss);
+    b.addi(score, score, 16);
+    b.bind(miss);
+    b.alui(AluOp::Shr, t, hash, 33);
+    b.alui(AluOp::And, t, t, (TT - 1) as i64);
+    b.alui(AluOp::Shl, t, t, 3);
+    b.add(addr, tb, t);
+    b.st8(hash, addr, 0);
+    // Perturb one piece's square so evals differ.
+    b.alui(AluOp::And, t, e, PIECES - 1);
+    b.alui(AluOp::Shl, t, t, 3);
+    b.add(addr, pl, t);
+    b.ld8(sq, addr, 0);
+    b.addi(sq, sq, 17);
+    b.alui(AluOp::And, sq, sq, 63);
+    b.st8(sq, addr, 0);
+    b.addi(e, e, 1);
+    b.branch(Cond::Lt, e, elim, eval);
+    b.alui(AluOp::And, score, score, 0xFFFF_FFFF);
+    b.halt();
+    b.build().expect("sjeng builds")
+}
+
+/// `go`: territory flood fill — byte board, an explicit heap-allocated
+/// worklist of board *pointers* (real pointer pushes/pops, as gnugo's
+/// dragon code keeps `char *` positions).
+pub fn go(scale: Scale) -> Program {
+    const DIM: i64 = 32; // padded board
+    let fills = 8 * scale.factor() as i64;
+    let mut b = ProgramBuilder::new("go");
+    let board = b.global_bytes((DIM * DIM) as u64, 8);
+    let (bd, wl, sp, pos, t, addr, x, fcnt, flim, nb, sz, sum) =
+        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(0));
+
+    b.lea_global(bd, board);
+    b.li(sz, (DIM * DIM * 8) as i64);
+    b.malloc(wl, sz); // worklist on the heap
+    b.li(sum, 0);
+    b.li(fcnt, 0);
+    b.li(flim, fills);
+    b.li(x, 0x60D);
+    let fill = b.here();
+    // Re-seed the board: 25% walls, 75% empty.
+    b.li(pos, 0);
+    b.li(t, DIM * DIM);
+    let seed = b.here();
+    super::lcg_step(&mut b, x);
+    b.alui(AluOp::Shr, nb, x, 62); // 0..3
+    b.alui(AluOp::Sltu, nb, nb, 1); // wall iff the draw was 0
+    b.add(addr, bd, pos);
+    b.st1(nb, addr, 0);
+    b.addi(pos, pos, 1);
+    b.branch(Cond::Lt, pos, t, seed);
+    // Push a start *pointer*.
+    super::lcg_step(&mut b, x);
+    super::lcg_index(&mut b, t, x, (DIM * DIM) as u64);
+    b.add(pos, bd, t); // pos is a board pointer
+    b.st8(pos, wl, 0); // pointer store
+    b.li(sp, 1);
+    // Pop loop.
+    let pop = b.label();
+    let done = b.label();
+    b.bind(pop);
+    b.branch(Cond::Eq, sp, g(13), done);
+    b.addi(sp, sp, -1);
+    b.alui(AluOp::Shl, t, sp, 3);
+    b.add(addr, wl, t);
+    b.ld8(pos, addr, 0); // worklist pop (pointer load)
+    b.ld1(t, pos, 0);
+    b.branch(Cond::Ne, t, g(13), pop); // not empty: skip
+    b.li(t, 9);
+    b.st1(t, pos, 0); // mark territory
+    b.addi(sum, sum, 1);
+    // Push 4 neighbour pointers (guarded by the padded border).
+    for delta in [1i64, -1, DIM, -DIM] {
+        let skip = b.label();
+        b.lea(nb, pos, delta as i32);
+        b.alu(AluOp::Sub, t, nb, bd); // back to an index for the guard
+        b.li(addr, DIM * DIM);
+        b.branch(Cond::Geu, t, addr, skip);
+        b.alui(AluOp::Shl, t, sp, 3);
+        b.add(addr, wl, t);
+        b.st8(nb, addr, 0); // pointer store
+        b.addi(sp, sp, 1);
+        b.bind(skip);
+    }
+    // Worklist overflow guard.
+    b.li(t, DIM * DIM - 8);
+    b.branch(Cond::Lt, sp, t, pop);
+    b.bind(done);
+    b.addi(fcnt, fcnt, 1);
+    b.branch(Cond::Lt, fcnt, flim, fill);
+    b.free(wl);
+    b.halt();
+    b.build().expect("go builds")
+}
+
+/// `gobmk`: pattern matching — board scans against a delta-encoded pattern
+/// library.
+pub fn gobmk(scale: Scale) -> Program {
+    const DIM: i64 = 32;
+    const PATTERNS: i64 = 4;
+    const DELTAS: i64 = 8;
+    let passes = scale.factor() as i64;
+    let mut b = ProgramBuilder::new("gobmk");
+    super::frame(&mut b, 32);
+    let board = b.global_bytes((DIM * DIM) as u64, 8);
+    let pats = b.global_bytes((PATTERNS * DELTAS * 8) as u64, 8);
+    let (bd, pt, pos, t, addr, p, d, v, x, matches, lim, pass) =
+        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(0), g(10), g(11));
+
+    b.lea_global(bd, board);
+    b.lea_global(pt, pats);
+    // Init board and the pattern library (deltas + expected colour packed
+    // into 32-bit entries).
+    b.li(pos, 0);
+    b.li(lim, DIM * DIM);
+    b.li(x, 0x60B);
+    let initb = b.here();
+    super::lcg_step(&mut b, x);
+    b.alui(AluOp::Shr, t, x, 62);
+    b.add(addr, bd, pos);
+    b.st1(t, addr, 0);
+    b.addi(pos, pos, 1);
+    b.branch(Cond::Lt, pos, lim, initb);
+    b.li(p, 0);
+    b.li(lim, PATTERNS * DELTAS);
+    let initp = b.here();
+    b.alui(AluOp::Mul, t, p, 37);
+    b.alui(AluOp::And, t, t, 63);
+    b.alui(AluOp::Shl, v, p, 3);
+    b.add(addr, pt, v);
+    b.st8(t, addr, 0); // 64-bit pattern entry
+
+    b.addi(p, p, 1);
+    b.branch(Cond::Lt, p, lim, initp);
+
+    // Scan: every interior point × every pattern × every delta.
+    b.li(matches, 0);
+    b.li(pass, 0);
+    let passes_lim = g(12);
+    b.li(passes_lim, passes);
+    let scan = b.here();
+    b.li(pos, DIM + 1);
+    b.li(lim, DIM * DIM - DIM - 1);
+    let point = b.here();
+    super::spill_reload(&mut b, pt, 0); // register-pressure spill
+    b.li(p, 0);
+    let pat = b.here();
+    b.li(d, 0);
+    let fail = b.label();
+    let next_pat = b.label();
+    let delta = b.here();
+    // entry = pats[p*DELTAS + d]; offset = entry & 63; want = entry >> 6 & 3
+    b.alui(AluOp::Shl, t, p, 3);
+    b.add(t, t, d);
+    b.alui(AluOp::Shl, t, t, 3);
+    b.add(addr, pt, t);
+    b.ld8(v, addr, 0); // 64-bit pattern entry
+    b.alui(AluOp::And, t, v, 63);
+    b.add(addr, bd, pos);
+    b.add(addr, addr, t);
+    b.ld1(t, addr, -32); // probe around the point
+    b.alui(AluOp::Shr, v, v, 6);
+    b.alui(AluOp::And, v, v, 3);
+    b.branch(Cond::Ne, t, v, fail);
+    b.addi(d, d, 1);
+    b.li(t, DELTAS);
+    b.branch(Cond::Lt, d, t, delta);
+    b.addi(matches, matches, 1); // full pattern match
+    b.jmp(next_pat);
+    b.bind(fail);
+    b.bind(next_pat);
+    b.addi(p, p, 1);
+    b.li(t, PATTERNS);
+    b.branch(Cond::Lt, p, t, pat);
+    b.addi(pos, pos, 1);
+    b.branch(Cond::Lt, pos, lim, point);
+    b.addi(pass, pass, 1);
+    b.branch(Cond::Lt, pass, passes_lim, scan);
+    b.halt();
+    b.build().expect("gobmk builds")
+}

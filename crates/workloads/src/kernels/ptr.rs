@@ -1,0 +1,551 @@
+//! Pointer-chasing and allocation-intensive kernels: `mcf`, `twolf`,
+//! `vpr`, `gcc`, `perl`.
+//!
+//! These model SPEC's pointer codes: graph traversal over heap-allocated
+//! nodes, placement with object churn, tree building/tearing with deep
+//! recursion, and chained hash tables. They move *real* pointers through
+//! memory constantly, so both identification policies classify a large
+//! fraction of their accesses as pointer operations — the expensive right
+//! end of Figs. 5, 7 and 10. `gcc` and `perl` additionally stress the
+//! allocation path (identifier allocation, lock-location recycling) and
+//! the stack-frame identifier µops via deep recursion.
+
+use crate::spec::Scale;
+use watchdog_isa::{AluOp, Cond, Gpr, Program, ProgramBuilder};
+
+fn g(n: u8) -> Gpr {
+    Gpr::new(n)
+}
+
+/// `mcf`: network-simplex-flavoured kernel — a node chain plus an arc
+/// array of node *pointers*, chased and updated every sweep.
+pub fn mcf(scale: Scale) -> Program {
+    const NODES: i64 = 1024;
+    const ARCS: i64 = 2048;
+    let sweeps = 2 * scale.factor() as i64;
+    let mut b = ProgramBuilder::new("mcf");
+    // Node: [next:8][val:8][cost:8][pad:8]
+    let (head, cur, nxt, sz, i, lim, t, addr, ntab, arcs, x, s) =
+        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(12));
+    let zero = g(13);
+
+    // node-pointer table and arc array live on the heap.
+    b.li(sz, NODES * 8);
+    b.malloc(ntab, sz);
+    b.li(sz, ARCS * 8);
+    b.malloc(arcs, sz);
+    // Build the node chain, recording each node's pointer in ntab.
+    b.li(sz, 32);
+    b.li(head, 0);
+    b.li(i, 0);
+    b.li(lim, NODES);
+    let build = b.here();
+    b.malloc(nxt, sz);
+    b.st8(head, nxt, 0); // next (pointer store)
+    b.st8(i, nxt, 8); // val
+    b.alui(AluOp::Mul, t, i, 3);
+    b.alui(AluOp::And, t, t, 255);
+    b.st4(t, nxt, 16); // cost (32-bit, like mcf's int fields)
+    b.alui(AluOp::Shl, t, i, 3);
+    b.add(addr, ntab, t);
+    b.st8(nxt, addr, 0); // node table (pointer store)
+    b.mov(head, nxt);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, build);
+    // Arcs: random node pointers.
+    b.li(i, 0);
+    b.li(lim, ARCS);
+    b.li(x, 0x3C0F);
+    let arcinit = b.here();
+    super::lcg_step(&mut b, x);
+    super::lcg_index(&mut b, t, x, NODES as u64);
+    b.alui(AluOp::Shl, t, t, 3);
+    b.add(addr, ntab, t);
+    b.ld8(cur, addr, 0); // node pointer load
+    b.alui(AluOp::Shl, t, i, 3);
+    b.add(addr, arcs, t);
+    b.st8(cur, addr, 0); // arc: pointer store
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, arcinit);
+
+    // Sweeps: arc scan (pointer loads) + chain chase.
+    b.li(s, 0);
+    b.li(g(14), sweeps);
+    let sweep = b.here();
+    b.li(i, 0);
+    b.li(lim, ARCS);
+    let arcl = b.here();
+    b.alui(AluOp::Shl, t, i, 3);
+    b.add(addr, arcs, t);
+    b.ld8(cur, addr, 0); // pointer load
+    b.ld8(t, cur, 8); // val
+    b.ld4(nxt, cur, 16); // cost (32-bit)
+    b.add(t, t, nxt);
+    b.st8(t, cur, 8);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, arcl);
+    // Chain chase.
+    b.mov(cur, head);
+    let chase = b.here();
+    b.ld8(t, cur, 8);
+    b.add(g(0), g(0), t);
+    b.ld8(cur, cur, 0); // pointer chase
+    b.branch(Cond::Ne, cur, zero, chase);
+    b.addi(s, s, 1);
+    b.branch(Cond::Lt, s, g(14), sweep);
+
+    // Teardown.
+    b.mov(cur, head);
+    let fr = b.here();
+    b.ld8(nxt, cur, 0);
+    b.free(cur);
+    b.mov(cur, nxt);
+    b.branch(Cond::Ne, cur, zero, fr);
+    b.free(ntab);
+    b.free(arcs);
+    b.alui(AluOp::And, g(0), g(0), 0xFFFF_FFFF);
+    b.halt();
+    b.build().expect("mcf builds")
+}
+
+/// `twolf`: standard-cell placement — heap cell structs, random pairwise
+/// swap attempts, periodic object churn (free + realloc).
+pub fn twolf(scale: Scale) -> Program {
+    const CELLS: i64 = 1024;
+    let iters = 1000 * scale.factor() as i64;
+    let mut b = ProgramBuilder::new("twolf");
+    // Cell: [x:4][y:4][score:8][spare:16]
+    let (tab, c1, c2, sz, i, lim, t, addr, x, xa, ya, xb) =
+        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(12));
+
+    b.li(sz, CELLS * 8);
+    b.malloc(tab, sz);
+    b.li(sz, 32);
+    b.li(i, 0);
+    b.li(lim, CELLS);
+    let build = b.here();
+    b.malloc(c1, sz);
+    b.alui(AluOp::Mul, t, i, 7);
+    b.alui(AluOp::And, t, t, 1023);
+    b.st4(t, c1, 0); // x
+    b.alui(AluOp::Mul, t, i, 13);
+    b.alui(AluOp::And, t, t, 1023);
+    b.st4(t, c1, 4); // y
+    b.st8(i, c1, 8); // score
+    b.alui(AluOp::Shl, t, i, 3);
+    b.add(addr, tab, t);
+    b.st8(c1, addr, 0); // cell table (pointer store)
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, build);
+
+    b.li(i, 0);
+    b.li(lim, iters);
+    b.li(x, 0x70_1F);
+    let iter = b.here();
+    // Pick two random cells.
+    super::lcg_step(&mut b, x);
+    super::lcg_index(&mut b, t, x, CELLS as u64);
+    b.alui(AluOp::Shl, t, t, 3);
+    b.add(addr, tab, t);
+    b.ld8(c1, addr, 0); // pointer load
+    super::lcg_step(&mut b, x);
+    super::lcg_index(&mut b, t, x, CELLS as u64);
+    b.alui(AluOp::Shl, t, t, 3);
+    b.add(addr, tab, t);
+    b.ld8(c2, addr, 0); // pointer load
+    // Swap coordinates if it "improves" the layout (xa+yb < xb+ya).
+    b.ld4(xa, c1, 0);
+    b.ld4(ya, c1, 4);
+    b.ld4(xb, c2, 0);
+    let noswap = b.label();
+    b.alu(AluOp::Add, t, xa, xb);
+    b.alui(AluOp::And, t, t, 1);
+    b.branch(Cond::Eq, t, g(13), noswap);
+    b.st4(xb, c1, 0);
+    b.st4(xa, c2, 0);
+    b.bind(noswap);
+    // Update scores (64-bit words).
+    b.ld8(t, c1, 8);
+    b.add(t, t, xa);
+    b.st8(t, c1, 8);
+    // Every 64th iteration: churn — free one cell and reallocate it.
+    let nochurn = b.label();
+    b.alui(AluOp::And, t, i, 63);
+    b.branch(Cond::Ne, t, g(13), nochurn);
+    super::lcg_step(&mut b, x);
+    super::lcg_index(&mut b, t, x, CELLS as u64);
+    b.alui(AluOp::Shl, t, t, 3);
+    b.add(addr, tab, t);
+    b.ld8(c1, addr, 0);
+    b.free(c1);
+    b.li(sz, 32);
+    b.malloc(c1, sz);
+    b.st4(i, c1, 0);
+    b.st8(i, c1, 8);
+    b.st8(c1, addr, 0); // fresh pointer replaces the stale one
+    b.bind(nochurn);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, iter);
+
+    // Checksum then teardown.
+    b.ld8(c1, tab, 0);
+    b.ld8(g(0), c1, 8);
+    b.li(i, 0);
+    b.li(lim, CELLS);
+    let fr = b.here();
+    b.alui(AluOp::Shl, t, i, 3);
+    b.add(addr, tab, t);
+    b.ld8(c1, addr, 0);
+    b.free(c1);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, fr);
+    b.free(tab);
+    b.alui(AluOp::And, g(0), g(0), 0xFFFF_FFFF);
+    b.halt();
+    b.build().expect("twolf builds")
+}
+
+/// `vpr`: routing-cost relaxation over an adjacency array of node
+/// pointers.
+pub fn vpr(scale: Scale) -> Program {
+    const V: i64 = 1024;
+    const DEG: i64 = 4;
+    let sweeps = 2 * scale.factor() as i64;
+    let mut b = ProgramBuilder::new("vpr");
+    // Node: [cost:4][est:4][pad:8]; adjacency: V*DEG node pointers.
+    let (ntab, adj, n, m, sz, i, k, lim, t, addr, x, s) =
+        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(12));
+
+    b.li(sz, V * 8);
+    b.malloc(ntab, sz);
+    b.li(sz, V * DEG * 8);
+    b.malloc(adj, sz);
+    b.li(sz, 16);
+    b.li(i, 0);
+    b.li(lim, V);
+    let build = b.here();
+    b.malloc(n, sz);
+    b.alui(AluOp::Mul, t, i, 37);
+    b.alui(AluOp::And, t, t, 4095);
+    b.st4(t, n, 0);
+    b.st4(t, n, 4);
+    b.alui(AluOp::Shl, t, i, 3);
+    b.add(addr, ntab, t);
+    b.st8(n, addr, 0);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, build);
+    // Adjacency.
+    b.li(i, 0);
+    b.li(lim, V * DEG);
+    b.li(x, 0xF00D);
+    let ainit = b.here();
+    super::lcg_step(&mut b, x);
+    super::lcg_index(&mut b, t, x, V as u64);
+    b.alui(AluOp::Shl, t, t, 3);
+    b.add(addr, ntab, t);
+    b.ld8(n, addr, 0);
+    b.alui(AluOp::Shl, t, i, 3);
+    b.add(addr, adj, t);
+    b.st8(n, addr, 0);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, ainit);
+
+    // Relaxation sweeps.
+    b.li(s, 0);
+    b.li(g(14), sweeps);
+    let sweep = b.here();
+    b.li(i, 0);
+    b.li(lim, V);
+    let node = b.here();
+    b.alui(AluOp::Shl, t, i, 3);
+    b.add(addr, ntab, t);
+    b.ld8(n, addr, 0); // node pointer
+    b.ld4(x, n, 0); // own cost
+    b.li(k, 0);
+    let edge = b.here();
+    b.alui(AluOp::Mul, t, i, DEG);
+    b.add(t, t, k);
+    b.alui(AluOp::Shl, t, t, 3);
+    b.add(addr, adj, t);
+    b.ld8(m, addr, 0); // neighbour pointer
+    b.ld4(t, m, 0);
+    b.addi(t, t, 1);
+    // x = min(x, t), branchless.
+    b.alu(AluOp::Slt, addr, t, x);
+    b.alu(AluOp::Sub, addr, g(13), addr);
+    b.alu(AluOp::Sub, t, t, x);
+    b.alu(AluOp::And, t, t, addr);
+    b.alu(AluOp::Add, x, x, t);
+    b.addi(k, k, 1);
+    b.li(t, DEG);
+    b.branch(Cond::Lt, k, t, edge);
+    b.st4(x, n, 0);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, node);
+    b.addi(s, s, 1);
+    b.branch(Cond::Lt, s, g(14), sweep);
+
+    b.ld8(n, ntab, 0);
+    b.ld4(g(0), n, 0);
+    // Teardown.
+    b.li(i, 0);
+    b.li(lim, V);
+    let fr = b.here();
+    b.alui(AluOp::Shl, t, i, 3);
+    b.add(addr, ntab, t);
+    b.ld8(n, addr, 0);
+    b.free(n);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, fr);
+    b.free(ntab);
+    b.free(adj);
+    b.halt();
+    b.build().expect("vpr builds")
+}
+
+/// `gcc`: AST-like binary-tree build / recursive traversal / teardown,
+/// repeated — allocation-intensive with deep call recursion (heavy on both
+/// heap-identifier work and the Fig. 3c/3d stack-frame µops).
+pub fn gcc(scale: Scale) -> Program {
+    const KEYS: i64 = 400;
+    let rounds = scale.factor() as i64;
+    let mut b = ProgramBuilder::new("gcc");
+    // Node: [left:8][right:8][key:8][pad:8]
+    let (root, cur, node, sz, i, t, x, stk, sp, r) =
+        (g(1), g(2), g(3), g(4), g(5), g(7), g(8), g(9), g(10), g(11));
+    let (zero, acc) = (g(13), g(6)); // g6 is free outside the build loops
+    let rsp = Gpr::RSP;
+
+    let sum_fn = b.label();
+    let main_done = b.label();
+    let round_top = b.label();
+
+    // ---- main ----
+    b.li(sz, KEYS * 8);
+    b.malloc(stk, sz); // explicit stack for teardown
+    b.li(r, 0);
+    b.bind(round_top);
+    // Build a BST of KEYS nodes with LCG keys.
+    b.li(sz, 32);
+    b.malloc(root, sz);
+    b.st8(zero, root, 0);
+    b.st8(zero, root, 8);
+    b.li(t, 500);
+    b.st8(t, root, 16);
+    b.li(i, 1);
+    b.li(g(12), KEYS);
+    b.li(x, 0x5CA1E);
+    let insert = b.here();
+    super::lcg_step(&mut b, x);
+    super::lcg_index(&mut b, t, x, 1024);
+    b.malloc(node, sz);
+    b.st8(zero, node, 0);
+    b.st8(zero, node, 8);
+    b.st8(t, node, 16);
+    // Chase from the root to a leaf.
+    b.mov(cur, root);
+    let descend = b.here();
+    let go_right = b.label();
+    let attach_l = b.label();
+    let attach_r = b.label();
+    let attached = b.label();
+    b.ld8(g(14), cur, 16); // cur->key
+    b.branch(Cond::Geu, t, g(14), go_right);
+    b.ld8(g(14), cur, 0); // left child (pointer load)
+    b.branch(Cond::Eq, g(14), zero, attach_l);
+    b.mov(cur, g(14));
+    b.jmp(descend);
+    b.bind(go_right);
+    b.ld8(g(14), cur, 8); // right child
+    b.branch(Cond::Eq, g(14), zero, attach_r);
+    b.mov(cur, g(14));
+    b.jmp(descend);
+    b.bind(attach_l);
+    b.st8(node, cur, 0); // pointer store
+    b.jmp(attached);
+    b.bind(attach_r);
+    b.st8(node, cur, 8);
+    b.bind(attached);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, g(12), insert);
+
+    // Recursive sum (arg in g5/cur → use g5 = i? g5 is `i`; pass in g2=cur).
+    b.li(acc, 0);
+    b.mov(cur, root);
+    b.call(sum_fn);
+    b.add(g(0), g(0), acc);
+
+    // Teardown with an explicit pointer stack.
+    b.st8(root, stk, 0);
+    b.li(sp, 1);
+    let pop = b.here();
+    let done_free = b.label();
+    b.branch(Cond::Eq, sp, zero, done_free);
+    b.addi(sp, sp, -1);
+    b.alui(AluOp::Shl, t, sp, 3);
+    b.add(g(12), stk, t);
+    b.ld8(node, g(12), 0); // pop (pointer load)
+    for off in [0i32, 8] {
+        let skip = b.label();
+        b.ld8(cur, node, off);
+        b.branch(Cond::Eq, cur, zero, skip);
+        b.alui(AluOp::Shl, t, sp, 3);
+        b.add(g(12), stk, t);
+        b.st8(cur, g(12), 0); // push child
+        b.addi(sp, sp, 1);
+        b.bind(skip);
+    }
+    b.free(node);
+    b.jmp(pop);
+    b.bind(done_free);
+    b.addi(r, r, 1);
+    b.li(t, rounds);
+    b.branch(Cond::Lt, r, t, round_top);
+    b.free(stk);
+    b.alui(AluOp::And, g(0), g(0), 0xFFFF_FFFF);
+    b.jmp(main_done);
+
+    // ---- fn sum(cur=g2): acc(g6) += subtree keys; clobbers g2, g14 ----
+    b.bind(sum_fn);
+    b.alui(AluOp::Sub, rsp, rsp, 16);
+    b.st8(cur, rsp, 0); // save node (pointer store to stack)
+    b.ld8(g(14), cur, 16);
+    b.add(acc, acc, g(14));
+    b.ld8(cur, cur, 0); // left
+    let no_left = b.label();
+    b.branch(Cond::Eq, cur, zero, no_left);
+    b.call(sum_fn);
+    b.bind(no_left);
+    b.ld8(g(14), rsp, 0); // restore node (pointer load from stack)
+    b.ld8(cur, g(14), 8); // right
+    let no_right = b.label();
+    b.branch(Cond::Eq, cur, zero, no_right);
+    b.call(sum_fn);
+    b.bind(no_right);
+    b.alui(AluOp::Add, rsp, rsp, 16);
+    b.ret();
+
+    b.bind(main_done);
+    b.halt();
+    b.build().expect("gcc builds")
+}
+
+/// `perl`: chained hash table — byte-string hashing, bucket chains of
+/// heap nodes, mixed insert/lookup/delete with live churn.
+pub fn perl(scale: Scale) -> Program {
+    const BUCKETS: u64 = 512;
+    let ops = 1200 * scale.factor() as i64;
+    let mut b = ProgramBuilder::new("perl");
+    let blob = b.global_bytes(256, 8);
+    // Node: [next:8][key:8][val:8][pad:8]
+    let (tab, node, cur, prev, sz, i, lim, t, addr, x, h, key) =
+        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(12));
+    let zero = g(13);
+
+    // Init the string blob.
+    b.lea_global(addr, blob);
+    b.li(i, 0);
+    b.li(lim, 256);
+    b.li(x, 0x9E37);
+    let initb = b.here();
+    super::lcg_step(&mut b, x);
+    b.alui(AluOp::Shr, t, x, 50);
+    b.add(h, addr, i);
+    b.st1(t, h, 0);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, initb);
+
+    b.li(sz, (BUCKETS * 8) as i64);
+    b.malloc(tab, sz);
+    b.li(i, 0);
+    b.li(lim, ops);
+    b.li(x, 0xCAFE);
+    let op = b.here();
+    // "String" hash: 4 byte loads from the blob mixed into an LCG key.
+    super::lcg_step(&mut b, x);
+    b.alui(AluOp::Shr, key, x, 40);
+    b.lea_global(addr, blob);
+    b.alui(AluOp::And, t, key, 255);
+    b.add(t, addr, t);
+    b.ld1(h, t, 0);
+    b.ld1(g(14), t, 1);
+    b.alui(AluOp::Shl, h, h, 8);
+    b.alu(AluOp::Or, h, h, g(14));
+    b.alu(AluOp::Xor, key, key, h);
+    b.alui(AluOp::And, h, key, (BUCKETS - 1) as i64);
+    b.alui(AluOp::Shl, h, h, 3);
+    b.add(addr, tab, h); // &bucket
+    // Dispatch on key bits: 0 = insert, 1 = lookup, 2..3 = lookup+delete.
+    b.alui(AluOp::Shr, t, key, 9);
+    b.alui(AluOp::And, t, t, 3);
+    let do_lookup = b.label();
+    let do_delete = b.label();
+    let next_op = b.label();
+    b.branch(Cond::Eq, t, zero, do_delete);
+    b.li(g(14), 1);
+    b.branch(Cond::Geu, t, g(14), do_lookup);
+    b.bind(do_lookup);
+    {
+        // Walk the chain comparing keys.
+        b.ld8(cur, addr, 0); // bucket head (pointer load)
+        let walk = b.here();
+        let found = b.label();
+        b.branch(Cond::Eq, cur, zero, next_op);
+        b.ld8(t, cur, 8);
+        b.branch(Cond::Eq, t, key, found);
+        b.ld8(cur, cur, 0); // chain chase
+        b.jmp(walk);
+        b.bind(found);
+        b.ld8(t, cur, 16);
+        b.add(g(0), g(0), t);
+        b.jmp(next_op);
+    }
+    b.bind(do_delete);
+    {
+        // Insert, and if the chain grows beyond 2, delete from the head.
+        b.li(sz, 32);
+        b.malloc(node, sz);
+        b.ld8(cur, addr, 0);
+        b.st8(cur, node, 0); // node->next = head
+        b.st8(key, node, 8);
+        b.st8(i, node, 16);
+        b.st8(node, addr, 0); // head = node
+        // Count two links; delete the third if present.
+        b.ld8(cur, addr, 0);
+        b.ld8(prev, cur, 0);
+        let short_chain = b.label();
+        b.branch(Cond::Eq, prev, zero, short_chain);
+        b.ld8(t, prev, 0);
+        b.branch(Cond::Eq, t, zero, short_chain);
+        // unlink t from prev, free it
+        b.ld8(g(14), t, 0);
+        b.st8(g(14), prev, 0);
+        b.free(t);
+        b.bind(short_chain);
+    }
+    b.bind(next_op);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, op);
+
+    // Teardown: free every chain.
+    b.li(i, 0);
+    b.li(lim, BUCKETS as i64);
+    let bl = b.here();
+    b.alui(AluOp::Shl, t, i, 3);
+    b.add(addr, tab, t);
+    b.ld8(cur, addr, 0);
+    let chain = b.here();
+    let empty = b.label();
+    b.branch(Cond::Eq, cur, zero, empty);
+    b.ld8(node, cur, 0);
+    b.free(cur);
+    b.mov(cur, node);
+    b.jmp(chain);
+    b.bind(empty);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, lim, bl);
+    b.free(tab);
+    b.alui(AluOp::And, g(0), g(0), 0xFFFF_FFFF);
+    b.halt();
+    b.build().expect("perl builds")
+}

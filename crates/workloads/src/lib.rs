@@ -1,0 +1,32 @@
+//! Workloads for the Watchdog reproduction.
+//!
+//! * [`kernels`] — twenty synthetic kernels named after the twenty SPEC C
+//!   benchmarks the paper evaluates (§9.1). Each kernel reproduces its
+//!   namesake's *behavioural profile* — pointer density, FP intensity,
+//!   allocation rate, working-set size and branch behaviour — which is what
+//!   Figures 5–11 are sensitive to. They are not the SPEC sources (which
+//!   are proprietary); DESIGN.md documents the substitution.
+//! * [`juliet`] — a generator for the NIST Juliet-style use-after-free
+//!   suite: 291 attack cases across CWE-416 (use after free) and CWE-562
+//!   (return of stack variable address), each with a benign twin for
+//!   false-positive testing (§9.2).
+//! * [`spec`] — the benchmark registry: name → builder, with the paper's
+//!   ordering.
+//!
+//! # Example
+//!
+//! ```
+//! use watchdog_workloads::{benchmark, Scale};
+//! let program = benchmark("mcf").expect("known benchmark").build(Scale::Test);
+//! assert_eq!(program.name(), "mcf");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod juliet;
+pub mod kernels;
+pub mod spec;
+
+pub use juliet::{benign_suite, juliet_suite, Cwe, JulietCase};
+pub use spec::{all_benchmarks, benchmark, BenchSpec, Category, Scale};

@@ -1,0 +1,40 @@
+//! Sweep all twenty SPEC-lookalike kernels under the main modes and print
+//! a compact overhead summary — a miniature of Figures 5 and 7.
+//!
+//! Run with: `cargo run --release --example benchmark_sweep`
+
+use watchdog::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "bench", "base kIPC", "ptr% cons", "ptr% isa", "ovh cons", "ovh isa"
+    );
+    let mut cons_all = Vec::new();
+    let mut isa_all = Vec::new();
+    for spec in all_benchmarks() {
+        let p = spec.build(Scale::Test);
+        let base = Simulator::new(SimConfig::timed(Mode::Baseline)).run(&p)?;
+        let cons = Simulator::new(SimConfig::timed(Mode::watchdog_conservative())).run(&p)?;
+        let isa = Simulator::new(SimConfig::timed(Mode::watchdog())).run(&p)?;
+        let oc = cons.slowdown_vs(&base);
+        let oi = isa.slowdown_vs(&base);
+        cons_all.push(oc);
+        isa_all.push(oi);
+        println!(
+            "{:<8} {:>10.2} {:>9.1}% {:>11.1}% {:>11.1}% {:>9.1}%",
+            spec.name,
+            base.timing.as_ref().map_or(0.0, |t| t.ipc()),
+            cons.ptr_fraction() * 100.0,
+            isa.ptr_fraction() * 100.0,
+            oc * 100.0,
+            oi * 100.0
+        );
+    }
+    let gm = |xs: &[f64]| {
+        watchdog::core::report::geomean_overhead(xs) * 100.0
+    };
+    println!("\nGeo. mean overhead: conservative {:.1}%, ISA-assisted {:.1}%", gm(&cons_all), gm(&isa_all));
+    println!("(paper: 25% and 15%)");
+    Ok(())
+}

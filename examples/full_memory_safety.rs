@@ -1,0 +1,63 @@
+//! Full memory safety: the §8 bounds extension catches spatial violations
+//! (buffer overflows) on top of temporal ones, with the fused-µop and
+//! split-µop implementations of Fig. 11.
+//!
+//! Run with: `cargo run --example full_memory_safety`
+
+use watchdog::prelude::*;
+
+/// A classic linear buffer overflow: write one element past the end of a
+/// heap array (off-by-one in the loop bound).
+fn overflow_program() -> Program {
+    let mut b = ProgramBuilder::new("overflow");
+    let (buf, sz, i, n, addr, v) =
+        (Gpr::new(0), Gpr::new(1), Gpr::new(2), Gpr::new(3), Gpr::new(4), Gpr::new(5));
+    b.li(sz, 64); // 8 elements
+    b.malloc(buf, sz);
+    b.li(i, 0);
+    b.li(n, 9); // off-by-one: writes 9 elements
+    let top = b.here();
+    b.alui(AluOp::Mul, addr, i, 8);
+    b.add(addr, buf, addr);
+    b.li(v, 0x41);
+    b.st8(v, addr, 0);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, n, top);
+    b.free(buf);
+    b.halt();
+    b.build().expect("builds")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = overflow_program();
+    println!("Off-by-one heap overflow (writes 9 elements into an 8-element buffer)\n");
+
+    let modes = [
+        Mode::Baseline,
+        Mode::watchdog(), // temporal only: overflow is invisible
+        Mode::WatchdogBounds { ptr: PointerId::IsaAssisted, uops: BoundsUops::Fused },
+        Mode::WatchdogBounds { ptr: PointerId::IsaAssisted, uops: BoundsUops::Split },
+    ];
+    for mode in modes {
+        let report = Simulator::new(SimConfig::functional(mode)).run(&program)?;
+        match report.violation {
+            Some(v) => println!("{:<36} DETECTED: {v}", mode.label()),
+            None => println!("{:<36} overflow undetected", mode.label()),
+        }
+    }
+
+    // Cost of full memory safety on a real kernel (Fig. 11's comparison).
+    println!("\nCost of full memory safety on `gzip` (Test scale):");
+    let k = benchmark("gzip").expect("registered").build(Scale::Test);
+    let base = Simulator::new(SimConfig::timed(Mode::Baseline)).run(&k)?;
+    for mode in [
+        Mode::watchdog(),
+        Mode::WatchdogBounds { ptr: PointerId::IsaAssisted, uops: BoundsUops::Fused },
+        Mode::WatchdogBounds { ptr: PointerId::IsaAssisted, uops: BoundsUops::Split },
+    ] {
+        let r = Simulator::new(SimConfig::timed(mode)).run(&k)?;
+        println!("  {:<36} {:+.1}% runtime", mode.label(), r.slowdown_vs(&base) * 100.0);
+    }
+    println!("(paper: UAF-only 15%, +bounds 1 µop 18%, +bounds 2 µops 24%)");
+    Ok(())
+}

@@ -1,0 +1,190 @@
+//! `watchdog-cli` — command-line driver for the simulator.
+//!
+//! ```text
+//! watchdog-cli list                         # registered benchmarks
+//! watchdog-cli modes                        # available modes
+//! watchdog-cli run mcf --mode isa           # simulate one benchmark
+//! watchdog-cli run perl --mode cons --scale ref --sampled
+//! watchdog-cli juliet                       # run the §9.2 security suite
+//! ```
+
+use watchdog::prelude::*;
+use watchdog::workloads::{benign_suite, juliet_suite};
+
+fn parse_mode(s: &str) -> Option<Mode> {
+    Some(match s {
+        "baseline" | "base" => Mode::Baseline,
+        "location" | "location-based" => Mode::LocationBased,
+        "cons" | "conservative" => Mode::watchdog_conservative(),
+        "isa" | "watchdog" | "isa-assisted" => Mode::watchdog(),
+        "no-ll" | "no-lock-cache" => {
+            Mode::Watchdog { ptr: PointerId::IsaAssisted, lock_cache: false, ideal_shadow: false }
+        }
+        "ideal-shadow" => {
+            Mode::Watchdog { ptr: PointerId::IsaAssisted, lock_cache: true, ideal_shadow: true }
+        }
+        "bounds1" | "bounds-fused" => {
+            Mode::WatchdogBounds { ptr: PointerId::IsaAssisted, uops: BoundsUops::Fused }
+        }
+        "bounds2" | "bounds-split" => {
+            Mode::WatchdogBounds { ptr: PointerId::IsaAssisted, uops: BoundsUops::Split }
+        }
+        _ => return None,
+    })
+}
+
+fn parse_scale(s: &str) -> Option<Scale> {
+    Some(match s {
+        "test" => Scale::Test,
+        "small" => Scale::Small,
+        "ref" | "reference" => Scale::Reference,
+        _ => return None,
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  watchdog-cli list\n  watchdog-cli modes\n  watchdog-cli run <bench> \
+         [--mode <mode>] [--scale test|small|ref] [--functional] [--sampled]\n  watchdog-cli juliet [--mode <mode>]"
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
+}
+
+fn cmd_list() {
+    println!("{:<8} {:<8}", "name", "category");
+    for b in all_benchmarks() {
+        println!("{:<8} {:?}", b.name, b.category);
+    }
+}
+
+fn cmd_modes() {
+    for m in [
+        "baseline", "location", "cons", "isa", "no-ll", "ideal-shadow", "bounds1", "bounds2",
+    ] {
+        println!("{:<14} -> {}", m, parse_mode(m).unwrap().label());
+    }
+}
+
+fn cmd_run(args: &[String]) {
+    let Some(name) = args.first() else { usage() };
+    let Some(spec) = benchmark(name) else {
+        eprintln!("unknown benchmark {name:?}; see `watchdog-cli list`");
+        std::process::exit(2);
+    };
+    let mode = flag_value(args, "--mode").map_or(Mode::watchdog(), |m| {
+        parse_mode(&m).unwrap_or_else(|| {
+            eprintln!("unknown mode {m:?}; see `watchdog-cli modes`");
+            std::process::exit(2);
+        })
+    });
+    let scale = flag_value(args, "--scale").map_or(Scale::Small, |s| {
+        parse_scale(&s).unwrap_or_else(|| {
+            eprintln!("unknown scale {s:?}");
+            std::process::exit(2);
+        })
+    });
+    let functional = args.iter().any(|a| a == "--functional");
+    let sampled = args.iter().any(|a| a == "--sampled");
+    let cfg = if functional {
+        SimConfig::functional(mode)
+    } else if sampled {
+        SimConfig::sampled(mode, Sampling::dense())
+    } else {
+        SimConfig::timed(mode)
+    };
+
+    let program = spec.build(scale);
+    let report = match Simulator::new(cfg).run(&program) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("benchmark:       {} ({:?}, {scale:?})", spec.name, spec.category);
+    println!("mode:            {}", report.mode);
+    println!("instructions:    {}", report.machine.insts);
+    println!("mem accesses:    {}", report.machine.mem_accesses);
+    println!(
+        "pointer ops:     {} ({:.1}%)",
+        report.machine.ptr_classified,
+        report.ptr_fraction() * 100.0
+    );
+    println!(
+        "heap:            {} mallocs, {} frees, {} reused, peak {} bytes",
+        report.heap.mallocs, report.heap.frees, report.heap.reused, report.heap.peak_live_bytes
+    );
+    println!(
+        "footprint:       {} data words, {} shadow words, {} lock words ({:.1}% / {:.1}% word/page overhead)",
+        report.footprint.data_words,
+        report.footprint.shadow_words,
+        report.footprint.lock_words,
+        report.word_overhead() * 100.0,
+        report.page_overhead() * 100.0
+    );
+    if let Some(t) = &report.timing {
+        println!("cycles:          {} (IPC {:.2})", t.cycles, t.ipc());
+        println!("uops:            {} ({:+.1}% over baseline µops)", t.uops, t.uop_overhead() * 100.0);
+        let [base, check, pl, ps, prop, alloc] = t.uops_by_tag;
+        println!("  by tag:        base {base}, checks {check}, ptr-loads {pl}, ptr-stores {ps}, propagate {prop}, alloc {alloc}");
+        println!(
+            "bpred:           {:.2} cond mispredicts/1k branches; {} returns ({} mispredicted)",
+            t.bpred.mpki(),
+            t.bpred.returns,
+            t.bpred.ret_mispredicts
+        );
+        println!(
+            "caches:          L1D {:.2}% miss, LL$ {:.3} misses/1k insts, L2 {:.2}% miss",
+            t.hierarchy.l1d.miss_rate() * 100.0,
+            t.hierarchy.ll_mpk(t.insts),
+            t.hierarchy.l2.miss_rate() * 100.0
+        );
+        println!(
+            "rename:          {} copies eliminated, {} metadata allocs (high water {})",
+            t.rename.eliminated_copies, t.rename.meta_allocs, t.rename.meta_high_water
+        );
+    }
+    match report.violation {
+        Some(v) => println!("violation:       {v}"),
+        None => println!("violation:       none"),
+    }
+}
+
+fn cmd_juliet(args: &[String]) {
+    let mode = flag_value(args, "--mode")
+        .map_or(Mode::watchdog_conservative(), |m| parse_mode(&m).unwrap_or_else(|| usage()));
+    let sim = Simulator::new(SimConfig::functional(mode));
+    let (mut detected, mut missed, mut fp) = (0, 0, 0);
+    for case in juliet_suite() {
+        let r = sim.run(&case.program).expect("case runs");
+        if r.violation.map(|v| v.kind) == case.expected {
+            detected += 1;
+        } else {
+            missed += 1;
+        }
+    }
+    for case in benign_suite() {
+        if sim.run(&case.program).expect("case runs").violation.is_some() {
+            fp += 1;
+        }
+    }
+    println!("mode:            {}", mode.label());
+    println!("bad detected:    {detected}/291 (missed or wrong kind: {missed})");
+    println!("false positives: {fp}/291");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("modes") => cmd_modes(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("juliet") => cmd_juliet(&args[1..]),
+        _ => usage(),
+    }
+}

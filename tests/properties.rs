@@ -1,0 +1,149 @@
+//! Property-based tests (proptest) on the system's core invariants.
+
+use proptest::prelude::*;
+use watchdog::core::runtime::HeapAllocator;
+use watchdog::isa::layout::{shadow_addr, META_BYTES_BOUNDS, META_BYTES_ID};
+use watchdog::prelude::*;
+
+fn g(n: u8) -> Gpr {
+    Gpr::new(n)
+}
+
+proptest! {
+    /// The shadow mapping is injective and order-preserving on word
+    /// addresses — two different words never share a metadata record.
+    #[test]
+    fn shadow_mapping_is_injective(a in 0u64..0x7000_0000, b in 0u64..0x7000_0000) {
+        let (wa, wb) = (a & !7, b & !7);
+        for meta in [META_BYTES_ID, META_BYTES_BOUNDS] {
+            if wa != wb {
+                prop_assert_ne!(shadow_addr(wa, meta), shadow_addr(wb, meta));
+            }
+            if wa < wb {
+                prop_assert!(shadow_addr(wa, meta) < shadow_addr(wb, meta));
+            }
+        }
+    }
+
+    /// Sub-word addresses map to their containing word's record.
+    #[test]
+    fn shadow_mapping_is_word_granular(a in 0u64..0x7000_0000, off in 0u64..8) {
+        let w = a & !7;
+        prop_assert_eq!(shadow_addr(w, META_BYTES_ID), shadow_addr(w + off, META_BYTES_ID));
+    }
+
+    /// Under any malloc/free sequence, live allocations never overlap and
+    /// double frees are always reported.
+    #[test]
+    fn allocator_never_overlaps_live_chunks(ops in proptest::collection::vec((0u8..2, 1u64..5000), 1..120)) {
+        let mut h = HeapAllocator::new();
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (op, size) in ops {
+            if op == 0 {
+                let m = h.malloc(size).expect("heap is large enough for this test");
+                for (a, e) in &live {
+                    prop_assert!(m.addr + m.size <= *a || m.addr >= *e,
+                        "overlap: [{:#x},{:#x}) vs [{a:#x},{e:#x})", m.addr, m.addr + m.size);
+                }
+                prop_assert!(m.size >= size);
+                live.push((m.addr, m.addr + m.size));
+            } else if let Some((a, _)) = live.pop() {
+                prop_assert!(h.free(a).is_some(), "freeing a live chunk must succeed");
+                prop_assert!(h.free(a).is_none(), "double free must be reported");
+            }
+        }
+        prop_assert_eq!(h.live_count(), live.len());
+    }
+
+    /// A benign program — allocate, write/read within bounds through
+    /// derived pointers, free — never violates under any checking mode and
+    /// computes the same result everywhere.
+    #[test]
+    fn no_false_positives_on_random_benign_programs(
+        words in 2u64..64,
+        offsets in proptest::collection::vec(0u64..64, 1..24),
+        seed in 0u64..1000,
+    ) {
+        let mut b = ProgramBuilder::new("prop");
+        let (p, q, sz, v, acc) = (g(0), g(1), g(2), g(3), g(4));
+        b.li(sz, (words * 8) as i64);
+        b.malloc(p, sz);
+        b.li(acc, seed as i64);
+        for (k, off) in offsets.iter().enumerate() {
+            let off = (off % words) * 8;
+            // Derive a pointer via arithmetic, store, reload, accumulate.
+            b.lea(q, p, off as i32);
+            b.li(v, (seed + k as u64) as i64);
+            b.st8(v, q, 0);
+            b.ld8(v, q, 0);
+            b.add(acc, acc, v);
+        }
+        b.free(p);
+        b.halt();
+        let program = b.build().unwrap();
+
+        let mut results = Vec::new();
+        for mode in [
+            Mode::Baseline,
+            Mode::LocationBased,
+            Mode::watchdog_conservative(),
+            Mode::watchdog(),
+            Mode::WatchdogBounds { ptr: PointerId::Conservative, uops: BoundsUops::Fused },
+            Mode::WatchdogBounds { ptr: PointerId::Conservative, uops: BoundsUops::Split },
+        ] {
+            let r = Simulator::new(SimConfig::functional(mode)).run(&program).unwrap();
+            prop_assert!(r.violation.is_none(), "false positive under {}: {:?}", mode.label(), r.violation);
+            results.push(r.machine.insts);
+        }
+        prop_assert!(results.windows(2).all(|w| w[0] == w[1]), "instruction counts diverged: {results:?}");
+    }
+
+    /// Any dereference after free is detected regardless of how the
+    /// pointer was derived (arithmetic chain depth, alias count).
+    #[test]
+    fn uaf_is_always_detected_through_derived_pointers(
+        hops in 1usize..8,
+        off in 0i32..7,
+    ) {
+        let mut b = ProgramBuilder::new("prop-uaf");
+        let (p, q, sz) = (g(0), g(1), g(2));
+        b.li(sz, 128);
+        b.malloc(p, sz);
+        b.mov(q, p);
+        for _ in 0..hops {
+            b.addi(q, q, off as i64);    // copy-eliminated metadata
+            b.lea(q, q, -off);           // and back, via lea
+        }
+        b.free(p);
+        b.ld8(g(3), q, 0);
+        b.halt();
+        let program = b.build().unwrap();
+        let r = Simulator::new(SimConfig::functional(Mode::watchdog_conservative())).run(&program).unwrap();
+        prop_assert_eq!(r.violation.map(|v| v.kind), Some(ViolationKind::UseAfterFree));
+    }
+
+    /// Bounds checking admits every in-bounds access and rejects every
+    /// out-of-bounds one, at exact byte granularity. Sizes are exact
+    /// allocator classes so the usable size equals the requested size
+    /// (malloc may round up otherwise, legally widening the bounds).
+    #[test]
+    fn bounds_are_byte_precise(words_pow in 1u32..6, past in 0u64..4) {
+        let words = 1u64 << words_pow;
+        let size = words * 8;
+        let mut b = ProgramBuilder::new("prop-bounds");
+        let (p, sz, v) = (g(0), g(1), g(2));
+        b.li(sz, size as i64);
+        b.malloc(p, sz);
+        // Last fully in-bounds word:
+        b.ld8(v, p, (size - 8) as i32);
+        // First word `past` words past the end:
+        b.ld8(v, p, (size + past * 8) as i32);
+        b.halt();
+        let program = b.build().unwrap();
+        let mode = Mode::WatchdogBounds { ptr: PointerId::Conservative, uops: BoundsUops::Fused };
+        let r = Simulator::new(SimConfig::functional(mode)).run(&program).unwrap();
+        let v = r.violation.expect("past-the-end load must be caught");
+        prop_assert_eq!(v.kind, ViolationKind::OutOfBounds);
+        prop_assert_eq!(v.pc_index, 3, "the in-bounds load (instruction 2) must pass");
+    }
+}

@@ -14,13 +14,18 @@ use watchdog_workloads::all_benchmarks;
 fn main() {
     let scale = scale_from_args();
     println!("\n== Ablation: lock-location cache size sweep ==");
-    println!("{:<8} {:>12} {:>22}", "LL$ size", "geo overhead", "benchmarks < 1 mpki");
+    println!(
+        "{:<8} {:>12} {:>22}",
+        "LL$ size", "geo overhead", "benchmarks < 1 mpki"
+    );
 
     // Baselines once.
     let mut base_cycles = std::collections::BTreeMap::new();
     for spec in all_benchmarks() {
         let p = spec.build(scale);
-        let r = Simulator::new(SimConfig::timed(Mode::Baseline)).run(&p).unwrap();
+        let r = Simulator::new(SimConfig::timed(Mode::Baseline))
+            .run(&p)
+            .unwrap();
         base_cycles.insert(spec.name.to_string(), r.cycles());
     }
 
@@ -38,7 +43,12 @@ fn main() {
                 low_mpk += 1;
             }
         }
-        println!("{:>5}KB  {:>12} {:>19}/20", kb, pct(geomean(&overheads)), low_mpk);
+        println!(
+            "{:>5}KB  {:>12} {:>19}/20",
+            kb,
+            pct(geomean(&overheads)),
+            low_mpk
+        );
     }
     let _ = figure_order();
     println!("(paper: not particularly sensitive; 4KB gives <1 miss/1k insts on 17/20)");

@@ -12,4 +12,3 @@ fn main() {
     watchdog_bench::figs::fig10(scale);
     watchdog_bench::figs::fig11(scale);
 }
-

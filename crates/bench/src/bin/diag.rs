@@ -6,7 +6,11 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let name = args.get(1).map(String::as_str).unwrap_or("milc");
     let p = benchmark(name).expect("known benchmark").build(Scale::Test);
-    for mode in [Mode::Baseline, Mode::watchdog_conservative(), Mode::watchdog()] {
+    for mode in [
+        Mode::Baseline,
+        Mode::watchdog_conservative(),
+        Mode::watchdog(),
+    ] {
         let r = Simulator::new(SimConfig::timed(mode)).run(&p).unwrap();
         let t = r.timing.as_ref().unwrap();
         println!(

@@ -5,7 +5,7 @@
 use crate::{figure_order, geomean, mean, pct, print_table, run_suite, run_suite_functional};
 use watchdog_core::prelude::*;
 use watchdog_core::PointerId;
-use watchdog_workloads::{juliet_suite, benign_suite, Scale};
+use watchdog_workloads::{benign_suite, juliet_suite, Scale};
 
 /// Figure 5: percentage of memory accesses classified as pointer
 /// operations, conservative vs ISA-assisted (paper: 31% / 18% average).
@@ -34,7 +34,11 @@ pub fn fig05(scale: Scale) {
 /// Figure 7: runtime overhead of use-after-free checking, conservative vs
 /// ISA-assisted identification (paper: 25% / 15% geometric mean).
 pub fn fig07(scale: Scale) {
-    let modes = [Mode::Baseline, Mode::watchdog_conservative(), Mode::watchdog()];
+    let modes = [
+        Mode::Baseline,
+        Mode::watchdog_conservative(),
+        Mode::watchdog(),
+    ];
     let results = run_suite(&modes, scale);
     let mut rows = Vec::new();
     let (mut cons, mut isa) = (Vec::new(), Vec::new());
@@ -47,7 +51,10 @@ pub fn fig07(scale: Scale) {
         isa.push(a);
         rows.push((name, vec![pct(c), pct(a)]));
     }
-    rows.push(("Geo. mean".into(), vec![pct(geomean(&cons)), pct(geomean(&isa))]));
+    rows.push((
+        "Geo. mean".into(),
+        vec![pct(geomean(&cons)), pct(geomean(&isa))],
+    ));
     print_table(
         "Figure 7: runtime overhead, conservative vs ISA-assisted",
         &["conservative", "ISA-assisted"],
@@ -77,7 +84,13 @@ pub fn fig08(scale: Scale) {
     }
     rows.push((
         "avg".into(),
-        vec![pct(mean(&tc)), pct(mean(&tl)), pct(mean(&ts)), pct(mean(&to)), pct(mean(&tt))],
+        vec![
+            pct(mean(&tc)),
+            pct(mean(&tl)),
+            pct(mean(&ts)),
+            pct(mean(&to)),
+            pct(mean(&tt)),
+        ],
     ));
     print_table(
         "Figure 8: µop overhead breakdown (ISA-assisted)",
@@ -90,7 +103,11 @@ pub fn fig08(scale: Scale) {
 /// Figure 9: runtime overhead with and without the 4KB lock-location
 /// cache (paper: 15% vs 24% geometric mean; hmmer/h264 hit hardest).
 pub fn fig09(scale: Scale) {
-    let no_ll = Mode::Watchdog { ptr: PointerId::IsaAssisted, lock_cache: false, ideal_shadow: false };
+    let no_ll = Mode::Watchdog {
+        ptr: PointerId::IsaAssisted,
+        lock_cache: false,
+        ideal_shadow: false,
+    };
     let modes = [Mode::Baseline, Mode::watchdog(), no_ll];
     let results = run_suite(&modes, scale);
     let mut rows = Vec::new();
@@ -104,7 +121,10 @@ pub fn fig09(scale: Scale) {
         without.push(wo);
         rows.push((name, vec![pct(w), pct(wo)]));
     }
-    rows.push(("Geo. mean".into(), vec![pct(geomean(&with)), pct(geomean(&without))]));
+    rows.push((
+        "Geo. mean".into(),
+        vec![pct(geomean(&with)), pct(geomean(&without))],
+    ));
     print_table(
         "Figure 9: overhead with vs without the lock-location cache",
         &["with LL$", "without LL$"],
@@ -126,7 +146,11 @@ pub fn fig09(scale: Scale) {
 
 /// §9.3 ablation: idealized shadow accesses (paper: 15% → 11%).
 pub fn ablation_ideal_shadow(scale: Scale) {
-    let ideal = Mode::Watchdog { ptr: PointerId::IsaAssisted, lock_cache: true, ideal_shadow: true };
+    let ideal = Mode::Watchdog {
+        ptr: PointerId::IsaAssisted,
+        lock_cache: true,
+        ideal_shadow: true,
+    };
     let modes = [Mode::Baseline, Mode::watchdog(), ideal];
     let results = run_suite(&modes, scale);
     let mut rows = Vec::new();
@@ -140,7 +164,10 @@ pub fn ablation_ideal_shadow(scale: Scale) {
         ideal_v.push(i);
         rows.push((name, vec![pct(a), pct(i)]));
     }
-    rows.push(("Geo. mean".into(), vec![pct(geomean(&real)), pct(geomean(&ideal_v))]));
+    rows.push((
+        "Geo. mean".into(),
+        vec![pct(geomean(&real)), pct(geomean(&ideal_v))],
+    ));
     print_table(
         "§9.3 ablation: real vs idealized shadow-metadata accesses",
         &["real shadow", "ideal shadow"],
@@ -163,7 +190,10 @@ pub fn fig10(scale: Scale) {
         pages.push(p);
         rows.push((name, vec![pct(w), pct(p)]));
     }
-    rows.push(("Geo. mean".into(), vec![pct(geomean(&words)), pct(geomean(&pages))]));
+    rows.push((
+        "Geo. mean".into(),
+        vec![pct(geomean(&words)), pct(geomean(&pages))],
+    ));
     print_table(
         "Figure 10: memory overhead (shadow + lock locations)",
         &["words", "pages"],
@@ -175,8 +205,14 @@ pub fn fig10(scale: Scale) {
 /// Figure 11: full memory safety — Watchdog alone vs bounds checking with
 /// one fused or two split check µops (paper: 15% / 18% / 24%).
 pub fn fig11(scale: Scale) {
-    let b1 = Mode::WatchdogBounds { ptr: PointerId::IsaAssisted, uops: BoundsUops::Fused };
-    let b2 = Mode::WatchdogBounds { ptr: PointerId::IsaAssisted, uops: BoundsUops::Split };
+    let b1 = Mode::WatchdogBounds {
+        ptr: PointerId::IsaAssisted,
+        uops: BoundsUops::Fused,
+    };
+    let b2 = Mode::WatchdogBounds {
+        ptr: PointerId::IsaAssisted,
+        uops: BoundsUops::Split,
+    };
     let modes = [Mode::Baseline, Mode::watchdog(), b1, b2];
     let results = run_suite(&modes, scale);
     let mut rows = Vec::new();
@@ -209,7 +245,10 @@ pub fn fig11(scale: Scale) {
 /// location-based checking is not.
 pub fn table1() {
     println!("\n== Table 1: location-based vs identifier-based checking ==");
-    println!("{:<12} {:<11} {:>8} {:>9} {:>6} {:>8}", "approach", "instrument.", "runtime", "metadata", "casts", "compre.");
+    println!(
+        "{:<12} {:<11} {:>8} {:>9} {:>6} {:>8}",
+        "approach", "instrument.", "runtime", "metadata", "casts", "compre."
+    );
     for (a, i, r, m, c, k) in [
         ("Memcheck", "binary", "10x", "disjoint", "Y", "N"),
         ("J&K", "compiler", "10x", "disjoint", "Y", "N"),
@@ -256,14 +295,27 @@ pub fn table1() {
         b.build().unwrap()
     };
     println!("\nEmpirical comprehensiveness check (detected = Y):");
-    println!("{:<20} {:>9} {:>15} {:>9}", "program", "baseline", "location-based", "watchdog");
+    println!(
+        "{:<20} {:>9} {:>15} {:>9}",
+        "program", "baseline", "location-based", "watchdog"
+    );
     for p in [&simple_uaf, &realloc_uaf, &double_free] {
         let mut cells = Vec::new();
-        for mode in [Mode::Baseline, Mode::LocationBased, Mode::watchdog_conservative()] {
+        for mode in [
+            Mode::Baseline,
+            Mode::LocationBased,
+            Mode::watchdog_conservative(),
+        ] {
             let r = Simulator::new(SimConfig::functional(mode)).run(p).unwrap();
             cells.push(if r.violation.is_some() { "Y" } else { "N" });
         }
-        println!("{:<20} {:>9} {:>15} {:>9}", p.name(), cells[0], cells[1], cells[2]);
+        println!(
+            "{:<20} {:>9} {:>15} {:>9}",
+            p.name(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
     }
     println!("(the reallocation row is the paper's key claim: only identifier-based checking detects it)");
 }
@@ -275,12 +327,50 @@ pub fn table2() {
         println!("{k:<12} {v}");
     }
     let h = watchdog_mem::HierarchyConfig::default();
-    println!("{:<12} {}KB, {}-way, {}B blocks, {} cycles", "L1 I$", h.l1i.size / 1024, h.l1i.ways, h.l1i.block, h.l1_lat);
-    println!("{:<12} {}KB, {}-way, {}B blocks, {} cycles", "L1 D$", h.l1d.size / 1024, h.l1d.ways, h.l1d.block, h.l1_lat);
-    println!("{:<12} {}KB, {}-way, {}B blocks", "Lock Loc. $", h.ll.size / 1024, h.ll.ways, h.ll.block);
-    println!("{:<12} {}KB, {}-way, {}B blocks, {} cycles", "Private L2$", h.l2.size / 1024, h.l2.ways, h.l2.block, h.l1_lat + h.l2_lat);
-    println!("{:<12} {}MB, {}-way, {}B blocks, {} cycles", "Shared L3$", h.l3.size / 1024 / 1024, h.l3.ways, h.l3.block, h.l1_lat + h.l2_lat + h.l3_lat);
-    println!("{:<12} {} cycles", "Memory", h.l1_lat + h.l2_lat + h.l3_lat + h.mem_lat);
+    println!(
+        "{:<12} {}KB, {}-way, {}B blocks, {} cycles",
+        "L1 I$",
+        h.l1i.size / 1024,
+        h.l1i.ways,
+        h.l1i.block,
+        h.l1_lat
+    );
+    println!(
+        "{:<12} {}KB, {}-way, {}B blocks, {} cycles",
+        "L1 D$",
+        h.l1d.size / 1024,
+        h.l1d.ways,
+        h.l1d.block,
+        h.l1_lat
+    );
+    println!(
+        "{:<12} {}KB, {}-way, {}B blocks",
+        "Lock Loc. $",
+        h.ll.size / 1024,
+        h.ll.ways,
+        h.ll.block
+    );
+    println!(
+        "{:<12} {}KB, {}-way, {}B blocks, {} cycles",
+        "Private L2$",
+        h.l2.size / 1024,
+        h.l2.ways,
+        h.l2.block,
+        h.l1_lat + h.l2_lat
+    );
+    println!(
+        "{:<12} {}MB, {}-way, {}B blocks, {} cycles",
+        "Shared L3$",
+        h.l3.size / 1024 / 1024,
+        h.l3.ways,
+        h.l3.block,
+        h.l1_lat + h.l2_lat + h.l3_lat
+    );
+    println!(
+        "{:<12} {} cycles",
+        "Memory",
+        h.l1_lat + h.l2_lat + h.l3_lat + h.mem_lat
+    );
 }
 
 /// §9.2: the Juliet CWE-416/CWE-562 suite (paper: 291/291 detected, zero
@@ -292,7 +382,9 @@ pub fn juliet() {
     let mut detected = 0;
     let mut wrong_kind = 0;
     for case in &bad {
-        let r = sim.run(&case.program).unwrap_or_else(|e| panic!("{}: {e}", case.name));
+        let r = sim
+            .run(&case.program)
+            .unwrap_or_else(|e| panic!("{}: {e}", case.name));
         match r.violation {
             Some(v) if Some(v.kind) == case.expected => detected += 1,
             Some(_) => wrong_kind += 1,
@@ -301,13 +393,18 @@ pub fn juliet() {
     }
     let mut false_pos = 0;
     for case in &good {
-        let r = sim.run(&case.program).unwrap_or_else(|e| panic!("{}: {e}", case.name));
+        let r = sim
+            .run(&case.program)
+            .unwrap_or_else(|e| panic!("{}: {e}", case.name));
         if r.violation.is_some() {
             false_pos += 1;
         }
     }
     println!("\n== §9.2: Juliet-style CWE-416/CWE-562 suite ==");
-    println!("bad cases detected:        {detected}/{} (expected kind; {wrong_kind} with other kind)", bad.len());
+    println!(
+        "bad cases detected:        {detected}/{} (expected kind; {wrong_kind} with other kind)",
+        bad.len()
+    );
     println!("benign false positives:    {false_pos}/{}", good.len());
     println!("(paper: 291/291 detected, no false positives)");
 
@@ -322,6 +419,9 @@ pub fn juliet() {
             }
         }
     }
-    let n416 = bad.iter().filter(|c| c.cwe == watchdog_workloads::Cwe::Cwe416).count();
+    let n416 = bad
+        .iter()
+        .filter(|c| c.cwe == watchdog_workloads::Cwe::Cwe416)
+        .count();
     println!("location-based comparison: {loc_detected}/{n416} CWE-416 cases detected (blind to reallocation)");
 }

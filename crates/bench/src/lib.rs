@@ -51,7 +51,11 @@ fn run_suite_inner(modes: &[Mode], scale: Scale, timing: bool) -> SuiteResults {
         let program = spec.build(scale);
         let mut per_mode = BTreeMap::new();
         for &mode in modes {
-            let cfg = if timing { SimConfig::timed(mode) } else { SimConfig::functional(mode) };
+            let cfg = if timing {
+                SimConfig::timed(mode)
+            } else {
+                SimConfig::functional(mode)
+            };
             let report = Simulator::new(cfg)
                 .run(&program)
                 .unwrap_or_else(|e| panic!("{} under {}: {e}", spec.name, mode.label()));
@@ -72,13 +76,21 @@ fn run_suite_inner(modes: &[Mode], scale: Scale, timing: bool) -> SuiteResults {
 /// Benchmark names in the paper's figure order (the suite map is sorted
 /// alphabetically; figures should not be).
 pub fn figure_order() -> Vec<String> {
-    all_benchmarks().iter().map(|b| b.name.to_string()).collect()
+    all_benchmarks()
+        .iter()
+        .map(|b| b.name.to_string())
+        .collect()
 }
 
 /// Prints an aligned table: `name` column plus one column per header.
 pub fn print_table(title: &str, headers: &[&str], rows: &[(String, Vec<String>)]) {
     println!("\n== {title} ==");
-    let name_w = rows.iter().map(|(n, _)| n.len()).chain(std::iter::once("bench".len())).max().unwrap_or(8);
+    let name_w = rows
+        .iter()
+        .map(|(n, _)| n.len())
+        .chain(std::iter::once("bench".len()))
+        .max()
+        .unwrap_or(8);
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for (_, vals) in rows {
         for (i, v) in vals.iter().enumerate() {

@@ -74,7 +74,10 @@ mod tests {
         c.on_alloc(0x1000, 64);
         c.on_free(0x1000, 64);
         c.on_alloc(0x1000, 64); // unrelated object reuses the address
-        assert!(c.check(0x1000, 8), "location-based checking cannot see the dangling pointer");
+        assert!(
+            c.check(0x1000, 8),
+            "location-based checking cannot see the dangling pointer"
+        );
     }
 
     #[test]

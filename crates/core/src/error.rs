@@ -51,7 +51,11 @@ pub struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at instruction {} (address {:#x})", self.kind, self.pc_index, self.addr)
+        write!(
+            f,
+            "{} at instruction {} (address {:#x})",
+            self.kind, self.pc_index, self.addr
+        )
     }
 }
 
@@ -99,7 +103,11 @@ mod tests {
 
     #[test]
     fn violation_display() {
-        let v = Violation { kind: ViolationKind::UseAfterFree, pc_index: 12, addr: 0x2000_0040 };
+        let v = Violation {
+            kind: ViolationKind::UseAfterFree,
+            pc_index: 12,
+            addr: 0x2000_0040,
+        };
         let s = v.to_string();
         assert!(s.contains("use-after-free"));
         assert!(s.contains("12"));
@@ -109,7 +117,14 @@ mod tests {
     #[test]
     fn all_kinds_display_distinctly() {
         use ViolationKind::*;
-        let kinds = [UseAfterFree, UseAfterReturn, WildPointer, DoubleFree, InvalidFree, OutOfBounds];
+        let kinds = [
+            UseAfterFree,
+            UseAfterReturn,
+            WildPointer,
+            DoubleFree,
+            InvalidFree,
+            OutOfBounds,
+        ];
         let mut seen = std::collections::HashSet::new();
         for k in kinds {
             assert!(seen.insert(k.to_string()), "duplicate display for {k:?}");
@@ -119,7 +134,9 @@ mod tests {
     #[test]
     fn sim_error_display() {
         assert!(SimError::InstLimit { limit: 5 }.to_string().contains('5'));
-        assert!(SimError::HeapExhausted { requested: 64 }.to_string().contains("64"));
+        assert!(SimError::HeapExhausted { requested: 64 }
+            .to_string()
+            .contains("64"));
         assert!(SimError::PcOutOfRange { pc: 3 }.to_string().contains('3'));
         assert!(!SimError::StackOverflow.to_string().is_empty());
     }

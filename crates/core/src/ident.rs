@@ -81,7 +81,10 @@ impl LockManager {
 
     /// Returns a lock location to the LIFO free list.
     pub fn free_lock(&mut self, lock: u64) {
-        debug_assert!(lock >= HEAP_LOCK_BASE + 8 && lock < self.cursor, "foreign lock location");
+        debug_assert!(
+            lock >= HEAP_LOCK_BASE + 8 && lock < self.cursor,
+            "foreign lock location"
+        );
         self.free_locks.push(lock);
         self.live_locks -= 1;
     }

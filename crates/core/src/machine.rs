@@ -94,6 +94,12 @@ impl MachineConfig {
 }
 
 /// Outcome of one [`Machine::step`].
+///
+/// `Executed` dwarfs the other variants, but it is also the variant
+/// produced once per instruction on the simulator's hottest path; boxing
+/// the payload would trade the size imbalance for a per-instruction heap
+/// allocation.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum Step {
     /// The instruction executed; its µop expansion is attached when
@@ -314,7 +320,11 @@ impl<'p> Machine<'p> {
     }
 
     fn violation(&self, kind: ViolationKind, addr: u64) -> Violation {
-        Violation { kind, pc_index: self.pc, addr }
+        Violation {
+            kind,
+            pc_index: self.pc,
+            addr,
+        }
     }
 
     fn wd(&self) -> bool {
@@ -388,6 +398,7 @@ impl<'p> Machine<'p> {
         // µop expansion afterwards.
         let mut mem_addrs: Vec<u64> = Vec::new();
         let mut branch: Option<(bool, u64)> = None; // (taken, target byte addr)
+
         // Some(None) = keep the select µop; Some(Some(e)) = fold it into a
         // rename-stage effect; None = not a foldable instruction.
         let mut select_fold: Option<Option<MetaEffect>> = None;
@@ -423,8 +434,10 @@ impl<'p> Machine<'p> {
                 // select µop is inserted, exactly as the paper specifies
                 // ("either of the registers might be a pointer").
                 if !op.is_long_latency() {
-                    let (va, vb) =
-                        (!self.meta[a.index()].is_invalid(), !self.meta[b.index()].is_invalid());
+                    let (va, vb) = (
+                        !self.meta[a.index()].is_invalid(),
+                        !self.meta[b.index()].is_invalid(),
+                    );
                     select_fold = Some(if !va && !vb {
                         Some(MetaEffect::Invalidate(dst))
                     } else {
@@ -454,7 +467,9 @@ impl<'p> Machine<'p> {
                 self.regs[dst.index()] = addr;
                 self.meta[dst.index()] = MetaRecord::global();
             }
-            Inst::Load { dst, addr, width, .. } => {
+            Inst::Load {
+                dst, addr, width, ..
+            } => {
                 let a = addr.resolve(self.regs[addr.base.index()]);
                 self.stats.mem_accesses += 1;
                 if ptr_op {
@@ -479,7 +494,9 @@ impl<'p> Machine<'p> {
                     }
                 }
             }
-            Inst::Store { src, addr, width, .. } => {
+            Inst::Store {
+                src, addr, width, ..
+            } => {
                 let a = addr.resolve(self.regs[addr.base.index()]);
                 self.stats.mem_accesses += 1;
                 if ptr_op {
@@ -528,7 +545,9 @@ impl<'p> Machine<'p> {
                     watchdog_isa::insn::FpWidth::F4 => {
                         self.mem.write_f32(a, self.fregs[src.index()] as f32)
                     }
-                    watchdog_isa::insn::FpWidth::F8 => self.mem.write_f64(a, self.fregs[src.index()]),
+                    watchdog_isa::insn::FpWidth::F8 => {
+                        self.mem.write_f64(a, self.fregs[src.index()])
+                    }
                 }
                 mem_addrs.push(a);
                 if self.wd() {
@@ -718,9 +737,7 @@ impl<'p> Machine<'p> {
                                 mem_addrs.push(a);
                             }
                         } else {
-                            for _ in 0..4 {
-                                mem_addrs.push(HEAP_BASE);
-                            }
+                            mem_addrs.extend([HEAP_BASE; 4]);
                         }
                     }
                 }
@@ -749,8 +766,8 @@ impl<'p> Machine<'p> {
                 if self.cfg.check == CheckMode::Watchdog {
                     let k = self.regs[key.index()];
                     let l = self.regs[lock.index()];
-                    let in_region = (HEAP_LOCK_BASE + 8..HEAP_LOCK_BASE + HEAP_LOCK_SIZE)
-                        .contains(&l);
+                    let in_region =
+                        (HEAP_LOCK_BASE + 8..HEAP_LOCK_BASE + HEAP_LOCK_SIZE).contains(&l);
                     if !in_region {
                         fail!(self.violation(ViolationKind::InvalidFree, l));
                     }
@@ -777,7 +794,11 @@ impl<'p> Machine<'p> {
         }
 
         // Assemble the µop expansion with its dynamic facts.
-        let Cracked { mut uops, mut meta, ctrl } = crack(&inst, ptr_op, &self.crack_cfg);
+        let Cracked {
+            mut uops,
+            mut meta,
+            ctrl,
+        } = crack(&inst, ptr_op, &self.crack_cfg);
         if let Some(Some(effect)) = select_fold {
             // Drop the select µop; the rename stage handles the effect.
             let mut folded = UopVec::new();
@@ -907,7 +928,10 @@ mod tests {
         let prog = b.build().unwrap();
 
         let (m, v1) = run(&prog, MachineConfig::watchdog());
-        assert_eq!(v1.expect("watchdog catches it").kind, ViolationKind::UseAfterFree);
+        assert_eq!(
+            v1.expect("watchdog catches it").kind,
+            ViolationKind::UseAfterFree
+        );
         drop(m);
 
         let cfg = MachineConfig {
@@ -915,16 +939,25 @@ mod tests {
             ..MachineConfig::baseline()
         };
         let (m2, v2) = run(&prog, cfg);
-        assert!(v2.is_none(), "location-based checking is blind after reallocation");
+        assert!(
+            v2.is_none(),
+            "location-based checking is blind after reallocation"
+        );
         assert_eq!(m2.reg(q), m2.reg(r), "the address really was reused");
     }
 
     #[test]
     fn location_detects_simple_uaf() {
         let p = uaf_program();
-        let cfg = MachineConfig { check: CheckMode::Location, ..MachineConfig::baseline() };
+        let cfg = MachineConfig {
+            check: CheckMode::Location,
+            ..MachineConfig::baseline()
+        };
         let (_, v) = run(&p, cfg);
-        assert_eq!(v.expect("simple UAF is visible to location checking").kind, ViolationKind::UseAfterFree);
+        assert_eq!(
+            v.expect("simple UAF is visible to location checking").kind,
+            ViolationKind::UseAfterFree
+        );
     }
 
     #[test]
@@ -971,7 +1004,10 @@ mod tests {
         b.nop();
         let prog = b.build().unwrap();
         let (_, viol) = run(&prog, MachineConfig::watchdog());
-        assert_eq!(viol.expect("dangling stack pointer detected").kind, ViolationKind::UseAfterReturn);
+        assert_eq!(
+            viol.expect("dangling stack pointer detected").kind,
+            ViolationKind::UseAfterReturn
+        );
     }
 
     #[test]
@@ -1009,7 +1045,10 @@ mod tests {
         for cfg in [
             MachineConfig::baseline(),
             MachineConfig::watchdog(),
-            MachineConfig { check: CheckMode::Location, ..MachineConfig::baseline() },
+            MachineConfig {
+                check: CheckMode::Location,
+                ..MachineConfig::baseline()
+            },
             MachineConfig {
                 bounds: Some(watchdog_isa::crack::BoundsUops::Fused),
                 ..MachineConfig::watchdog()
@@ -1116,7 +1155,10 @@ mod tests {
         b.ld8(v, p, 8); // loads an integer
         b.halt();
         let prog = b.build().unwrap();
-        let cfg = MachineConfig { profiling: true, ..MachineConfig::watchdog() };
+        let cfg = MachineConfig {
+            profiling: true,
+            ..MachineConfig::watchdog()
+        };
         let (m, viol) = run(&prog, cfg);
         assert!(viol.is_none());
         let prof = m.profile();
@@ -1172,10 +1214,17 @@ mod tests {
         };
         let plain = build(false);
         let (_, v) = run(&plain, MachineConfig::watchdog());
-        assert!(v.is_none(), "uninstrumented pools inherit the region's identifier");
+        assert!(
+            v.is_none(),
+            "uninstrumented pools inherit the region's identifier"
+        );
         let inst = build(true);
         let (_, v) = run(&inst, MachineConfig::watchdog());
-        assert_eq!(v.unwrap().kind, ViolationKind::UseAfterFree, "instrumented pools check exactly");
+        assert_eq!(
+            v.unwrap().kind,
+            ViolationKind::UseAfterFree,
+            "instrumented pools check exactly"
+        );
     }
 
     #[test]
@@ -1227,12 +1276,7 @@ mod tests {
         b.halt();
         let prog = b.build().unwrap();
         let mut m = Machine::new(&prog, MachineConfig::watchdog());
-        loop {
-            match m.step().unwrap() {
-                Step::Executed(_) => {}
-                _ => break,
-            }
-        }
+        while let Step::Executed(_) = m.step().unwrap() {}
         let meta = m.meta_of(g(0));
         assert_eq!(m.reg(key), meta.key, "getident exposes the key");
         assert_eq!(m.reg(lock), meta.lock, "getident exposes the lock");
@@ -1247,7 +1291,10 @@ mod tests {
         b.free(g(0));
         b.halt();
         let prog = b.build().unwrap();
-        let cfg = MachineConfig { check: CheckMode::Location, ..MachineConfig::baseline() };
+        let cfg = MachineConfig {
+            check: CheckMode::Location,
+            ..MachineConfig::baseline()
+        };
         let (_, v) = run(&prog, cfg);
         assert_eq!(v.unwrap().kind, ViolationKind::InvalidFree);
     }
@@ -1284,7 +1331,12 @@ mod tests {
         b.ldf(Fpr::new(1), p, 0, FpWidth::F8);
         b.stf(Fpr::new(1), p, 8, FpWidth::F4);
         b.ldf(Fpr::new(2), p, 8, FpWidth::F4);
-        b.falu(watchdog_isa::FpOp::Add, Fpr::new(3), Fpr::new(1), Fpr::new(2));
+        b.falu(
+            watchdog_isa::FpOp::Add,
+            Fpr::new(3),
+            Fpr::new(1),
+            Fpr::new(2),
+        );
         b.f2i(g(2), Fpr::new(3));
         b.free(p);
         b.halt();

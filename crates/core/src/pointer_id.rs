@@ -103,14 +103,27 @@ mod tests {
     use watchdog_isa::reg::{Fpr, Gpr};
 
     fn load(width: Width, hint: PtrHint) -> Inst {
-        Inst::Load { dst: Gpr::new(0), addr: MemAddr::base(Gpr::new(1)), width, hint }
+        Inst::Load {
+            dst: Gpr::new(0),
+            addr: MemAddr::base(Gpr::new(1)),
+            width,
+            hint,
+        }
     }
 
     #[test]
     fn conservative_classifies_all_word_accesses() {
         let p = PointerPolicy::Conservative;
         assert!(p.classify(0, &load(Width::B8, PtrHint::Auto)));
-        assert!(p.classify(0, &Inst::Store { src: Gpr::new(0), addr: MemAddr::base(Gpr::new(1)), width: Width::B8, hint: PtrHint::Auto }));
+        assert!(p.classify(
+            0,
+            &Inst::Store {
+                src: Gpr::new(0),
+                addr: MemAddr::base(Gpr::new(1)),
+                width: Width::B8,
+                hint: PtrHint::Auto
+            }
+        ));
     }
 
     #[test]
@@ -118,7 +131,11 @@ mod tests {
         let p = PointerPolicy::Conservative;
         assert!(!p.classify(0, &load(Width::B4, PtrHint::Auto)));
         assert!(!p.classify(0, &load(Width::B1, PtrHint::Auto)));
-        let fp = Inst::LoadFp { dst: Fpr::new(0), addr: MemAddr::base(Gpr::new(1)), width: FpWidth::F8 };
+        let fp = Inst::LoadFp {
+            dst: Fpr::new(0),
+            addr: MemAddr::base(Gpr::new(1)),
+            width: FpWidth::F8,
+        };
         assert!(!p.classify(0, &fp));
         // Even an explicit Pointer hint cannot make a sub-word access a
         // pointer op.
@@ -148,7 +165,13 @@ mod tests {
     fn non_memory_instructions_are_never_classified() {
         let p = PointerPolicy::Conservative;
         assert!(!p.classify(0, &Inst::Nop));
-        assert!(!p.classify(0, &Inst::MovImm { dst: Gpr::new(0), imm: 1 }));
+        assert!(!p.classify(
+            0,
+            &Inst::MovImm {
+                dst: Gpr::new(0),
+                imm: 1
+            }
+        ));
     }
 
     #[test]

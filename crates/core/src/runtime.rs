@@ -140,7 +140,13 @@ impl HeapAllocator {
         }
         self.stats.live_bytes += rounded;
         self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.stats.live_bytes);
-        Some(MallocInfo { addr, size: rounded, header_addr: addr - 8, bin_head_addr, reused })
+        Some(MallocInfo {
+            addr,
+            size: rounded,
+            header_addr: addr - 8,
+            bin_head_addr,
+            reused,
+        })
     }
 
     fn carve(&mut self, rounded: u64) -> Option<u64> {
@@ -167,7 +173,12 @@ impl HeapAllocator {
         }
         self.stats.frees += 1;
         self.stats.live_bytes -= rounded;
-        Some(FreeInfo { addr, size: rounded, header_addr: addr - 8, bin_head_addr: Self::bin_head_addr(rounded) })
+        Some(FreeInfo {
+            addr,
+            size: rounded,
+            header_addr: addr - 8,
+            bin_head_addr: Self::bin_head_addr(rounded),
+        })
     }
 
     /// Rounded size of a live allocation, if `addr` is one.
@@ -200,7 +211,10 @@ mod tests {
             assert!(m.size >= size);
             assert_eq!(m.header_addr, m.addr - 8);
             for (a, e) in &spans {
-                assert!(m.addr + m.size <= *a || m.addr >= *e, "overlap with [{a:#x},{e:#x})");
+                assert!(
+                    m.addr + m.size <= *a || m.addr >= *e,
+                    "overlap with [{a:#x},{e:#x})"
+                );
             }
             spans.push((m.addr, m.addr + m.size));
         }
@@ -235,7 +249,10 @@ mod tests {
         let a = h.malloc(32).unwrap();
         assert!(h.free(a.addr).is_some());
         assert!(h.free(a.addr).is_none(), "second free of same address");
-        assert!(h.free(0xDEAD_BEEF).is_none(), "free of never-allocated address");
+        assert!(
+            h.free(0xDEAD_BEEF).is_none(),
+            "free of never-allocated address"
+        );
     }
 
     #[test]
@@ -272,7 +289,7 @@ mod tests {
     fn bin_heads_live_in_the_reserved_page() {
         for size in CLASSES {
             let a = HeapAllocator::bin_head_addr(size);
-            assert!(a >= HEAP_BASE && a < CHUNK_BASE);
+            assert!((HEAP_BASE..CHUNK_BASE).contains(&a));
         }
         assert!(HeapAllocator::bin_head_addr(12_288) < CHUNK_BASE);
     }
@@ -282,6 +299,10 @@ mod tests {
         let mut h = HeapAllocator::new();
         let m = h.malloc(48).unwrap();
         assert_eq!(h.live_size(m.addr), Some(64));
-        assert_eq!(h.live_size(m.addr + 8), None, "interior pointers are not allocation bases");
+        assert_eq!(
+            h.live_size(m.addr + 8),
+            None,
+            "interior pointers are not allocation bases"
+        );
     }
 }

@@ -55,13 +55,21 @@ impl Mode {
     /// The paper's headline configuration: ISA-assisted identification with
     /// the lock-location cache.
     pub fn watchdog() -> Mode {
-        Mode::Watchdog { ptr: PointerId::IsaAssisted, lock_cache: true, ideal_shadow: false }
+        Mode::Watchdog {
+            ptr: PointerId::IsaAssisted,
+            lock_cache: true,
+            ideal_shadow: false,
+        }
     }
 
     /// Watchdog with conservative pointer identification (no binary
     /// changes, §5.1).
     pub fn watchdog_conservative() -> Mode {
-        Mode::Watchdog { ptr: PointerId::Conservative, lock_cache: true, ideal_shadow: false }
+        Mode::Watchdog {
+            ptr: PointerId::Conservative,
+            lock_cache: true,
+            ideal_shadow: false,
+        }
     }
 
     /// Short human-readable label.
@@ -69,7 +77,11 @@ impl Mode {
         match self {
             Mode::Baseline => "baseline".into(),
             Mode::LocationBased => "location-based".into(),
-            Mode::Watchdog { ptr, lock_cache, ideal_shadow } => {
+            Mode::Watchdog {
+                ptr,
+                lock_cache,
+                ideal_shadow,
+            } => {
                 let mut s = format!(
                     "watchdog/{}",
                     match ptr {
@@ -143,12 +155,20 @@ impl Sampling {
     /// The paper's 2% regime, scaled down 1000× to suit the synthetic
     /// kernels: 10k-instruction samples, 10k warmup, 480k fast-forward.
     pub const fn paper_scaled() -> Self {
-        Sampling { period: 500_000, warmup: 10_000, sample: 10_000 }
+        Sampling {
+            period: 500_000,
+            warmup: 10_000,
+            sample: 10_000,
+        }
     }
 
     /// A denser regime for small programs: 2% measured, 10% warmed.
     pub const fn dense() -> Self {
-        Sampling { period: 50_000, warmup: 5_000, sample: 1_000 }
+        Sampling {
+            period: 50_000,
+            warmup: 5_000,
+            sample: 1_000,
+        }
     }
 
     fn fast_forward(&self) -> u64 {
@@ -191,12 +211,18 @@ impl SimConfig {
 
     /// Timed simulation with the paper's (scaled) §9.1 sampling regime.
     pub fn sampled(mode: Mode, sampling: Sampling) -> Self {
-        SimConfig { sampling: Some(sampling), ..Self::timed(mode) }
+        SimConfig {
+            sampling: Some(sampling),
+            ..Self::timed(mode)
+        }
     }
 
     /// Functional-only simulation (fast; no cycle numbers).
     pub fn functional(mode: Mode) -> Self {
-        SimConfig { timing: false, ..Self::timed(mode) }
+        SimConfig {
+            timing: false,
+            ..Self::timed(mode)
+        }
     }
 }
 
@@ -235,15 +261,10 @@ impl Simulator {
         };
         let mut m = Machine::new(program, cfg);
         let mut executed = 0u64;
-        loop {
-            match m.step()? {
-                Step::Executed(_) => {
-                    executed += 1;
-                    if executed > max_insts {
-                        return Err(SimError::InstLimit { limit: max_insts });
-                    }
-                }
-                Step::Halted | Step::Violation(_) => break,
+        while let Step::Executed(_) = m.step()? {
+            executed += 1;
+            if executed > max_insts {
+                return Err(SimError::InstLimit { limit: max_insts });
             }
         }
         Ok(m.profile().clone())
@@ -271,7 +292,12 @@ impl Simulator {
             emit_uops: self.cfg.timing,
         };
         let mut hier = self.cfg.hierarchy;
-        if let Mode::Watchdog { lock_cache, ideal_shadow, .. } = self.cfg.mode {
+        if let Mode::Watchdog {
+            lock_cache,
+            ideal_shadow,
+            ..
+        } = self.cfg.mode
+        {
             hier.lock_cache = lock_cache;
             hier.ideal_shadow = ideal_shadow;
         }
@@ -284,7 +310,10 @@ impl Simulator {
             );
         }
         let mut machine = Machine::new(program, mcfg);
-        let mut core = self.cfg.timing.then(|| TimingCore::new(self.cfg.core, hier));
+        let mut core = self
+            .cfg
+            .timing
+            .then(|| TimingCore::new(self.cfg.core, hier));
         let mut violation = None;
         let mut executed = 0u64;
         // Sampling state: accumulated measured counters and the snapshot at
@@ -307,14 +336,16 @@ impl Simulator {
                     executed += 1;
                     if let (Some(s), Some(core)) = (sampling, core.as_ref()) {
                         // Close the sample window at the period boundary.
-                        if executed % s.period == 0 {
+                        if executed.is_multiple_of(s.period) {
                             if let Some(start) = window_start.take() {
                                 measured.accumulate(&core.snapshot().delta(&start));
                             }
                         }
                     }
                     if executed > self.cfg.max_insts {
-                        return Err(SimError::InstLimit { limit: self.cfg.max_insts });
+                        return Err(SimError::InstLimit {
+                            limit: self.cfg.max_insts,
+                        });
                     }
                 }
                 Step::Halted => break,
@@ -386,6 +417,7 @@ mod tests {
         b.add(acc, acc, nxt);
         b.ld8(cur, cur, 0);
         b.branch(Cond::Ne, cur, g(15 - 1), walk); // g14 is 0
+
         // Free.
         b.mov(cur, head);
         let fr = b.here();
@@ -400,8 +432,12 @@ mod tests {
     #[test]
     fn timed_run_produces_cycles_and_uop_breakdown() {
         let p = list_program(200);
-        let base = Simulator::new(SimConfig::timed(Mode::Baseline)).run(&p).unwrap();
-        let wd = Simulator::new(SimConfig::timed(Mode::watchdog_conservative())).run(&p).unwrap();
+        let base = Simulator::new(SimConfig::timed(Mode::Baseline))
+            .run(&p)
+            .unwrap();
+        let wd = Simulator::new(SimConfig::timed(Mode::watchdog_conservative()))
+            .run(&p)
+            .unwrap();
         assert!(base.violation.is_none() && wd.violation.is_none());
         assert!(base.cycles() > 0);
         assert!(wd.uops() > base.uops(), "watchdog injects µops");
@@ -412,23 +448,35 @@ mod tests {
         assert!(other > 0.0, "alloc/dealloc and propagation µops");
         let slow = wd.slowdown_vs(&base);
         assert!(slow >= 0.0, "watchdog cannot be faster ({slow})");
-        assert!(slow < wd.uop_overhead(), "checks execute off the critical path");
+        assert!(
+            slow < wd.uop_overhead(),
+            "checks execute off the critical path"
+        );
     }
 
     #[test]
     fn isa_assisted_classifies_fewer_accesses_than_conservative() {
         let p = list_program(200);
-        let cons = Simulator::new(SimConfig::timed(Mode::watchdog_conservative())).run(&p).unwrap();
-        let isa = Simulator::new(SimConfig::timed(Mode::watchdog())).run(&p).unwrap();
+        let cons = Simulator::new(SimConfig::timed(Mode::watchdog_conservative()))
+            .run(&p)
+            .unwrap();
+        let isa = Simulator::new(SimConfig::timed(Mode::watchdog()))
+            .run(&p)
+            .unwrap();
         assert!(isa.ptr_fraction() <= cons.ptr_fraction());
-        assert!(isa.violation.is_none(), "no false positives under the profile");
+        assert!(
+            isa.violation.is_none(),
+            "no false positives under the profile"
+        );
         assert!(isa.uops() <= cons.uops());
     }
 
     #[test]
     fn functional_run_skips_timing() {
         let p = list_program(50);
-        let r = Simulator::new(SimConfig::functional(Mode::watchdog())).run(&p).unwrap();
+        let r = Simulator::new(SimConfig::functional(Mode::watchdog()))
+            .run(&p)
+            .unwrap();
         assert!(r.timing.is_none());
         assert_eq!(r.cycles(), 0);
         assert!(r.machine.insts > 0);
@@ -449,7 +497,9 @@ mod tests {
     #[test]
     fn no_lock_cache_mode_routes_checks_to_l1d() {
         let p = list_program(100);
-        let with = Simulator::new(SimConfig::timed(Mode::watchdog_conservative())).run(&p).unwrap();
+        let with = Simulator::new(SimConfig::timed(Mode::watchdog_conservative()))
+            .run(&p)
+            .unwrap();
         let without = Simulator::new(SimConfig::timed(Mode::Watchdog {
             ptr: PointerId::Conservative,
             lock_cache: false,
@@ -461,7 +511,10 @@ mod tests {
         let h_without = &without.timing.as_ref().unwrap().hierarchy;
         assert!(h_with.ll.accesses > 0);
         assert_eq!(h_without.ll.accesses, 0);
-        assert!(without.cycles() >= with.cycles(), "losing the LL$ cannot help");
+        assert!(
+            without.cycles() >= with.cycles(),
+            "losing the LL$ cannot help"
+        );
     }
 
     #[test]
@@ -474,7 +527,9 @@ mod tests {
         b.ld8(g(2), p, 0);
         b.halt();
         let prog = b.build().unwrap();
-        let r = Simulator::new(SimConfig::timed(Mode::watchdog_conservative())).run(&prog).unwrap();
+        let r = Simulator::new(SimConfig::timed(Mode::watchdog_conservative()))
+            .run(&prog)
+            .unwrap();
         assert_eq!(r.violation.unwrap().kind, ViolationKind::UseAfterFree);
         assert!(r.cycles() > 0, "cycles up to the exception are reported");
     }
@@ -482,14 +537,23 @@ mod tests {
     #[test]
     fn sampled_runs_measure_a_subset() {
         let p = list_program(400);
-        let full = Simulator::new(SimConfig::timed(Mode::watchdog_conservative())).run(&p).unwrap();
+        let full = Simulator::new(SimConfig::timed(Mode::watchdog_conservative()))
+            .run(&p)
+            .unwrap();
         let sampled = Simulator::new(SimConfig::sampled(
             Mode::watchdog_conservative(),
-            Sampling { period: 2_000, warmup: 200, sample: 200 },
+            Sampling {
+                period: 2_000,
+                warmup: 200,
+                sample: 200,
+            },
         ))
         .run(&p)
         .unwrap();
-        let (tf, ts) = (full.timing.as_ref().unwrap(), sampled.timing.as_ref().unwrap());
+        let (tf, ts) = (
+            full.timing.as_ref().unwrap(),
+            sampled.timing.as_ref().unwrap(),
+        );
         assert!(ts.insts > 0, "some instructions were measured");
         assert!(ts.insts < tf.insts, "sampling measures a strict subset");
         assert!(ts.cycles < tf.cycles);
@@ -529,10 +593,24 @@ mod tests {
             Mode::LocationBased,
             Mode::watchdog(),
             Mode::watchdog_conservative(),
-            Mode::Watchdog { ptr: PointerId::IsaAssisted, lock_cache: false, ideal_shadow: false },
-            Mode::Watchdog { ptr: PointerId::IsaAssisted, lock_cache: true, ideal_shadow: true },
-            Mode::WatchdogBounds { ptr: PointerId::IsaAssisted, uops: BoundsUops::Fused },
-            Mode::WatchdogBounds { ptr: PointerId::IsaAssisted, uops: BoundsUops::Split },
+            Mode::Watchdog {
+                ptr: PointerId::IsaAssisted,
+                lock_cache: false,
+                ideal_shadow: false,
+            },
+            Mode::Watchdog {
+                ptr: PointerId::IsaAssisted,
+                lock_cache: true,
+                ideal_shadow: true,
+            },
+            Mode::WatchdogBounds {
+                ptr: PointerId::IsaAssisted,
+                uops: BoundsUops::Fused,
+            },
+            Mode::WatchdogBounds {
+                ptr: PointerId::IsaAssisted,
+                uops: BoundsUops::Split,
+            },
         ];
         let mut seen = std::collections::HashSet::new();
         for m in modes {

@@ -1,0 +1,195 @@
+//! Offline, API-compatible subset of the [`criterion`] crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This shim supports the workspace's `harness = false`
+//! bench target: `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `Throughput`, `sample_size` and `Bencher::iter`. Timing is a simple
+//! best-of-samples wall-clock measurement printed as `ns/iter` — adequate
+//! for spotting order-of-magnitude simulator regressions, without the real
+//! crate's statistical machinery (no outlier analysis, no HTML reports).
+//!
+//! To switch to the real crate, repoint the `criterion` entry in the
+//! workspace `[workspace.dependencies]` at a registry version.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration throughput annotation (printed, not analysed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Target for [`Bencher::iter`] closures.
+pub struct Bencher {
+    samples: usize,
+    /// Best observed per-iteration time, filled in by [`Bencher::iter`].
+    best_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, keeping the best of several samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until one batch takes >= 1ms.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                self.best_ns = elapsed.as_nanos() as f64 / batch as f64;
+                break;
+            }
+            batch *= 4;
+        }
+        for _ in 1..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            if ns < self.best_ns {
+                self.best_ns = ns;
+            }
+        }
+    }
+}
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 5 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Annotates per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets how many timing samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_one(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, tp: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        best_ns: f64::NAN,
+    };
+    f(&mut b);
+    let rate = match tp {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.1} Melem/s)", n as f64 * 1e3 / b.best_ns)
+        }
+        Some(Throughput::Bytes(n)) => format!("  ({:.1} MB/s)", n as f64 * 1e3 / b.best_ns),
+        None => String::new(),
+    };
+    println!("{name:<40} {:>14.1} ns/iter{rate}", b.best_ns);
+}
+
+/// Groups benchmark functions under one callable name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2).throughput(Throughput::Elements(1));
+        group.bench_function("add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            });
+        });
+        group.finish();
+    }
+
+    criterion_group!(smoke_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1u32 + 1));
+    }
+
+    #[test]
+    fn group_macro_expands() {
+        smoke_group();
+    }
+}

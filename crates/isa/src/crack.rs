@@ -43,17 +43,26 @@ pub struct CrackConfig {
 impl CrackConfig {
     /// Unmodified baseline: no injected µops.
     pub const fn baseline() -> Self {
-        CrackConfig { watchdog: false, bounds: None }
+        CrackConfig {
+            watchdog: false,
+            bounds: None,
+        }
     }
 
     /// Use-after-free checking only (the paper's primary configuration).
     pub const fn watchdog() -> Self {
-        CrackConfig { watchdog: true, bounds: None }
+        CrackConfig {
+            watchdog: true,
+            bounds: None,
+        }
     }
 
     /// Full memory safety: use-after-free + bounds checking.
     pub const fn with_bounds(mode: BoundsUops) -> Self {
-        CrackConfig { watchdog: true, bounds: Some(mode) }
+        CrackConfig {
+            watchdog: true,
+            bounds: Some(mode),
+        }
     }
 }
 
@@ -162,30 +171,40 @@ pub fn crack(inst: &Inst, ptr_op: bool, cfg: &CrackConfig) -> Cracked {
     let wd = cfg.watchdog;
 
     // Emits the check µop(s) guarding a memory access on `base`.
-    let push_check = |u: &mut UopVec, base: Gpr| {
-        match cfg.bounds {
-            None => {
-                u.push_uop(Uop::new(UopKind::Check, None, Some(LReg::M(base)), None, UopTag::Check));
-            }
-            Some(BoundsUops::Fused) => {
-                u.push_uop(Uop::new(
-                    UopKind::CheckCombined,
-                    None,
-                    Some(LReg::M(base)),
-                    Some(LReg::G(base)),
-                    UopTag::Check,
-                ));
-            }
-            Some(BoundsUops::Split) => {
-                u.push_uop(Uop::new(UopKind::Check, None, Some(LReg::M(base)), None, UopTag::Check));
-                u.push_uop(Uop::new(
-                    UopKind::BoundsCheck,
-                    None,
-                    Some(LReg::M(base)),
-                    Some(LReg::G(base)),
-                    UopTag::Check,
-                ));
-            }
+    let push_check = |u: &mut UopVec, base: Gpr| match cfg.bounds {
+        None => {
+            u.push_uop(Uop::new(
+                UopKind::Check,
+                None,
+                Some(LReg::M(base)),
+                None,
+                UopTag::Check,
+            ));
+        }
+        Some(BoundsUops::Fused) => {
+            u.push_uop(Uop::new(
+                UopKind::CheckCombined,
+                None,
+                Some(LReg::M(base)),
+                Some(LReg::G(base)),
+                UopTag::Check,
+            ));
+        }
+        Some(BoundsUops::Split) => {
+            u.push_uop(Uop::new(
+                UopKind::Check,
+                None,
+                Some(LReg::M(base)),
+                None,
+                UopTag::Check,
+            ));
+            u.push_uop(Uop::new(
+                UopKind::BoundsCheck,
+                None,
+                Some(LReg::M(base)),
+                Some(LReg::G(base)),
+                UopTag::Check,
+            ));
         }
     };
 
@@ -198,7 +217,12 @@ pub fn crack(inst: &Inst, ptr_op: bool, cfg: &CrackConfig) -> Cracked {
             meta = MetaEffect::Invalidate(dst);
         }
         Inst::Mov { dst, src } => {
-            u.push_uop(Uop::base(UopKind::IntAlu, Some(LReg::G(dst)), Some(LReg::G(src)), None));
+            u.push_uop(Uop::base(
+                UopKind::IntAlu,
+                Some(LReg::G(dst)),
+                Some(LReg::G(src)),
+                None,
+            ));
             meta = MetaEffect::Copy { dst, src };
         }
         Inst::Alu { op, dst, a, b } => {
@@ -209,7 +233,12 @@ pub fn crack(inst: &Inst, ptr_op: bool, cfg: &CrackConfig) -> Cracked {
             } else {
                 UopKind::IntAlu
             };
-            u.push_uop(Uop::base(kind, Some(LReg::G(dst)), Some(LReg::G(a)), Some(LReg::G(b))));
+            u.push_uop(Uop::base(
+                kind,
+                Some(LReg::G(dst)),
+                Some(LReg::G(a)),
+                Some(LReg::G(b)),
+            ));
             if op.is_long_latency() {
                 // Divide/multiply results are never valid pointers (§6.2).
                 meta = MetaEffect::Invalidate(dst);
@@ -242,8 +271,16 @@ pub fn crack(inst: &Inst, ptr_op: bool, cfg: &CrackConfig) -> Cracked {
             };
         }
         Inst::Lea { dst, addr } => {
-            u.push_uop(Uop::base(UopKind::IntAlu, Some(LReg::G(dst)), Some(LReg::G(addr.base)), None));
-            meta = MetaEffect::Copy { dst, src: addr.base };
+            u.push_uop(Uop::base(
+                UopKind::IntAlu,
+                Some(LReg::G(dst)),
+                Some(LReg::G(addr.base)),
+                None,
+            ));
+            meta = MetaEffect::Copy {
+                dst,
+                src: addr.base,
+            };
         }
         Inst::LeaGlobal { dst, .. } => {
             u.push_uop(Uop::base(UopKind::IntAlu, Some(LReg::G(dst)), None, None));
@@ -253,7 +290,12 @@ pub fn crack(inst: &Inst, ptr_op: bool, cfg: &CrackConfig) -> Cracked {
             if wd {
                 push_check(&mut u, addr.base);
             }
-            u.push_uop(Uop::base(UopKind::Load, Some(LReg::G(dst)), Some(LReg::G(addr.base)), None));
+            u.push_uop(Uop::base(
+                UopKind::Load,
+                Some(LReg::G(dst)),
+                Some(LReg::G(addr.base)),
+                None,
+            ));
             if wd && ptr_op {
                 u.push_uop(Uop::new(
                     UopKind::ShadowLoad,
@@ -270,7 +312,12 @@ pub fn crack(inst: &Inst, ptr_op: bool, cfg: &CrackConfig) -> Cracked {
             if wd {
                 push_check(&mut u, addr.base);
             }
-            u.push_uop(Uop::base(UopKind::Store, None, Some(LReg::G(src)), Some(LReg::G(addr.base))));
+            u.push_uop(Uop::base(
+                UopKind::Store,
+                None,
+                Some(LReg::G(src)),
+                Some(LReg::G(addr.base)),
+            ));
             if wd && ptr_op {
                 u.push_uop(Uop::new(
                     UopKind::ShadowStore,
@@ -285,13 +332,23 @@ pub fn crack(inst: &Inst, ptr_op: bool, cfg: &CrackConfig) -> Cracked {
             if wd {
                 push_check(&mut u, addr.base);
             }
-            u.push_uop(Uop::base(UopKind::Load, Some(LReg::F(dst)), Some(LReg::G(addr.base)), None));
+            u.push_uop(Uop::base(
+                UopKind::Load,
+                Some(LReg::F(dst)),
+                Some(LReg::G(addr.base)),
+                None,
+            ));
         }
         Inst::StoreFp { src, addr, .. } => {
             if wd {
                 push_check(&mut u, addr.base);
             }
-            u.push_uop(Uop::base(UopKind::Store, None, Some(LReg::F(src)), Some(LReg::G(addr.base))));
+            u.push_uop(Uop::base(
+                UopKind::Store,
+                None,
+                Some(LReg::F(src)),
+                Some(LReg::G(addr.base)),
+            ));
         }
         Inst::FpAlu { op, dst, a, b } => {
             let kind = match op {
@@ -299,23 +356,48 @@ pub fn crack(inst: &Inst, ptr_op: bool, cfg: &CrackConfig) -> Cracked {
                 crate::insn::FpOp::Div => UopKind::FpDiv,
                 _ => UopKind::FpAlu,
             };
-            u.push_uop(Uop::base(kind, Some(LReg::F(dst)), Some(LReg::F(a)), Some(LReg::F(b))));
+            u.push_uop(Uop::base(
+                kind,
+                Some(LReg::F(dst)),
+                Some(LReg::F(a)),
+                Some(LReg::F(b)),
+            ));
         }
         Inst::FpMovImm { dst, .. } => {
             u.push_uop(Uop::base(UopKind::FpAlu, Some(LReg::F(dst)), None, None));
         }
         Inst::FpMov { dst, src } => {
-            u.push_uop(Uop::base(UopKind::FpAlu, Some(LReg::F(dst)), Some(LReg::F(src)), None));
+            u.push_uop(Uop::base(
+                UopKind::FpAlu,
+                Some(LReg::F(dst)),
+                Some(LReg::F(src)),
+                None,
+            ));
         }
         Inst::IntToFp { dst, src } => {
-            u.push_uop(Uop::base(UopKind::FpAlu, Some(LReg::F(dst)), Some(LReg::G(src)), None));
+            u.push_uop(Uop::base(
+                UopKind::FpAlu,
+                Some(LReg::F(dst)),
+                Some(LReg::G(src)),
+                None,
+            ));
         }
         Inst::FpToInt { dst, src } => {
-            u.push_uop(Uop::base(UopKind::FpAlu, Some(LReg::G(dst)), Some(LReg::F(src)), None));
+            u.push_uop(Uop::base(
+                UopKind::FpAlu,
+                Some(LReg::G(dst)),
+                Some(LReg::F(src)),
+                None,
+            ));
             meta = MetaEffect::Invalidate(dst);
         }
         Inst::Branch { a, b, .. } => {
-            u.push_uop(Uop::base(UopKind::Branch, None, Some(LReg::G(a)), Some(LReg::G(b))));
+            u.push_uop(Uop::base(
+                UopKind::Branch,
+                None,
+                Some(LReg::G(a)),
+                Some(LReg::G(b)),
+            ));
             ctrl = CtrlKind::CondBranch;
         }
         Inst::Jump { .. } => {
@@ -326,7 +408,12 @@ pub fn crack(inst: &Inst, ptr_op: bool, cfg: &CrackConfig) -> Cracked {
             ctrl = CtrlKind::Call;
             let rsp = Gpr::RSP;
             // rsp -= 8 ; mem[rsp] = return address
-            u.push_uop(Uop::base(UopKind::IntAlu, Some(LReg::G(rsp)), Some(LReg::G(rsp)), None));
+            u.push_uop(Uop::base(
+                UopKind::IntAlu,
+                Some(LReg::G(rsp)),
+                Some(LReg::G(rsp)),
+                None,
+            ));
             u.push_uop(Uop::base(UopKind::Store, None, None, Some(LReg::G(rsp))));
             if wd {
                 // Fig. 3c: stack_key += 1 ; stack_lock += 8 ;
@@ -366,8 +453,18 @@ pub fn crack(inst: &Inst, ptr_op: bool, cfg: &CrackConfig) -> Cracked {
             ctrl = CtrlKind::Ret;
             let rsp = Gpr::RSP;
             // t0 = mem[rsp] ; rsp += 8
-            u.push_uop(Uop::base(UopKind::Load, Some(LReg::T(0)), Some(LReg::G(rsp)), None));
-            u.push_uop(Uop::base(UopKind::IntAlu, Some(LReg::G(rsp)), Some(LReg::G(rsp)), None));
+            u.push_uop(Uop::base(
+                UopKind::Load,
+                Some(LReg::T(0)),
+                Some(LReg::G(rsp)),
+                None,
+            ));
+            u.push_uop(Uop::base(
+                UopKind::IntAlu,
+                Some(LReg::G(rsp)),
+                Some(LReg::G(rsp)),
+                None,
+            ));
             if wd {
                 // Fig. 3d: mem[stack_lock] = INVALID ; stack_lock -= 8 ;
                 // current_key = mem[stack_lock] ; rsp.id = (key, lock).
@@ -405,7 +502,11 @@ pub fn crack(inst: &Inst, ptr_op: bool, cfg: &CrackConfig) -> Cracked {
         Inst::SetIdent { ptr, key, lock } => {
             // In baseline mode the instruction still decodes (one plain
             // ALU µop) but performs no metadata work.
-            let tag = if wd { UopTag::AllocDealloc } else { UopTag::Base };
+            let tag = if wd {
+                UopTag::AllocDealloc
+            } else {
+                UopTag::Base
+            };
             u.push_uop(Uop::new(
                 UopKind::IntAlu,
                 Some(LReg::M(ptr)),
@@ -415,12 +516,32 @@ pub fn crack(inst: &Inst, ptr_op: bool, cfg: &CrackConfig) -> Cracked {
             ));
         }
         Inst::GetIdent { ptr, key, lock } => {
-            let tag = if wd { UopTag::AllocDealloc } else { UopTag::Base };
-            u.push_uop(Uop::new(UopKind::IntAlu, Some(LReg::G(key)), Some(LReg::M(ptr)), None, tag));
-            u.push_uop(Uop::new(UopKind::IntAlu, Some(LReg::G(lock)), Some(LReg::M(ptr)), None, tag));
+            let tag = if wd {
+                UopTag::AllocDealloc
+            } else {
+                UopTag::Base
+            };
+            u.push_uop(Uop::new(
+                UopKind::IntAlu,
+                Some(LReg::G(key)),
+                Some(LReg::M(ptr)),
+                None,
+                tag,
+            ));
+            u.push_uop(Uop::new(
+                UopKind::IntAlu,
+                Some(LReg::G(lock)),
+                Some(LReg::M(ptr)),
+                None,
+                tag,
+            ));
         }
         Inst::SetBounds { ptr, base, bound } => {
-            let tag = if wd { UopTag::AllocDealloc } else { UopTag::Base };
+            let tag = if wd {
+                UopTag::AllocDealloc
+            } else {
+                UopTag::Base
+            };
             u.push_uop(Uop::new(
                 UopKind::IntAlu,
                 Some(LReg::M(ptr)),
@@ -441,7 +562,13 @@ pub fn crack(inst: &Inst, ptr_op: bool, cfg: &CrackConfig) -> Cracked {
             u.push_uop(Uop::base(UopKind::IntAlu, Some(LReg::G(key)), None, None));
             u.push_uop(Uop::base(UopKind::IntAlu, Some(LReg::G(lock)), None, None));
             if wd {
-                u.push_uop(Uop::new(UopKind::LockLoad, Some(LReg::T(0)), None, None, UopTag::AllocDealloc));
+                u.push_uop(Uop::new(
+                    UopKind::LockLoad,
+                    Some(LReg::T(0)),
+                    None,
+                    None,
+                    UopTag::AllocDealloc,
+                ));
                 u.push_uop(Uop::new(
                     UopKind::LockStore,
                     None,
@@ -452,7 +579,12 @@ pub fn crack(inst: &Inst, ptr_op: bool, cfg: &CrackConfig) -> Cracked {
             }
         }
         Inst::KillIdent { key, lock } => {
-            u.push_uop(Uop::base(UopKind::IntAlu, Some(LReg::T(0)), Some(LReg::G(key)), None));
+            u.push_uop(Uop::base(
+                UopKind::IntAlu,
+                Some(LReg::T(0)),
+                Some(LReg::G(key)),
+                None,
+            ));
             if wd {
                 // Validate, invalidate, recycle — the deallocation half of
                 // Fig. 3b for a custom allocator.
@@ -463,8 +595,20 @@ pub fn crack(inst: &Inst, ptr_op: bool, cfg: &CrackConfig) -> Cracked {
                     None,
                     UopTag::AllocDealloc,
                 ));
-                u.push_uop(Uop::new(UopKind::LockStore, None, None, Some(LReg::G(lock)), UopTag::AllocDealloc));
-                u.push_uop(Uop::new(UopKind::LockStore, None, Some(LReg::G(lock)), None, UopTag::AllocDealloc));
+                u.push_uop(Uop::new(
+                    UopKind::LockStore,
+                    None,
+                    None,
+                    Some(LReg::G(lock)),
+                    UopTag::AllocDealloc,
+                ));
+                u.push_uop(Uop::new(
+                    UopKind::LockStore,
+                    None,
+                    Some(LReg::G(lock)),
+                    None,
+                    UopTag::AllocDealloc,
+                ));
             }
         }
     }
@@ -472,7 +616,11 @@ pub fn crack(inst: &Inst, ptr_op: bool, cfg: &CrackConfig) -> Cracked {
     if !wd {
         meta = MetaEffect::None;
     }
-    Cracked { uops: u, meta, ctrl }
+    Cracked {
+        uops: u,
+        meta,
+        ctrl,
+    }
 }
 
 /// Representative µop expansion of the allocator fast path (segregated
@@ -481,7 +629,12 @@ pub fn crack(inst: &Inst, ptr_op: bool, cfg: &CrackConfig) -> Cracked {
 fn crack_malloc(u: &mut UopVec, dst: Gpr, size: Gpr, cfg: &CrackConfig) {
     let (t0, t1, t2, t3) = (LReg::T(0), LReg::T(1), LReg::T(2), LReg::T(3));
     // size class computation
-    u.push_uop(Uop::base(UopKind::IntAlu, Some(t0), Some(LReg::G(size)), None));
+    u.push_uop(Uop::base(
+        UopKind::IntAlu,
+        Some(t0),
+        Some(LReg::G(size)),
+        None,
+    ));
     u.push_uop(Uop::base(UopKind::IntAlu, Some(t0), Some(t0), None));
     // bin head load
     u.push_uop(Uop::base(UopKind::Load, Some(t1), Some(t0), None));
@@ -490,16 +643,44 @@ fn crack_malloc(u: &mut UopVec, dst: Gpr, size: Gpr, cfg: &CrackConfig) {
     u.push_uop(Uop::base(UopKind::Load, Some(t2), Some(t1), None));
     u.push_uop(Uop::base(UopKind::Store, None, Some(t2), Some(t0)));
     // header write + result
-    u.push_uop(Uop::base(UopKind::Store, None, Some(LReg::G(size)), Some(t1)));
-    u.push_uop(Uop::base(UopKind::IntAlu, Some(LReg::G(dst)), Some(t1), None));
+    u.push_uop(Uop::base(
+        UopKind::Store,
+        None,
+        Some(LReg::G(size)),
+        Some(t1),
+    ));
+    u.push_uop(Uop::base(
+        UopKind::IntAlu,
+        Some(LReg::G(dst)),
+        Some(t1),
+        None,
+    ));
     u.push_uop(Uop::base(UopKind::IntAlu, Some(t2), Some(t2), None));
     u.push_uop(Uop::base(UopKind::IntAlu, Some(t3), Some(t3), None));
     if cfg.watchdog {
         // key = unique_identifier++ ; lock = pop free lock location ;
         // *lock = key ; setident(p, (key, lock)).
-        u.push_uop(Uop::new(UopKind::IntAlu, Some(t3), Some(t3), None, UopTag::AllocDealloc));
-        u.push_uop(Uop::new(UopKind::LockLoad, Some(t2), None, None, UopTag::AllocDealloc));
-        u.push_uop(Uop::new(UopKind::LockStore, None, Some(t3), Some(t2), UopTag::AllocDealloc));
+        u.push_uop(Uop::new(
+            UopKind::IntAlu,
+            Some(t3),
+            Some(t3),
+            None,
+            UopTag::AllocDealloc,
+        ));
+        u.push_uop(Uop::new(
+            UopKind::LockLoad,
+            Some(t2),
+            None,
+            None,
+            UopTag::AllocDealloc,
+        ));
+        u.push_uop(Uop::new(
+            UopKind::LockStore,
+            None,
+            Some(t3),
+            Some(t2),
+            UopTag::AllocDealloc,
+        ));
         u.push_uop(Uop::new(
             UopKind::IntAlu,
             Some(LReg::M(dst)),
@@ -525,19 +706,58 @@ fn crack_malloc(u: &mut UopVec, dst: Gpr, size: Gpr, cfg: &CrackConfig) {
 /// double frees), lock invalidation and lock-location recycling.
 fn crack_free(u: &mut UopVec, ptr: Gpr, cfg: &CrackConfig) {
     let (t0, t1, t2) = (LReg::T(0), LReg::T(1), LReg::T(2));
-    u.push_uop(Uop::base(UopKind::IntAlu, Some(t0), Some(LReg::G(ptr)), None));
+    u.push_uop(Uop::base(
+        UopKind::IntAlu,
+        Some(t0),
+        Some(LReg::G(ptr)),
+        None,
+    ));
     u.push_uop(Uop::base(UopKind::Load, Some(t1), Some(t0), None));
     u.push_uop(Uop::base(UopKind::IntAlu, Some(t1), Some(t1), None));
     u.push_uop(Uop::base(UopKind::Load, Some(t2), Some(t1), None));
-    u.push_uop(Uop::base(UopKind::Store, None, Some(t2), Some(LReg::G(ptr))));
-    u.push_uop(Uop::base(UopKind::Store, None, Some(LReg::G(ptr)), Some(t1)));
+    u.push_uop(Uop::base(
+        UopKind::Store,
+        None,
+        Some(t2),
+        Some(LReg::G(ptr)),
+    ));
+    u.push_uop(Uop::base(
+        UopKind::Store,
+        None,
+        Some(LReg::G(ptr)),
+        Some(t1),
+    ));
     if cfg.watchdog {
         // id = getident(p) ; check id valid ; *(id.lock) = INVALID ;
         // push lock location on the free list.
-        u.push_uop(Uop::new(UopKind::IntAlu, Some(t2), Some(LReg::M(ptr)), None, UopTag::AllocDealloc));
-        u.push_uop(Uop::new(UopKind::Check, None, Some(LReg::M(ptr)), None, UopTag::AllocDealloc));
-        u.push_uop(Uop::new(UopKind::LockStore, None, None, Some(t2), UopTag::AllocDealloc));
-        u.push_uop(Uop::new(UopKind::LockStore, None, Some(t2), None, UopTag::AllocDealloc));
+        u.push_uop(Uop::new(
+            UopKind::IntAlu,
+            Some(t2),
+            Some(LReg::M(ptr)),
+            None,
+            UopTag::AllocDealloc,
+        ));
+        u.push_uop(Uop::new(
+            UopKind::Check,
+            None,
+            Some(LReg::M(ptr)),
+            None,
+            UopTag::AllocDealloc,
+        ));
+        u.push_uop(Uop::new(
+            UopKind::LockStore,
+            None,
+            None,
+            Some(t2),
+            UopTag::AllocDealloc,
+        ));
+        u.push_uop(Uop::new(
+            UopKind::LockStore,
+            None,
+            Some(t2),
+            None,
+            UopTag::AllocDealloc,
+        ));
     }
 }
 
@@ -567,13 +787,21 @@ mod tests {
     }
 
     fn load8(hint: PtrHint) -> Inst {
-        Inst::Load { dst: g(0), addr: MemAddr::base(g(1)), width: Width::B8, hint }
+        Inst::Load {
+            dst: g(0),
+            addr: MemAddr::base(g(1)),
+            width: Width::B8,
+            hint,
+        }
     }
 
     #[test]
     fn fig2a_pointer_load() {
         let c = crack(&load8(PtrHint::Auto), true, &CrackConfig::watchdog());
-        assert_eq!(kinds(&c.uops), vec![UopKind::Check, UopKind::Load, UopKind::ShadowLoad]);
+        assert_eq!(
+            kinds(&c.uops),
+            vec![UopKind::Check, UopKind::Load, UopKind::ShadowLoad]
+        );
         assert_eq!(c.meta, MetaEffect::None);
         // The check consumes the *metadata* of the base register.
         assert_eq!(c.uops.as_slice()[0].uop.src1, Some(LReg::M(g(1))));
@@ -597,9 +825,17 @@ mod tests {
 
     #[test]
     fn fig2b_pointer_store() {
-        let st = Inst::Store { src: g(2), addr: MemAddr::base(g(1)), width: Width::B8, hint: PtrHint::Auto };
+        let st = Inst::Store {
+            src: g(2),
+            addr: MemAddr::base(g(1)),
+            width: Width::B8,
+            hint: PtrHint::Auto,
+        };
         let c = crack(&st, true, &CrackConfig::watchdog());
-        assert_eq!(kinds(&c.uops), vec![UopKind::Check, UopKind::Store, UopKind::ShadowStore]);
+        assert_eq!(
+            kinds(&c.uops),
+            vec![UopKind::Check, UopKind::Store, UopKind::ShadowStore]
+        );
         // The shadow store reads the *source's* metadata.
         assert_eq!(c.uops.as_slice()[2].uop.src1, Some(LReg::M(g(2))));
     }
@@ -607,18 +843,34 @@ mod tests {
     #[test]
     fn fig2c_add_immediate_copies_metadata_without_uop() {
         let c = crack(
-            &Inst::AluImm { op: AluOp::Add, dst: g(3), a: g(1), imm: 8 },
+            &Inst::AluImm {
+                op: AluOp::Add,
+                dst: g(3),
+                a: g(1),
+                imm: 8,
+            },
             false,
             &CrackConfig::watchdog(),
         );
         assert_eq!(kinds(&c.uops), vec![UopKind::IntAlu]);
-        assert_eq!(c.meta, MetaEffect::Copy { dst: g(3), src: g(1) });
+        assert_eq!(
+            c.meta,
+            MetaEffect::Copy {
+                dst: g(3),
+                src: g(1)
+            }
+        );
     }
 
     #[test]
     fn fig2d_two_source_add_selects_metadata() {
         let c = crack(
-            &Inst::Alu { op: AluOp::Add, dst: g(3), a: g(1), b: g(2) },
+            &Inst::Alu {
+                op: AluOp::Add,
+                dst: g(3),
+                a: g(1),
+                b: g(2),
+            },
             false,
             &CrackConfig::watchdog(),
         );
@@ -633,7 +885,12 @@ mod tests {
     #[test]
     fn divide_never_produces_a_pointer() {
         let c = crack(
-            &Inst::Alu { op: AluOp::Div, dst: g(3), a: g(1), b: g(2) },
+            &Inst::Alu {
+                op: AluOp::Div,
+                dst: g(3),
+                a: g(1),
+                b: g(2),
+            },
             false,
             &CrackConfig::watchdog(),
         );
@@ -650,13 +907,20 @@ mod tests {
         let call = Inst::Call { target: l };
         let base = crack(&call, false, &CrackConfig::baseline());
         let wd = crack(&call, false, &CrackConfig::watchdog());
-        assert_eq!(wd.uops.len() - base.uops.len(), 4, "Fig. 3c: 4 injected µops");
+        assert_eq!(
+            wd.uops.len() - base.uops.len(),
+            4,
+            "Fig. 3c: 4 injected µops"
+        );
         assert_eq!(wd.ctrl, CtrlKind::Call);
         let ks = kinds(&wd.uops);
         assert!(ks.contains(&UopKind::LockStore));
         assert_eq!(*ks.last().unwrap(), UopKind::Branch);
-        let injected: Vec<_> =
-            wd.uops.iter().filter(|u| u.uop.tag == UopTag::AllocDealloc).collect();
+        let injected: Vec<_> = wd
+            .uops
+            .iter()
+            .filter(|u| u.uop.tag == UopTag::AllocDealloc)
+            .collect();
         assert_eq!(injected.len(), 4);
     }
 
@@ -664,25 +928,51 @@ mod tests {
     fn fig3d_ret_injects_four_ident_uops() {
         let base = crack(&Inst::Ret, false, &CrackConfig::baseline());
         let wd = crack(&Inst::Ret, false, &CrackConfig::watchdog());
-        assert_eq!(wd.uops.len() - base.uops.len(), 4, "Fig. 3d: 4 injected µops");
+        assert_eq!(
+            wd.uops.len() - base.uops.len(),
+            4,
+            "Fig. 3d: 4 injected µops"
+        );
         assert_eq!(wd.ctrl, CtrlKind::Ret);
         let ks = kinds(&wd.uops);
-        assert!(ks.contains(&UopKind::LockLoad), "reads the previous frame's key");
-        assert!(ks.contains(&UopKind::LockStore), "invalidates the popped frame");
+        assert!(
+            ks.contains(&UopKind::LockLoad),
+            "reads the previous frame's key"
+        );
+        assert!(
+            ks.contains(&UopKind::LockStore),
+            "invalidates the popped frame"
+        );
     }
 
     #[test]
     fn bounds_fused_replaces_check() {
-        let c = crack(&load8(PtrHint::Auto), true, &CrackConfig::with_bounds(BoundsUops::Fused));
-        assert_eq!(kinds(&c.uops), vec![UopKind::CheckCombined, UopKind::Load, UopKind::ShadowLoad]);
+        let c = crack(
+            &load8(PtrHint::Auto),
+            true,
+            &CrackConfig::with_bounds(BoundsUops::Fused),
+        );
+        assert_eq!(
+            kinds(&c.uops),
+            vec![UopKind::CheckCombined, UopKind::Load, UopKind::ShadowLoad]
+        );
     }
 
     #[test]
     fn bounds_split_adds_a_uop() {
-        let c = crack(&load8(PtrHint::Auto), true, &CrackConfig::with_bounds(BoundsUops::Split));
+        let c = crack(
+            &load8(PtrHint::Auto),
+            true,
+            &CrackConfig::with_bounds(BoundsUops::Split),
+        );
         assert_eq!(
             kinds(&c.uops),
-            vec![UopKind::Check, UopKind::BoundsCheck, UopKind::Load, UopKind::ShadowLoad]
+            vec![
+                UopKind::Check,
+                UopKind::BoundsCheck,
+                UopKind::Load,
+                UopKind::ShadowLoad
+            ]
         );
         // The bounds check performs no memory access.
         assert!(!UopKind::BoundsCheck.is_mem());
@@ -690,14 +980,27 @@ mod tests {
 
     #[test]
     fn malloc_watchdog_adds_ident_work() {
-        let m = Inst::Malloc { dst: g(0), size: g(1) };
+        let m = Inst::Malloc {
+            dst: g(0),
+            size: g(1),
+        };
         let base = crack(&m, false, &CrackConfig::baseline());
         let wd = crack(&m, false, &CrackConfig::watchdog());
         let bounds = crack(&m, false, &CrackConfig::with_bounds(BoundsUops::Split));
         assert_eq!(wd.uops.len() - base.uops.len(), 4);
-        assert_eq!(bounds.uops.len() - wd.uops.len(), 1, "setbounds is one more µop");
-        assert!(kinds(&wd.uops).contains(&UopKind::LockStore), "key written to lock location");
-        assert!(kinds(&wd.uops).contains(&UopKind::LockLoad), "lock popped from free list");
+        assert_eq!(
+            bounds.uops.len() - wd.uops.len(),
+            1,
+            "setbounds is one more µop"
+        );
+        assert!(
+            kinds(&wd.uops).contains(&UopKind::LockStore),
+            "key written to lock location"
+        );
+        assert!(
+            kinds(&wd.uops).contains(&UopKind::LockLoad),
+            "lock popped from free list"
+        );
     }
 
     #[test]
@@ -707,14 +1010,22 @@ mod tests {
         let wd = crack(&f, false, &CrackConfig::watchdog());
         assert_eq!(wd.uops.len() - base.uops.len(), 4);
         let ks = kinds(&wd.uops);
-        assert!(ks.contains(&UopKind::Check), "free validates the identifier (double-free)");
+        assert!(
+            ks.contains(&UopKind::Check),
+            "free validates the identifier (double-free)"
+        );
         assert_eq!(ks.iter().filter(|k| **k == UopKind::LockStore).count(), 2);
     }
 
     #[test]
     fn fp_ops_have_no_metadata_effect() {
         let c = crack(
-            &Inst::FpAlu { op: FpOp::Mul, dst: crate::reg::Fpr::new(0), a: crate::reg::Fpr::new(1), b: crate::reg::Fpr::new(2) },
+            &Inst::FpAlu {
+                op: FpOp::Mul,
+                dst: crate::reg::Fpr::new(0),
+                a: crate::reg::Fpr::new(1),
+                b: crate::reg::Fpr::new(2),
+            },
             false,
             &CrackConfig::watchdog(),
         );
@@ -724,7 +1035,11 @@ mod tests {
 
     #[test]
     fn fp_load_checks_but_never_propagates() {
-        let ld = Inst::LoadFp { dst: crate::reg::Fpr::new(0), addr: MemAddr::base(g(1)), width: FpWidth::F8 };
+        let ld = Inst::LoadFp {
+            dst: crate::reg::Fpr::new(0),
+            addr: MemAddr::base(g(1)),
+            width: FpWidth::F8,
+        };
         let c = crack(&ld, true, &CrackConfig::watchdog());
         assert_eq!(kinds(&c.uops), vec![UopKind::Check, UopKind::Load]);
     }
@@ -735,9 +1050,20 @@ mod tests {
         let l = b.label();
         b.bind(l);
         b.nop();
-        let br = Inst::Branch { cond: Cond::Eq, a: g(0), b: g(1), target: l };
-        assert_eq!(crack(&br, false, &CrackConfig::watchdog()).ctrl, CtrlKind::CondBranch);
-        assert_eq!(crack(&Inst::Jump { target: l }, false, &CrackConfig::watchdog()).ctrl, CtrlKind::Jump);
+        let br = Inst::Branch {
+            cond: Cond::Eq,
+            a: g(0),
+            b: g(1),
+            target: l,
+        };
+        assert_eq!(
+            crack(&br, false, &CrackConfig::watchdog()).ctrl,
+            CtrlKind::CondBranch
+        );
+        assert_eq!(
+            crack(&Inst::Jump { target: l }, false, &CrackConfig::watchdog()).ctrl,
+            CtrlKind::Jump
+        );
     }
 
     #[test]
@@ -758,24 +1084,45 @@ mod tests {
 
     #[test]
     fn setident_writes_sidecar() {
-        let c = crack(&Inst::SetIdent { ptr: g(0), key: g(1), lock: g(2) }, false, &CrackConfig::watchdog());
+        let c = crack(
+            &Inst::SetIdent {
+                ptr: g(0),
+                key: g(1),
+                lock: g(2),
+            },
+            false,
+            &CrackConfig::watchdog(),
+        );
         assert_eq!(c.uops.as_slice()[0].uop.dst, Some(LReg::M(g(0))));
         assert_eq!(c.uops.as_slice()[0].uop.tag, UopTag::AllocDealloc);
     }
 
     #[test]
     fn newident_killident_custom_allocator_uops() {
-        let ni = Inst::NewIdent { key: g(1), lock: g(2) };
+        let ni = Inst::NewIdent {
+            key: g(1),
+            lock: g(2),
+        };
         let base = crack(&ni, false, &CrackConfig::baseline());
         let wd = crack(&ni, false, &CrackConfig::watchdog());
         assert_eq!(wd.uops.len() - base.uops.len(), 2, "lock pop + key write");
         assert!(kinds(&wd.uops).contains(&UopKind::LockStore));
-        let ki = Inst::KillIdent { key: g(1), lock: g(2) };
+        let ki = Inst::KillIdent {
+            key: g(1),
+            lock: g(2),
+        };
         let base = crack(&ki, false, &CrackConfig::baseline());
         let wd = crack(&ki, false, &CrackConfig::watchdog());
-        assert_eq!(wd.uops.len() - base.uops.len(), 3, "validate + invalidate + recycle");
         assert_eq!(
-            kinds(&wd.uops).iter().filter(|k| **k == UopKind::LockStore).count(),
+            wd.uops.len() - base.uops.len(),
+            3,
+            "validate + invalidate + recycle"
+        );
+        assert_eq!(
+            kinds(&wd.uops)
+                .iter()
+                .filter(|k| **k == UopKind::LockStore)
+                .count(),
             2
         );
     }
@@ -785,7 +1132,12 @@ mod tests {
         // A pointer load under Watchdog: 3 µops vs 1 baseline → the overhead
         // is one check and one pointer-load metadata access.
         let c = crack(&load8(PtrHint::Auto), true, &CrackConfig::watchdog());
-        let overhead: Vec<_> = c.uops.iter().filter(|u| u.uop.tag.is_overhead()).map(|u| u.uop.tag).collect();
+        let overhead: Vec<_> = c
+            .uops
+            .iter()
+            .filter(|u| u.uop.tag.is_overhead())
+            .map(|u| u.uop.tag)
+            .collect();
         assert_eq!(overhead, vec![UopTag::Check, UopTag::PtrLoad]);
         assert_eq!(baseline_uop_count(&load8(PtrHint::Auto)), 1);
     }

@@ -115,13 +115,7 @@ impl AluOp {
             AluOp::Shr => a.wrapping_shr(b as u32 & 63),
             AluOp::Sar => ((a as i64).wrapping_shr(b as u32 & 63)) as u64,
             AluOp::Mul => a.wrapping_mul(b),
-            AluOp::Div => {
-                if b == 0 {
-                    u64::MAX
-                } else {
-                    a / b
-                }
-            }
+            AluOp::Div => a.checked_div(b).unwrap_or(u64::MAX),
             AluOp::Rem => {
                 if b == 0 {
                     a
@@ -511,8 +505,12 @@ impl fmt::Display for Inst {
             Inst::AluImm { op, dst, a, imm } => write!(f, "{op:?}i {dst}, {a}, {imm}"),
             Inst::Lea { dst, addr } => write!(f, "lea {dst}, {addr}"),
             Inst::LeaGlobal { dst, addr } => write!(f, "lea {dst}, global:{addr:#x}"),
-            Inst::Load { dst, addr, width, .. } => write!(f, "ld{} {dst}, {addr}", width.bytes()),
-            Inst::Store { src, addr, width, .. } => write!(f, "st{} {src}, {addr}", width.bytes()),
+            Inst::Load {
+                dst, addr, width, ..
+            } => write!(f, "ld{} {dst}, {addr}", width.bytes()),
+            Inst::Store {
+                src, addr, width, ..
+            } => write!(f, "st{} {src}, {addr}", width.bytes()),
             Inst::LoadFp { dst, addr, width } => write!(f, "ldf{} {dst}, {addr}", width.bytes()),
             Inst::StoreFp { src, addr, width } => write!(f, "stf{} {src}, {addr}", width.bytes()),
             Inst::FpAlu { op, dst, a, b } => write!(f, "f{op:?} {dst}, {a}, {b}"),
@@ -520,7 +518,9 @@ impl fmt::Display for Inst {
             Inst::FpMov { dst, src } => write!(f, "fmov {dst}, {src}"),
             Inst::IntToFp { dst, src } => write!(f, "i2f {dst}, {src}"),
             Inst::FpToInt { dst, src } => write!(f, "f2i {dst}, {src}"),
-            Inst::Branch { cond, a, b, target } => write!(f, "b{cond:?} {a}, {b}, L{}", target.index()),
+            Inst::Branch { cond, a, b, target } => {
+                write!(f, "b{cond:?} {a}, {b}, L{}", target.index())
+            }
             Inst::Jump { target } => write!(f, "jmp L{}", target.index()),
             Inst::Call { target } => write!(f, "call L{}", target.index()),
             Inst::Ret => write!(f, "ret"),
@@ -559,7 +559,9 @@ impl Inst {
             }
             Inst::FpMovImm { .. } => 10,
             Inst::Lea { .. } | Inst::LeaGlobal { .. } => 7,
-            Inst::Load { .. } | Inst::Store { .. } | Inst::LoadFp { .. } | Inst::StoreFp { .. } => 5,
+            Inst::Load { .. } | Inst::Store { .. } | Inst::LoadFp { .. } | Inst::StoreFp { .. } => {
+                5
+            }
             Inst::IntToFp { .. } | Inst::FpToInt { .. } => 4,
             Inst::Branch { .. } => 6,
             Inst::Jump { .. } | Inst::Call { .. } => 5,
@@ -642,8 +644,14 @@ mod tests {
 
     #[test]
     fn encoded_lengths_are_reasonable() {
-        let small = Inst::MovImm { dst: Gpr::new(0), imm: 1 };
-        let big = Inst::MovImm { dst: Gpr::new(0), imm: i64::MAX };
+        let small = Inst::MovImm {
+            dst: Gpr::new(0),
+            imm: 1,
+        };
+        let big = Inst::MovImm {
+            dst: Gpr::new(0),
+            imm: i64::MAX,
+        };
         assert!(small.encoded_len() < big.encoded_len());
         assert_eq!(Inst::Ret.encoded_len(), 1);
     }

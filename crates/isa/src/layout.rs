@@ -142,10 +142,15 @@ mod tests {
             (STACK_LIMIT, STACK_TOP),
         ];
         for w in regions.windows(2) {
-            assert!(w[0].1 <= w[1].0, "regions overlap: {:x?} vs {:x?}", w[0], w[1]);
+            assert!(
+                w[0].1 <= w[1].0,
+                "regions overlap: {:x?} vs {:x?}",
+                w[0],
+                w[1]
+            );
         }
-        // Shadow sits above everything.
-        assert!(SHADOW_BASE > STACK_TOP);
+        // Shadow sits above everything (checked at compile time).
+        const { assert!(SHADOW_BASE > STACK_TOP) };
     }
 
     #[test]
@@ -178,6 +183,6 @@ mod tests {
     fn sentinel_never_collides_with_keys() {
         assert_ne!(INVALID_SENTINEL, GLOBAL_KEY);
         assert_ne!(INVALID_SENTINEL, INVALID_KEY);
-        assert!(FIRST_HEAP_KEY > GLOBAL_KEY);
+        const { assert!(FIRST_HEAP_KEY > GLOBAL_KEY) };
     }
 }

@@ -158,7 +158,10 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Starts an empty program named `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        ProgramBuilder { name: name.into(), ..Default::default() }
+        ProgramBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Issues a fresh (unbound) label.
@@ -237,7 +240,10 @@ impl ProgramBuilder {
 
     /// `dst = base + offset` (pointer arithmetic; metadata propagates).
     pub fn lea(&mut self, dst: Gpr, base: Gpr, offset: i32) -> &mut Self {
-        self.push(Inst::Lea { dst, addr: MemAddr::offset(base, offset) })
+        self.push(Inst::Lea {
+            dst,
+            addr: MemAddr::offset(base, offset),
+        })
     }
 
     /// `dst = &global` — receives the global identifier.
@@ -247,7 +253,12 @@ impl ProgramBuilder {
 
     /// Typed integer load.
     pub fn load(&mut self, dst: Gpr, base: Gpr, offset: i32, width: Width) -> &mut Self {
-        self.push(Inst::Load { dst, addr: MemAddr::offset(base, offset), width, hint: PtrHint::Auto })
+        self.push(Inst::Load {
+            dst,
+            addr: MemAddr::offset(base, offset),
+            width,
+            hint: PtrHint::Auto,
+        })
     }
 
     /// 8-byte load (pointer-capable).
@@ -267,7 +278,12 @@ impl ProgramBuilder {
 
     /// Typed integer store.
     pub fn store(&mut self, src: Gpr, base: Gpr, offset: i32, width: Width) -> &mut Self {
-        self.push(Inst::Store { src, addr: MemAddr::offset(base, offset), width, hint: PtrHint::Auto })
+        self.push(Inst::Store {
+            src,
+            addr: MemAddr::offset(base, offset),
+            width,
+            hint: PtrHint::Auto,
+        })
     }
 
     /// 8-byte store (pointer-capable).
@@ -287,12 +303,20 @@ impl ProgramBuilder {
 
     /// Floating-point load.
     pub fn ldf(&mut self, dst: Fpr, base: Gpr, offset: i32, width: FpWidth) -> &mut Self {
-        self.push(Inst::LoadFp { dst, addr: MemAddr::offset(base, offset), width })
+        self.push(Inst::LoadFp {
+            dst,
+            addr: MemAddr::offset(base, offset),
+            width,
+        })
     }
 
     /// Floating-point store.
     pub fn stf(&mut self, src: Fpr, base: Gpr, offset: i32, width: FpWidth) -> &mut Self {
-        self.push(Inst::StoreFp { src, addr: MemAddr::offset(base, offset), width })
+        self.push(Inst::StoreFp {
+            src,
+            addr: MemAddr::offset(base, offset),
+            width,
+        })
     }
 
     /// FP three-operand ALU.
@@ -414,7 +438,9 @@ impl ProgramBuilder {
             return Err(ProgramError::Empty);
         }
         if self.global_cursor > GLOBAL_SIZE {
-            return Err(ProgramError::GlobalOverflow { requested: self.global_cursor });
+            return Err(ProgramError::GlobalOverflow {
+                requested: self.global_cursor,
+            });
         }
         let mut targets = Vec::with_capacity(self.label_targets.len());
         for (i, t) in self.label_targets.iter().enumerate() {
@@ -473,7 +499,10 @@ mod tests {
 
     #[test]
     fn empty_program_is_an_error() {
-        assert!(matches!(ProgramBuilder::new("t").build(), Err(ProgramError::Empty)));
+        assert!(matches!(
+            ProgramBuilder::new("t").build(),
+            Err(ProgramError::Empty)
+        ));
     }
 
     #[test]
@@ -508,12 +537,18 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         b.global_bytes(GLOBAL_SIZE + 1, 1);
         b.halt();
-        assert!(matches!(b.build(), Err(ProgramError::GlobalOverflow { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(ProgramError::GlobalOverflow { .. })
+        ));
     }
 
     #[test]
     fn error_display() {
-        assert_eq!(ProgramError::Empty.to_string(), "program has no instructions");
+        assert_eq!(
+            ProgramError::Empty.to_string(),
+            "program has no instructions"
+        );
         assert!(ProgramError::UnboundLabel(3).to_string().contains('3'));
     }
 }

@@ -170,7 +170,10 @@ impl LReg {
     /// Whether this logical register names metadata (a sidecar, metadata
     /// temporary or identifier control register).
     pub const fn is_metadata(self) -> bool {
-        matches!(self, LReg::M(_) | LReg::Tm(_) | LReg::StackKey | LReg::StackLock)
+        matches!(
+            self,
+            LReg::M(_) | LReg::Tm(_) | LReg::StackKey | LReg::StackLock
+        )
     }
 }
 

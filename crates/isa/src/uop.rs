@@ -88,7 +88,10 @@ impl UopKind {
 
     /// Whether the µop writes memory.
     pub const fn is_mem_write(self) -> bool {
-        matches!(self, UopKind::Store | UopKind::ShadowStore | UopKind::LockStore)
+        matches!(
+            self,
+            UopKind::Store | UopKind::ShadowStore | UopKind::LockStore
+        )
     }
 
     /// Whether the µop accesses a lock location (eligible for the
@@ -158,11 +161,22 @@ impl Uop {
         src2: Option<LReg>,
         tag: UopTag,
     ) -> Self {
-        Uop { kind, dst, src1, src2, tag }
+        Uop {
+            kind,
+            dst,
+            src1,
+            src2,
+            tag,
+        }
     }
 
     /// Convenience constructor for a base-tagged µop.
-    pub const fn base(kind: UopKind, dst: Option<LReg>, src1: Option<LReg>, src2: Option<LReg>) -> Self {
+    pub const fn base(
+        kind: UopKind,
+        dst: Option<LReg>,
+        src1: Option<LReg>,
+        src2: Option<LReg>,
+    ) -> Self {
         Self::new(kind, dst, src1, src2, UopTag::Base)
     }
 }
@@ -200,7 +214,12 @@ pub struct UopExec {
 impl UopExec {
     /// Wraps a µop with no dynamic facts attached yet.
     pub const fn plain(uop: Uop) -> Self {
-        UopExec { uop, addr: None, taken: false, target: 0 }
+        UopExec {
+            uop,
+            addr: None,
+            taken: false,
+            target: 0,
+        }
     }
 }
 
@@ -221,7 +240,10 @@ pub struct UopVec {
 impl UopVec {
     /// Empty vector.
     pub fn new() -> Self {
-        UopVec { items: [UopExec::default(); MAX_UOPS], len: 0 }
+        UopVec {
+            items: [UopExec::default(); MAX_UOPS],
+            len: 0,
+        }
     }
 
     /// Appends a µop.
@@ -291,7 +313,7 @@ mod tests {
         assert!(UopKind::Check.is_mem());
         assert!(UopKind::Check.is_lock_access());
         assert!(!UopKind::Check.is_mem_write());
-        assert!(UopKind::BoundsCheck.is_mem() == false);
+        assert!(!UopKind::BoundsCheck.is_mem());
         assert!(UopKind::ShadowStore.is_mem_write());
         assert!(UopKind::ShadowStore.is_shadow_access());
         assert!(UopKind::LockStore.is_lock_access());
@@ -302,7 +324,13 @@ mod tests {
     #[test]
     fn tag_overhead() {
         assert!(!UopTag::Base.is_overhead());
-        for t in [UopTag::Check, UopTag::PtrLoad, UopTag::PtrStore, UopTag::Propagate, UopTag::AllocDealloc] {
+        for t in [
+            UopTag::Check,
+            UopTag::PtrLoad,
+            UopTag::PtrStore,
+            UopTag::Propagate,
+            UopTag::AllocDealloc,
+        ] {
             assert!(t.is_overhead());
         }
     }
@@ -312,7 +340,12 @@ mod tests {
         let mut v = UopVec::new();
         assert!(v.is_empty());
         for i in 0..5u8 {
-            v.push_uop(Uop::base(UopKind::IntAlu, Some(LReg::G(Gpr::new(i))), None, None));
+            v.push_uop(Uop::base(
+                UopKind::IntAlu,
+                Some(LReg::G(Gpr::new(i))),
+                None,
+                None,
+            ));
         }
         assert_eq!(v.len(), 5);
         let dsts: Vec<_> = v.iter().map(|u| u.uop.dst.unwrap()).collect();

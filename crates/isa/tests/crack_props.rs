@@ -17,14 +17,28 @@ fn arb_fpr() -> impl Strategy<Value = Fpr> {
 }
 
 fn arb_width() -> impl Strategy<Value = Width> {
-    prop_oneof![Just(Width::B1), Just(Width::B2), Just(Width::B4), Just(Width::B8)]
+    prop_oneof![
+        Just(Width::B1),
+        Just(Width::B2),
+        Just(Width::B4),
+        Just(Width::B8)
+    ]
 }
 
 fn arb_alu_op() -> impl Strategy<Value = AluOp> {
     prop_oneof![
-        Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::And), Just(AluOp::Or),
-        Just(AluOp::Xor), Just(AluOp::Shl), Just(AluOp::Shr), Just(AluOp::Sar),
-        Just(AluOp::Mul), Just(AluOp::Div), Just(AluOp::Rem), Just(AluOp::Slt),
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+        Just(AluOp::Sar),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+        Just(AluOp::Slt),
         Just(AluOp::Sltu),
     ]
 }
@@ -36,20 +50,58 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         Just(Inst::Nop),
         (arb_gpr(), any::<i64>()).prop_map(|(dst, imm)| Inst::MovImm { dst, imm }),
         (arb_gpr(), arb_gpr()).prop_map(|(dst, src)| Inst::Mov { dst, src }),
-        (arb_alu_op(), arb_gpr(), arb_gpr(), arb_gpr()).prop_map(|(op, dst, a, b)| Inst::Alu { op, dst, a, b }),
-        (arb_alu_op(), arb_gpr(), arb_gpr(), any::<i32>()).prop_map(|(op, dst, a, imm)| Inst::AluImm { op, dst, a, imm: imm as i64 }),
-        (arb_gpr(), arb_gpr(), any::<i16>()).prop_map(|(dst, base, off)| Inst::Lea { dst, addr: MemAddr::offset(base, off as i32) }),
-        (arb_gpr(), arb_gpr(), any::<i16>(), arb_width()).prop_map(|(dst, base, off, width)| Inst::Load {
-            dst, addr: MemAddr::offset(base, off as i32), width, hint: PtrHint::Auto
+        (arb_alu_op(), arb_gpr(), arb_gpr(), arb_gpr()).prop_map(|(op, dst, a, b)| Inst::Alu {
+            op,
+            dst,
+            a,
+            b
         }),
-        (arb_gpr(), arb_gpr(), any::<i16>(), arb_width()).prop_map(|(src, base, off, width)| Inst::Store {
-            src, addr: MemAddr::offset(base, off as i32), width, hint: PtrHint::Auto
+        (arb_alu_op(), arb_gpr(), arb_gpr(), any::<i32>()).prop_map(|(op, dst, a, imm)| {
+            Inst::AluImm {
+                op,
+                dst,
+                a,
+                imm: imm as i64,
+            }
         }),
-        (arb_fpr(), arb_gpr(), any::<i16>()).prop_map(|(dst, base, off)| Inst::LoadFp { dst, addr: MemAddr::offset(base, off as i32), width: FpWidth::F8 }),
-        (arb_fpr(), arb_fpr(), arb_fpr()).prop_map(|(dst, a, b)| Inst::FpAlu { op: FpOp::Mul, dst, a, b }),
+        (arb_gpr(), arb_gpr(), any::<i16>()).prop_map(|(dst, base, off)| Inst::Lea {
+            dst,
+            addr: MemAddr::offset(base, off as i32)
+        }),
+        (arb_gpr(), arb_gpr(), any::<i16>(), arb_width()).prop_map(|(dst, base, off, width)| {
+            Inst::Load {
+                dst,
+                addr: MemAddr::offset(base, off as i32),
+                width,
+                hint: PtrHint::Auto,
+            }
+        }),
+        (arb_gpr(), arb_gpr(), any::<i16>(), arb_width()).prop_map(|(src, base, off, width)| {
+            Inst::Store {
+                src,
+                addr: MemAddr::offset(base, off as i32),
+                width,
+                hint: PtrHint::Auto,
+            }
+        }),
+        (arb_fpr(), arb_gpr(), any::<i16>()).prop_map(|(dst, base, off)| Inst::LoadFp {
+            dst,
+            addr: MemAddr::offset(base, off as i32),
+            width: FpWidth::F8
+        }),
+        (arb_fpr(), arb_fpr(), arb_fpr()).prop_map(|(dst, a, b)| Inst::FpAlu {
+            op: FpOp::Mul,
+            dst,
+            a,
+            b
+        }),
         (arb_gpr(), arb_gpr()).prop_map(|(dst, size)| Inst::Malloc { dst, size }),
         arb_gpr().prop_map(|ptr| Inst::Free { ptr }),
-        (arb_gpr(), arb_gpr(), arb_gpr()).prop_map(|(ptr, key, lock)| Inst::SetIdent { ptr, key, lock }),
+        (arb_gpr(), arb_gpr(), arb_gpr()).prop_map(|(ptr, key, lock)| Inst::SetIdent {
+            ptr,
+            key,
+            lock
+        }),
         (arb_gpr(), arb_gpr()).prop_map(|(key, lock)| Inst::NewIdent { key, lock }),
         (arb_gpr(), arb_gpr()).prop_map(|(key, lock)| Inst::KillIdent { key, lock }),
         Just(Inst::Ret),

@@ -75,7 +75,12 @@ impl Cache {
     /// Builds an empty cache.
     pub fn new(cfg: CacheConfig) -> Self {
         let n = (cfg.sets() * cfg.ways) as usize;
-        Cache { cfg, lines: vec![Line::default(); n], clock: 0, stats: CacheStats::default() }
+        Cache {
+            cfg,
+            lines: vec![Line::default(); n],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The cache's geometry.
@@ -140,7 +145,11 @@ impl Cache {
             .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
             .map(|(i, _)| lo + i)
             .expect("cache set is never empty");
-        self.lines[victim] = Line { tag, valid: true, lru: self.clock };
+        self.lines[victim] = Line {
+            tag,
+            valid: true,
+            lru: self.clock,
+        };
     }
 
     /// Counter snapshot.

@@ -317,7 +317,10 @@ mod tests {
 
     #[test]
     fn lock_accesses_fall_back_to_l1d_when_disabled() {
-        let mut hy = h(HierarchyConfig { lock_cache: false, ..Default::default() });
+        let mut hy = h(HierarchyConfig {
+            lock_cache: false,
+            ..Default::default()
+        });
         hy.access(AccessClass::Lock, 0x5000_0000, false);
         let s = hy.stats();
         assert_eq!(s.ll.accesses, 0);
@@ -326,7 +329,10 @@ mod tests {
 
     #[test]
     fn ideal_shadow_never_misses_or_pollutes() {
-        let mut hy = h(HierarchyConfig { ideal_shadow: true, ..Default::default() });
+        let mut hy = h(HierarchyConfig {
+            ideal_shadow: true,
+            ..Default::default()
+        });
         for i in 0..1000 {
             let lat = hy.access(AccessClass::Shadow, 0x4000_0000_0000 + i * 4096, false);
             assert_eq!(lat, 3);
@@ -345,8 +351,10 @@ mod tests {
 
     #[test]
     fn streaming_pattern_benefits_from_prefetch() {
-        let mut cfg = HierarchyConfig::default();
-        cfg.tlb_miss_penalty = 0;
+        let mut cfg = HierarchyConfig {
+            tlb_miss_penalty: 0,
+            ..Default::default()
+        };
         let mut with_pf = h(cfg);
         cfg.l1_prefetch = (1, 0);
         cfg.l2_prefetch = (1, 0);

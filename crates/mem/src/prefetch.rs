@@ -27,7 +27,12 @@ impl StreamPrefetcher {
     /// Builds a prefetcher tracking `max_streams` streams and prefetching
     /// `degree` blocks ahead.
     pub fn new(max_streams: usize, degree: u64) -> Self {
-        StreamPrefetcher { streams: Vec::new(), max_streams, degree, issued: 0 }
+        StreamPrefetcher {
+            streams: Vec::new(),
+            max_streams,
+            degree,
+            issued: 0,
+        }
     }
 
     /// Observes a demand miss on `block` (a block *index*, not a byte
@@ -67,7 +72,12 @@ impl StreamPrefetcher {
                 .expect("non-empty");
             self.streams.swap_remove(victim);
         }
-        self.streams.push(Stream { last_block: block, stride: 0, confidence: 0, lru: clock });
+        self.streams.push(Stream {
+            last_block: block,
+            stride: 0,
+            confidence: 0,
+            lru: clock,
+        });
         Vec::new()
     }
 }

@@ -32,8 +32,12 @@ pub struct MetaRecord {
 
 impl MetaRecord {
     /// The invalid record: checks against it always fail.
-    pub const INVALID: MetaRecord =
-        MetaRecord { key: INVALID_KEY, lock: INVALID_LOCK_ADDR, base: 0, bound: 0 };
+    pub const INVALID: MetaRecord = MetaRecord {
+        key: INVALID_KEY,
+        lock: INVALID_LOCK_ADDR,
+        base: 0,
+        bound: 0,
+    };
 
     /// The global-segment record: checks against it always pass, and its
     /// bounds cover the entire global segment (§7).
@@ -49,12 +53,22 @@ impl MetaRecord {
 
     /// An identifier-only record (unbounded).
     pub fn ident(key: u64, lock: u64) -> MetaRecord {
-        MetaRecord { key, lock, base: 0, bound: u64::MAX }
+        MetaRecord {
+            key,
+            lock,
+            base: 0,
+            bound: u64::MAX,
+        }
     }
 
     /// A full record.
     pub fn with_bounds(key: u64, lock: u64, base: u64, bound: u64) -> MetaRecord {
-        MetaRecord { key, lock, base, bound }
+        MetaRecord {
+            key,
+            lock,
+            base,
+            bound,
+        }
     }
 
     /// Whether the record is the statically-invalid one (no identifier was
@@ -90,12 +104,16 @@ pub struct ShadowSpace {
 impl ShadowSpace {
     /// Identifier-only shadow space (128-bit records).
     pub fn ident_only() -> Self {
-        ShadowSpace { meta_bytes: META_BYTES_ID }
+        ShadowSpace {
+            meta_bytes: META_BYTES_ID,
+        }
     }
 
     /// Bounds-extended shadow space (256-bit records).
     pub fn with_bounds() -> Self {
-        ShadowSpace { meta_bytes: META_BYTES_BOUNDS }
+        ShadowSpace {
+            meta_bytes: META_BYTES_BOUNDS,
+        }
     }
 
     /// Record width in bytes.
@@ -125,7 +143,12 @@ impl ShadowSpace {
         if self.has_bounds() {
             let base = mem.read_u64(s + 16);
             let bound = mem.read_u64(s + 24);
-            MetaRecord { key, lock, base, bound }
+            MetaRecord {
+                key,
+                lock,
+                base,
+                bound,
+            }
         } else {
             MetaRecord::ident(key, lock)
         }
@@ -208,7 +231,11 @@ mod tests {
         let mut m = GuestMem::new();
         let s = ShadowSpace::ident_only();
         s.store(&mut m, HEAP_BASE + 16, MetaRecord::ident(9, 90));
-        assert_eq!(s.load(&mut m, HEAP_BASE + 20).key, 9, "same word → same record");
+        assert_eq!(
+            s.load(&mut m, HEAP_BASE + 20).key,
+            9,
+            "same word → same record"
+        );
     }
 
     #[test]

@@ -24,7 +24,13 @@ impl Tlb {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "TLB capacity must be positive");
-        Tlb { entries: Vec::with_capacity(capacity), capacity, clock: 0, accesses: 0, misses: 0 }
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            clock: 0,
+            accesses: 0,
+            misses: 0,
+        }
     }
 
     /// Looks up the page containing `addr`; fills on miss. Returns `true`

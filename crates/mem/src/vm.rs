@@ -72,7 +72,10 @@ pub struct GuestMem {
 impl GuestMem {
     /// Empty memory with footprint tracking enabled.
     pub fn new() -> Self {
-        GuestMem { track: true, ..Default::default() }
+        GuestMem {
+            track: true,
+            ..Default::default()
+        }
     }
 
     /// Enables or disables footprint tracking (tracking costs a hash insert
@@ -82,7 +85,9 @@ impl GuestMem {
     }
 
     fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_SIZE] {
-        self.pages.entry(page).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
     }
 
     #[inline]
@@ -118,7 +123,7 @@ impl GuestMem {
     ///
     /// Panics if `len` is 0 or greater than 8.
     pub fn read(&mut self, addr: u64, len: u64) -> u64 {
-        assert!(len >= 1 && len <= 8, "read length out of range");
+        assert!((1..=8).contains(&len), "read length out of range");
         self.touch(addr, len);
         let mut out = 0u64;
         for i in 0..len {
@@ -138,7 +143,7 @@ impl GuestMem {
     ///
     /// Panics if `len` is 0 or greater than 8.
     pub fn write(&mut self, addr: u64, len: u64, value: u64) {
-        assert!(len >= 1 && len <= 8, "write length out of range");
+        assert!((1..=8).contains(&len), "write length out of range");
         self.touch(addr, len);
         for i in 0..len {
             let a = addr + i;

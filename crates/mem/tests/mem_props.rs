@@ -13,7 +13,7 @@ proptest! {
         let mut m = GuestMem::new();
         let mut model: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
         for (addr, len, val) in &writes {
-            let len = (*len).min(8).max(1);
+            let len = (*len).clamp(1, 8);
             m.write(*addr, len, *val);
             for i in 0..len {
                 model.insert(addr + i, (val >> (8 * i)) as u8);

@@ -118,8 +118,11 @@ impl Predictor {
             if next < 2 {
                 let idx = self.index(pc, next);
                 let tag = self.tag(pc, next);
-                self.tagged[next][idx] =
-                    TaggedEntry { tag, ctr: if taken { 2 } else { 1 }, useful: true };
+                self.tagged[next][idx] = TaggedEntry {
+                    tag,
+                    ctr: if taken { 2 } else { 1 },
+                    useful: true,
+                };
             }
         }
         self.ghr = (self.ghr << 1) | u64::from(taken);
@@ -198,7 +201,10 @@ mod tests {
                 wrong += 1;
             }
         }
-        assert!(wrong <= 3, "always-taken branch should be learned quickly ({wrong} wrong)");
+        assert!(
+            wrong <= 3,
+            "always-taken branch should be learned quickly ({wrong} wrong)"
+        );
     }
 
     #[test]
@@ -225,13 +231,18 @@ mod tests {
         let mut x: u64 = 0x12345;
         let mut wrong = 0;
         for _ in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 33) & 1 == 1;
             if !p.observe(0x1000, CtrlKind::CondBranch, taken, 0x2000, 0x1004) {
                 wrong += 1;
             }
         }
-        assert!(wrong > 100, "random outcomes cannot be predicted ({wrong}/500 wrong)");
+        assert!(
+            wrong > 100,
+            "random outcomes cannot be predicted ({wrong}/500 wrong)"
+        );
     }
 
     #[test]
@@ -268,7 +279,11 @@ mod tests {
 
     #[test]
     fn mpki_metric() {
-        let s = BpredStats { cond_branches: 1000, cond_mispredicts: 5, ..Default::default() };
+        let s = BpredStats {
+            cond_branches: 1000,
+            cond_mispredicts: 5,
+            ..Default::default()
+        };
         assert_eq!(s.mpki(), 5.0);
         assert_eq!(BpredStats::default().mpki(), 0.0);
     }

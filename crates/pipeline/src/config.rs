@@ -122,16 +122,71 @@ impl CoreConfig {
     /// reproduction binary.
     pub fn describe(&self) -> Vec<(String, String)> {
         vec![
-            ("Clock".into(), format!("{:.1} GHz", self.clock_mhz as f64 / 1000.0)),
-            ("Bpred".into(), "3-table PPM: 256x2, 128x4, 128x4, 8-bit tags, 2-bit counters".into()),
-            ("Fetch".into(), format!("{} bytes/cycle. {} cycle latency", self.fetch_bytes_per_cycle, self.fetch_latency)),
-            ("Rename".into(), format!("Max {} uops per cycle. {} cycle latency", self.rename_width, self.rename_latency)),
-            ("Dispatch".into(), format!("Max {} uops per cycle. {} cycle latency", self.rename_width, self.dispatch_latency)),
-            ("Registers".into(), format!("({} int + {} floating point)", self.int_phys_regs, self.fp_phys_regs)),
-            ("ROB/IQ".into(), format!("{}-entry ROB, {}-entry IQ", self.rob_entries, self.iq_entries)),
-            ("Issue".into(), format!("{}-wide. Speculative wakeup.", self.issue_width)),
-            ("Int FUs".into(), format!("{} ALU. {} branch. {} ld. {} st. {} mul/div", self.int_alus, self.branch_units, self.load_ports, self.store_ports, self.muldiv_units)),
-            ("FP FUs".into(), format!("{} ALU/convert. {} mul. {} mul/div/sqrt.", self.fp_alus, self.fp_muls, self.fp_divs)),
+            (
+                "Clock".into(),
+                format!("{:.1} GHz", self.clock_mhz as f64 / 1000.0),
+            ),
+            (
+                "Bpred".into(),
+                "3-table PPM: 256x2, 128x4, 128x4, 8-bit tags, 2-bit counters".into(),
+            ),
+            (
+                "Fetch".into(),
+                format!(
+                    "{} bytes/cycle. {} cycle latency",
+                    self.fetch_bytes_per_cycle, self.fetch_latency
+                ),
+            ),
+            (
+                "Rename".into(),
+                format!(
+                    "Max {} uops per cycle. {} cycle latency",
+                    self.rename_width, self.rename_latency
+                ),
+            ),
+            (
+                "Dispatch".into(),
+                format!(
+                    "Max {} uops per cycle. {} cycle latency",
+                    self.rename_width, self.dispatch_latency
+                ),
+            ),
+            (
+                "Registers".into(),
+                format!(
+                    "({} int + {} floating point)",
+                    self.int_phys_regs, self.fp_phys_regs
+                ),
+            ),
+            (
+                "ROB/IQ".into(),
+                format!(
+                    "{}-entry ROB, {}-entry IQ",
+                    self.rob_entries, self.iq_entries
+                ),
+            ),
+            (
+                "Issue".into(),
+                format!("{}-wide. Speculative wakeup.", self.issue_width),
+            ),
+            (
+                "Int FUs".into(),
+                format!(
+                    "{} ALU. {} branch. {} ld. {} st. {} mul/div",
+                    self.int_alus,
+                    self.branch_units,
+                    self.load_ports,
+                    self.store_ports,
+                    self.muldiv_units
+                ),
+            ),
+            (
+                "FP FUs".into(),
+                format!(
+                    "{} ALU/convert. {} mul. {} mul/div/sqrt.",
+                    self.fp_alus, self.fp_muls, self.fp_divs
+                ),
+            ),
             ("LQ size".into(), format!("{}-entry LQ", self.lq_entries)),
             ("SQ size".into(), format!("{}-entry SQ", self.sq_entries)),
         ]

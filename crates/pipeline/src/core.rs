@@ -150,10 +150,7 @@ pub struct Snapshot {
 impl Snapshot {
     /// Component-wise difference `self - earlier`.
     pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
-        let mut tags = [0u64; NUM_TAGS];
-        for i in 0..NUM_TAGS {
-            tags[i] = self.uops_by_tag[i] - earlier.uops_by_tag[i];
-        }
+        let tags = std::array::from_fn(|i| self.uops_by_tag[i] - earlier.uops_by_tag[i]);
         Snapshot {
             cycles: self.cycles - earlier.cycles,
             uops: self.uops - earlier.uops,
@@ -518,14 +515,22 @@ impl TimingCore {
                     (s, s + 1)
                 }
                 UopKind::Check | UopKind::CheckCombined | UopKind::LockLoad => {
-                    let port = if lock_via_ll { Fu::LlPort } else { Fu::LoadPort };
+                    let port = if lock_via_ll {
+                        Fu::LlPort
+                    } else {
+                        Fu::LoadPort
+                    };
                     let s = self.reserve_issue2(port, earliest);
                     let addr = u.addr.expect("lock µop without address");
                     let lat = self.hier.access(AccessClass::Lock, addr, false);
                     (s, s + self.cfg.lat_agu + lat)
                 }
                 UopKind::LockStore => {
-                    let port = if lock_via_ll { Fu::LlPort } else { Fu::StorePort };
+                    let port = if lock_via_ll {
+                        Fu::LlPort
+                    } else {
+                        Fu::StorePort
+                    };
                     let s = self.reserve_issue2(port, earliest);
                     let addr = u.addr.expect("lock µop without address");
                     let _ = self.hier.access(AccessClass::Lock, addr, true);
@@ -557,7 +562,9 @@ impl TimingCore {
             let last = inst.uops.as_slice().last().expect("control inst has µops");
             let (taken, target) = (last.taken, last.target);
             let fallthrough = inst.pc + u64::from(inst.len);
-            let correct = self.bpred.observe(inst.pc, inst.ctrl, taken, target, fallthrough);
+            let correct = self
+                .bpred
+                .observe(inst.pc, inst.ctrl, taken, target, fallthrough);
             if !correct {
                 self.next_fetch_earliest = branch_complete + self.cfg.redirect_penalty;
             } else if taken {
@@ -593,18 +600,49 @@ mod tests {
         Gpr::new(n)
     }
 
-    fn cracked(inst: &Inst, ptr_op: bool, cfg: &CrackConfig, pc: u64, addrs: &[u64]) -> CrackedInst {
-        let Cracked { mut uops, meta, ctrl } = crack(inst, ptr_op, cfg);
+    fn cracked(
+        inst: &Inst,
+        ptr_op: bool,
+        cfg: &CrackConfig,
+        pc: u64,
+        addrs: &[u64],
+    ) -> CrackedInst {
+        let Cracked {
+            mut uops,
+            meta,
+            ctrl,
+        } = crack(inst, ptr_op, cfg);
         watchdog_isa::crack::fill_mem_addrs(&mut uops, addrs);
-        CrackedInst { pc, len: inst.encoded_len(), uops, meta, ctrl }
+        CrackedInst {
+            pc,
+            len: inst.encoded_len(),
+            uops,
+            meta,
+            ctrl,
+        }
     }
 
     fn run_alu_stream(dependent: bool, n: u64) -> TimingReport {
         let mut core = TimingCore::new(CoreConfig::sandy_bridge(), HierarchyConfig::default());
         for i in 0..n {
-            let (dst, a) = if dependent { (g(1), g(1)) } else { (g((i % 8) as u8), g(8)) };
-            let inst = Inst::AluImm { op: AluOp::Add, dst, a, imm: 1 };
-            let ci = cracked(&inst, false, &CrackConfig::baseline(), 0x40_0000 + i * 5, &[]);
+            let (dst, a) = if dependent {
+                (g(1), g(1))
+            } else {
+                (g((i % 8) as u8), g(8))
+            };
+            let inst = Inst::AluImm {
+                op: AluOp::Add,
+                dst,
+                a,
+                imm: 1,
+            };
+            let ci = cracked(
+                &inst,
+                false,
+                &CrackConfig::baseline(),
+                0x40_0000 + i * 5,
+                &[],
+            );
             core.consume(&ci);
         }
         core.finish()
@@ -613,13 +651,21 @@ mod tests {
     #[test]
     fn independent_alus_reach_wide_ipc() {
         let r = run_alu_stream(false, 3000);
-        assert!(r.ipc() > 2.5, "independent ALU stream should be wide (ipc={})", r.ipc());
+        assert!(
+            r.ipc() > 2.5,
+            "independent ALU stream should be wide (ipc={})",
+            r.ipc()
+        );
     }
 
     #[test]
     fn dependent_chain_limits_to_one_per_cycle() {
         let r = run_alu_stream(true, 3000);
-        assert!(r.ipc() < 1.2, "dependent chain must serialize (ipc={})", r.ipc());
+        assert!(
+            r.ipc() < 1.2,
+            "dependent chain must serialize (ipc={})",
+            r.ipc()
+        );
         assert!(r.ipc() > 0.8, "but still one per cycle (ipc={})", r.ipc());
     }
 
@@ -629,10 +675,19 @@ mod tests {
         // shadow loads must cost far less than their µop share.
         let mk = |wd: bool| {
             let mut core = TimingCore::new(CoreConfig::sandy_bridge(), HierarchyConfig::default());
-            let cfg = if wd { CrackConfig::watchdog() } else { CrackConfig::baseline() };
+            let cfg = if wd {
+                CrackConfig::watchdog()
+            } else {
+                CrackConfig::baseline()
+            };
             for i in 0..4000u64 {
                 let addr = 0x2000_0000 + (i % 64) * 8;
-                let inst = Inst::Load { dst: g(1), addr: MemAddr::base(g(2)), width: Width::B8, hint: PtrHint::Auto };
+                let inst = Inst::Load {
+                    dst: g(1),
+                    addr: MemAddr::base(g(2)),
+                    width: Width::B8,
+                    hint: PtrHint::Auto,
+                };
                 let addrs: Vec<u64> = if wd {
                     vec![0x5000_0000, addr, 0x4000_0000_0000 + (addr >> 3) * 16]
                 } else {
@@ -641,7 +696,12 @@ mod tests {
                 let ci = cracked(&inst, wd, &cfg, 0x40_0000 + i * 5, &addrs);
                 core.consume(&ci);
                 // A consumer of the loaded value.
-                let use_inst = Inst::AluImm { op: AluOp::Add, dst: g(3), a: g(1), imm: 1 };
+                let use_inst = Inst::AluImm {
+                    op: AluOp::Add,
+                    dst: g(3),
+                    a: g(1),
+                    imm: 1,
+                };
                 core.consume(&cracked(&use_inst, false, &cfg, 0x40_0010 + i * 5, &[]));
             }
             core.finish()
@@ -650,7 +710,10 @@ mod tests {
         let wd = mk(true);
         let uop_ovh = wd.uops as f64 / base.uops as f64 - 1.0;
         let time_ovh = wd.cycles as f64 / base.cycles as f64 - 1.0;
-        assert!(uop_ovh > 0.5, "watchdog should add >50% µops here ({uop_ovh:.2})");
+        assert!(
+            uop_ovh > 0.5,
+            "watchdog should add >50% µops here ({uop_ovh:.2})"
+        );
         assert!(
             time_ovh < uop_ovh * 0.7,
             "checks must be (mostly) off the critical path: time {time_ovh:.2} vs uops {uop_ovh:.2}"
@@ -673,8 +736,19 @@ mod tests {
                 } else {
                     true
                 };
-                let inst = Inst::Branch { cond: watchdog_isa::Cond::Eq, a: g(0), b: g(0), target: l };
-                let mut ci = cracked(&inst, false, &CrackConfig::baseline(), 0x40_0000 + (i % 13) * 6, &[]);
+                let inst = Inst::Branch {
+                    cond: watchdog_isa::Cond::Eq,
+                    a: g(0),
+                    b: g(0),
+                    target: l,
+                };
+                let mut ci = cracked(
+                    &inst,
+                    false,
+                    &CrackConfig::baseline(),
+                    0x40_0000 + (i % 13) * 6,
+                    &[],
+                );
                 let n = ci.uops.len();
                 ci.uops.as_mut_slice()[n - 1].taken = taken;
                 ci.uops.as_mut_slice()[n - 1].target = 0x40_0000;
@@ -698,7 +772,12 @@ mod tests {
             let mut core = TimingCore::new(CoreConfig::sandy_bridge(), HierarchyConfig::default());
             for i in 0..3000u64 {
                 // Dependent loads (pointer chase): dst is also the base.
-                let inst = Inst::Load { dst: g(1), addr: MemAddr::base(g(1)), width: Width::B8, hint: PtrHint::Auto };
+                let inst = Inst::Load {
+                    dst: g(1),
+                    addr: MemAddr::base(g(1)),
+                    width: Width::B8,
+                    hint: PtrHint::Auto,
+                };
                 // Large strides defeat caches and the prefetcher.
                 let addr = 0x2000_0000 + (i * stride) % (64 << 20);
                 let ci = cracked(&inst, false, &CrackConfig::baseline(), 0x40_0000, &[addr]);
@@ -721,7 +800,12 @@ mod tests {
         let mut core = TimingCore::new(CoreConfig::sandy_bridge(), HierarchyConfig::default());
         let mk = |i: u64| {
             cracked(
-                &Inst::AluImm { op: AluOp::Add, dst: g(1), a: g(1), imm: 1 },
+                &Inst::AluImm {
+                    op: AluOp::Add,
+                    dst: g(1),
+                    a: g(1),
+                    imm: 1,
+                },
                 false,
                 &CrackConfig::baseline(),
                 0x40_0000 + i * 5,

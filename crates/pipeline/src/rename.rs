@@ -32,7 +32,11 @@ pub struct RenameConfig {
 
 impl Default for RenameConfig {
     fn default() -> Self {
-        RenameConfig { int_regs: 160, fp_regs: 144, meta_regs: 160 }
+        RenameConfig {
+            int_regs: 160,
+            fp_regs: 144,
+            meta_regs: 160,
+        }
     }
 }
 
@@ -77,7 +81,10 @@ pub struct Rename {
 impl Rename {
     /// Builds the rename table; all metadata mappings start invalid.
     pub fn new(cfg: RenameConfig) -> Self {
-        assert!(cfg.meta_regs > 2 + Gpr::COUNT + NUM_META_TEMPS, "metadata pool too small");
+        assert!(
+            cfg.meta_regs > 2 + Gpr::COUNT + NUM_META_TEMPS,
+            "metadata pool too small"
+        );
         let mut meta_ref = vec![0u32; cfg.meta_regs];
         // Permanent registers: refcounts account for the initial mappings.
         meta_ref[META_PREG_INVALID] = (Gpr::COUNT + NUM_META_TEMPS) as u32;
@@ -122,7 +129,10 @@ impl Rename {
     }
 
     fn alloc_meta(&mut self, r: LReg) {
-        let preg = self.meta_free.pop().expect("metadata physical registers exhausted");
+        let preg = self
+            .meta_free
+            .pop()
+            .expect("metadata physical registers exhausted");
         self.live_meta += 1;
         self.stats.meta_allocs += 1;
         self.stats.meta_high_water = self.stats.meta_high_water.max(self.live_meta);
@@ -209,13 +219,22 @@ impl Rename {
                 return Err(format!("preg {i}: refcount {actual} but {exp} mappings"));
             }
             if i <= META_PREG_GLOBAL && actual != exp {
-                return Err(format!("permanent preg {i}: refcount {actual} but {exp} mappings"));
+                return Err(format!(
+                    "permanent preg {i}: refcount {actual} but {exp} mappings"
+                ));
             }
         }
-        let live_from_ref =
-            self.meta_ref.iter().enumerate().filter(|(i, &r)| *i > 1 && r > 0).count();
+        let live_from_ref = self
+            .meta_ref
+            .iter()
+            .enumerate()
+            .filter(|(i, &r)| *i > 1 && r > 0)
+            .count();
         if live_from_ref != self.live_meta {
-            return Err(format!("live count {} but {} pregs referenced", self.live_meta, live_from_ref));
+            return Err(format!(
+                "live count {} but {} pregs referenced",
+                self.live_meta, live_from_ref
+            ));
         }
         if self.meta_free.len() + self.live_meta + 2 != self.cfg.meta_regs {
             return Err("free list and live set do not partition the pool".into());
@@ -249,16 +268,34 @@ mod tests {
         // r1 gets metadata from a pointer load.
         process(
             &mut r,
-            &Inst::Load { dst: g(1), addr: MemAddr::base(g(2)), width: Width::B8, hint: PtrHint::Auto },
+            &Inst::Load {
+                dst: g(1),
+                addr: MemAddr::base(g(2)),
+                width: Width::B8,
+                hint: PtrHint::Auto,
+            },
             true,
         );
         let p1 = r.meta_mapping(LReg::M(g(1)));
         assert!(p1 > META_PREG_GLOBAL);
         // add-immediate copies it without a µop and without a new preg.
         let allocs_before = r.stats().meta_allocs;
-        process(&mut r, &Inst::AluImm { op: AluOp::Add, dst: g(3), a: g(1), imm: 8 }, false);
+        process(
+            &mut r,
+            &Inst::AluImm {
+                op: AluOp::Add,
+                dst: g(3),
+                a: g(1),
+                imm: 8,
+            },
+            false,
+        );
         assert_eq!(r.meta_mapping(LReg::M(g(3))), p1, "mapping is shared");
-        assert_eq!(r.stats().meta_allocs, allocs_before, "no new physical register");
+        assert_eq!(
+            r.stats().meta_allocs,
+            allocs_before,
+            "no new physical register"
+        );
         assert_eq!(r.stats().eliminated_copies, 1);
         assert_eq!(r.live_meta_regs(), 1, "one shared preg for two mappings");
     }
@@ -268,10 +305,24 @@ mod tests {
         let mut r = Rename::new(RenameConfig::default());
         process(
             &mut r,
-            &Inst::Load { dst: g(1), addr: MemAddr::base(g(2)), width: Width::B8, hint: PtrHint::Auto },
+            &Inst::Load {
+                dst: g(1),
+                addr: MemAddr::base(g(2)),
+                width: Width::B8,
+                hint: PtrHint::Auto,
+            },
             true,
         );
-        process(&mut r, &Inst::AluImm { op: AluOp::Add, dst: g(3), a: g(1), imm: 8 }, false);
+        process(
+            &mut r,
+            &Inst::AluImm {
+                op: AluOp::Add,
+                dst: g(3),
+                a: g(1),
+                imm: 8,
+            },
+            false,
+        );
         // Kill one mapping: preg must stay live (r3 still references it).
         process(&mut r, &Inst::MovImm { dst: g(1), imm: 0 }, false);
         assert_eq!(r.live_meta_regs(), 1);
@@ -285,19 +336,43 @@ mod tests {
         let mut r = Rename::new(RenameConfig::default());
         process(&mut r, &Inst::MovImm { dst: g(0), imm: 5 }, false);
         assert_eq!(r.meta_mapping(LReg::M(g(0))), META_PREG_INVALID);
-        process(&mut r, &Inst::LeaGlobal { dst: g(0), addr: 0x1000_0000 }, false);
+        process(
+            &mut r,
+            &Inst::LeaGlobal {
+                dst: g(0),
+                addr: 0x1000_0000,
+            },
+            false,
+        );
         assert_eq!(r.meta_mapping(LReg::M(g(0))), META_PREG_GLOBAL);
         assert_eq!(r.stats().invalidations, 1);
         assert_eq!(r.stats().global_mappings, 1);
-        assert_eq!(r.live_meta_regs(), 0, "permanent registers consume no pool space");
+        assert_eq!(
+            r.live_meta_regs(),
+            0,
+            "permanent registers consume no pool space"
+        );
     }
 
     #[test]
     fn select_uop_allocates() {
         let mut r = Rename::new(RenameConfig::default());
         let before = r.stats().meta_allocs;
-        process(&mut r, &Inst::Alu { op: AluOp::Add, dst: g(2), a: g(0), b: g(1) }, false);
-        assert_eq!(r.stats().meta_allocs, before + 1, "select µop produces metadata");
+        process(
+            &mut r,
+            &Inst::Alu {
+                op: AluOp::Add,
+                dst: g(2),
+                a: g(0),
+                b: g(1),
+            },
+            false,
+        );
+        assert_eq!(
+            r.stats().meta_allocs,
+            before + 1,
+            "select µop produces metadata"
+        );
     }
 
     #[test]
@@ -310,21 +385,51 @@ mod tests {
             match i % 4 {
                 0 => process(
                     &mut r,
-                    &Inst::Load { dst: d, addr: MemAddr::base(a), width: Width::B8, hint: PtrHint::Auto },
+                    &Inst::Load {
+                        dst: d,
+                        addr: MemAddr::base(a),
+                        width: Width::B8,
+                        hint: PtrHint::Auto,
+                    },
                     true,
                 ),
-                1 => process(&mut r, &Inst::AluImm { op: AluOp::Add, dst: d, a, imm: 8 }, false),
-                2 => process(&mut r, &Inst::Alu { op: AluOp::Add, dst: d, a, b }, false),
+                1 => process(
+                    &mut r,
+                    &Inst::AluImm {
+                        op: AluOp::Add,
+                        dst: d,
+                        a,
+                        imm: 8,
+                    },
+                    false,
+                ),
+                2 => process(
+                    &mut r,
+                    &Inst::Alu {
+                        op: AluOp::Add,
+                        dst: d,
+                        a,
+                        b,
+                    },
+                    false,
+                ),
                 _ => process(&mut r, &Inst::MovImm { dst: d, imm: 0 }, false),
             }
         }
-        assert!(r.live_meta_regs() <= Gpr::COUNT + NUM_META_TEMPS, "bounded by logical registers");
+        assert!(
+            r.live_meta_regs() <= Gpr::COUNT + NUM_META_TEMPS,
+            "bounded by logical registers"
+        );
         r.check_invariants().unwrap();
     }
 
     #[test]
     #[should_panic(expected = "metadata pool too small")]
     fn tiny_pool_rejected() {
-        let _ = Rename::new(RenameConfig { int_regs: 160, fp_regs: 144, meta_regs: 4 });
+        let _ = Rename::new(RenameConfig {
+            int_regs: 160,
+            fp_regs: 144,
+            meta_regs: 4,
+        });
     }
 }

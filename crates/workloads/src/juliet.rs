@@ -544,20 +544,90 @@ fn scenarios() -> Vec<Scenario> {
     use Cwe::*;
     use ViolationKind::*;
     vec![
-        Scenario { name: "read_after_free", cwe: Cwe416, expected: UseAfterFree, body: read_after_free },
-        Scenario { name: "write_after_free", cwe: Cwe416, expected: UseAfterFree, body: write_after_free },
-        Scenario { name: "use_after_realloc", cwe: Cwe416, expected: UseAfterFree, body: use_after_realloc },
-        Scenario { name: "aliased_use", cwe: Cwe416, expected: UseAfterFree, body: aliased_use },
-        Scenario { name: "global_stashed", cwe: Cwe416, expected: UseAfterFree, body: global_stashed },
-        Scenario { name: "callee_use", cwe: Cwe416, expected: UseAfterFree, body: callee_use },
-        Scenario { name: "field_use", cwe: Cwe416, expected: UseAfterFree, body: field_use },
-        Scenario { name: "loop_use", cwe: Cwe416, expected: UseAfterFree, body: loop_use },
-        Scenario { name: "conditional_free", cwe: Cwe416, expected: UseAfterFree, body: conditional_free },
-        Scenario { name: "chain_use", cwe: Cwe416, expected: UseAfterFree, body: chain_use },
-        Scenario { name: "stack_read_after_return", cwe: Cwe562, expected: UseAfterReturn, body: stack_read_after_return },
-        Scenario { name: "stack_write_after_return", cwe: Cwe562, expected: UseAfterReturn, body: stack_write_after_return },
-        Scenario { name: "deep_stack_publish", cwe: Cwe562, expected: UseAfterReturn, body: deep_stack_publish },
-        Scenario { name: "stack_arith_publish", cwe: Cwe562, expected: UseAfterReturn, body: stack_arith_publish },
+        Scenario {
+            name: "read_after_free",
+            cwe: Cwe416,
+            expected: UseAfterFree,
+            body: read_after_free,
+        },
+        Scenario {
+            name: "write_after_free",
+            cwe: Cwe416,
+            expected: UseAfterFree,
+            body: write_after_free,
+        },
+        Scenario {
+            name: "use_after_realloc",
+            cwe: Cwe416,
+            expected: UseAfterFree,
+            body: use_after_realloc,
+        },
+        Scenario {
+            name: "aliased_use",
+            cwe: Cwe416,
+            expected: UseAfterFree,
+            body: aliased_use,
+        },
+        Scenario {
+            name: "global_stashed",
+            cwe: Cwe416,
+            expected: UseAfterFree,
+            body: global_stashed,
+        },
+        Scenario {
+            name: "callee_use",
+            cwe: Cwe416,
+            expected: UseAfterFree,
+            body: callee_use,
+        },
+        Scenario {
+            name: "field_use",
+            cwe: Cwe416,
+            expected: UseAfterFree,
+            body: field_use,
+        },
+        Scenario {
+            name: "loop_use",
+            cwe: Cwe416,
+            expected: UseAfterFree,
+            body: loop_use,
+        },
+        Scenario {
+            name: "conditional_free",
+            cwe: Cwe416,
+            expected: UseAfterFree,
+            body: conditional_free,
+        },
+        Scenario {
+            name: "chain_use",
+            cwe: Cwe416,
+            expected: UseAfterFree,
+            body: chain_use,
+        },
+        Scenario {
+            name: "stack_read_after_return",
+            cwe: Cwe562,
+            expected: UseAfterReturn,
+            body: stack_read_after_return,
+        },
+        Scenario {
+            name: "stack_write_after_return",
+            cwe: Cwe562,
+            expected: UseAfterReturn,
+            body: stack_write_after_return,
+        },
+        Scenario {
+            name: "deep_stack_publish",
+            cwe: Cwe562,
+            expected: UseAfterReturn,
+            body: deep_stack_publish,
+        },
+        Scenario {
+            name: "stack_arith_publish",
+            cwe: Cwe562,
+            expected: UseAfterReturn,
+            body: stack_arith_publish,
+        },
     ]
 }
 
@@ -577,7 +647,12 @@ fn build_case(s: &Scenario, flow: Flow, size: i64, bad: bool) -> JulietCase {
     flow.wrap(&mut b, s.body, bad, size);
     b.halt();
     let program = b.build().unwrap_or_else(|e| panic!("{name}: {e}"));
-    JulietCase { name, cwe: s.cwe, program, expected: bad.then_some(s.expected) }
+    JulietCase {
+        name,
+        cwe: s.cwe,
+        program,
+        expected: bad.then_some(s.expected),
+    }
 }
 
 fn suite(bad: bool) -> Vec<JulietCase> {
@@ -688,7 +763,10 @@ mod tests {
             }
         }
         assert!(total > 0);
-        assert_eq!(missed, total, "location-based checking is blind to reallocation ({missed}/{total})");
+        assert_eq!(
+            missed, total,
+            "location-based checking is blind to reallocation ({missed}/{total})"
+        );
     }
 
     #[test]
@@ -700,7 +778,11 @@ mod tests {
         cfg.emit_uops = false;
         for case in juliet_suite().into_iter().step_by(7) {
             let got = outcome(&case.program, cfg.clone());
-            assert!(got.is_some(), "{}: bounds mode must still detect", case.name);
+            assert!(
+                got.is_some(),
+                "{}: bounds mode must still detect",
+                case.name
+            );
         }
         for case in benign_suite().into_iter().step_by(7) {
             let got = outcome(&case.program, cfg.clone());
@@ -709,7 +791,7 @@ mod tests {
     }
 
     #[test]
-    fn cases_disassemble(){
+    fn cases_disassemble() {
         let c = &juliet_suite()[0];
         let text = c.program.disassemble();
         assert!(text.contains("malloc"));

@@ -26,7 +26,8 @@ pub fn lbm(scale: Scale) -> Program {
     let mut b = ProgramBuilder::new("lbm");
     let grid_a = b.global_bytes((N * N * 8) as u64, 8);
     let grid_b = b.global_bytes((N * N * 8) as u64, 8);
-    let (src, dst, y, x, addr, t, i, s, swp) = (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9));
+    let (src, dst, y, x, addr, t, i, s, swp) =
+        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9));
     let (nn, one) = (g(10), g(11));
     let row = (N * 8) as i32;
 
@@ -85,7 +86,7 @@ pub fn lbm(scale: Scale) -> Program {
     b.branch(Cond::Lt, s, one, sweep);
 
     // Checksum: center cell.
-    b.alui(AluOp::Add, addr, src, (N / 2 * N * 8 + N / 2 * 8) as i64);
+    b.alui(AluOp::Add, addr, src, N / 2 * N * 8 + N / 2 * 8);
     b.ldf(f(0), addr, 0, FpWidth::F8);
     b.f2i(g(0), f(0));
     b.halt();
@@ -103,7 +104,8 @@ pub fn milc(scale: Scale) -> Program {
     let lattice = b.global_bytes((SITES * 4 * 8) as u64, 8);
     let links = b.global_bytes((SITES * 4 * 8) as u64, 8);
     let nbr = b.global_bytes((SITES * 8) as u64, 8);
-    let (lat, lnk, nb, i, n, t, addr, s, lim, x) = (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10));
+    let (lat, lnk, nb, i, n, t, addr, s, lim, x) =
+        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10));
 
     // Init: lattice/links values and a shuffled-ish neighbor table.
     b.lea_global(lat, lattice);
@@ -320,7 +322,7 @@ pub fn art(scale: Scale) -> Program {
     b.addi(i, i, 1);
     b.branch(Cond::Lt, i, lim, dot);
     // Small weight update.
-    b.alui(AluOp::And, t, p, (M - 1) as i64);
+    b.alui(AluOp::And, t, p, M - 1);
     b.alui(AluOp::Shl, t, t, 3);
     b.add(addr, w, t);
     b.stf(f(1), addr, 0, FpWidth::F8);
@@ -342,7 +344,8 @@ pub fn mesa(scale: Scale) -> Program {
     let matrix = b.global_bytes(16 * 8, 8);
     let verts = b.global_bytes((V * 4 * 8) as u64, 8);
     let out = b.global_bytes((V * 4 * 8) as u64, 8);
-    let (mtx, vin, vout, i, t, addr, p, lim, plim, k) = (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10));
+    let (mtx, vin, vout, i, t, addr, p, lim, plim, k) =
+        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10));
 
     b.lea_global(mtx, matrix);
     b.lea_global(vin, verts);

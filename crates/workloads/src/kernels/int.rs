@@ -39,8 +39,21 @@ pub fn compress(scale: Scale) -> Program {
     let input = b.global_bytes(INPUT as u64, 8);
     let table = b.global_bytes(TABLE * 8, 8);
     let output = b.global_bytes(INPUT as u64 * 8, 8);
-    let (inp, tab, out, i, lim, byte, code, h, addr, t, p, plim, sum) =
-        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(12), g(0));
+    let (inp, tab, out, i, lim, byte, code, h, addr, t, p, plim, sum) = (
+        g(1),
+        g(2),
+        g(3),
+        g(4),
+        g(5),
+        g(6),
+        g(7),
+        g(8),
+        g(9),
+        g(10),
+        g(11),
+        g(12),
+        g(0),
+    );
 
     b.lea_global(inp, input);
     b.lea_global(tab, table);
@@ -82,7 +95,7 @@ pub fn compress(scale: Scale) -> Program {
     b.alui(AluOp::Shl, t, h, 3);
     b.add(addr, tab, t);
     b.st8(code, addr, 0);
-    b.alui(AluOp::And, t, i, (INPUT - 1) as i64);
+    b.alui(AluOp::And, t, i, INPUT - 1);
     b.alui(AluOp::Shl, t, t, 3);
     b.add(addr, out, t);
     b.st8(code, addr, 0);
@@ -109,8 +122,21 @@ pub fn gzip(scale: Scale) -> Program {
     let window = b.global_bytes(WIN as u64 * 2, 8);
     let head = b.global_bytes(4096 * 8, 8);
     let prev = b.global_bytes(WIN as u64 * 4, 8);
-    let (win, hd, pv, pos, lim, h, addr, t, cand, mlen, byte, x, sum) =
-        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(12), g(0));
+    let (win, hd, pv, pos, lim, h, addr, t, cand, mlen, byte, x, sum) = (
+        g(1),
+        g(2),
+        g(3),
+        g(4),
+        g(5),
+        g(6),
+        g(7),
+        g(8),
+        g(9),
+        g(10),
+        g(11),
+        g(12),
+        g(0),
+    );
 
     b.lea_global(win, window);
     b.lea_global(hd, head);
@@ -131,6 +157,7 @@ pub fn gzip(scale: Scale) -> Program {
     b.li(lim, positions + 8);
     let lp = b.here();
     super::spill_reload(&mut b, win, 0); // register-pressure spill
+
     // h = hash of 3 bytes at pos % WIN
     b.alui(AluOp::And, t, pos, WIN - 1);
     b.add(addr, win, t);
@@ -186,8 +213,20 @@ pub fn bzip2(scale: Scale) -> Program {
     let keys = b.global_bytes(N as u64 * 4, 8);
     let counts = b.global_bytes(BUCKETS * 8, 8);
     let sorted = b.global_bytes(N as u64 * 4, 8);
-    let (ks, cn, so, i, lim, t, addr, k, p, plim, x, sum) =
-        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(0));
+    let (ks, cn, so, i, lim, t, addr, k, p, plim, x, sum) = (
+        g(1),
+        g(2),
+        g(3),
+        g(4),
+        g(5),
+        g(6),
+        g(7),
+        g(8),
+        g(9),
+        g(10),
+        g(11),
+        g(0),
+    );
 
     b.lea_global(ks, keys);
     b.lea_global(cn, counts);
@@ -252,8 +291,20 @@ pub fn hmmer(scale: Scale) -> Program {
     let mrow = b.global_bytes(M as u64 * 8 + 16, 8);
     let irow = b.global_bytes(M as u64 * 4 + 8, 8);
     let trans = b.global_bytes(M as u64 * 4 + 8, 8);
-    let (mr, ir, tr, i, jj, t1, t2, addr, sc, best, p, plim) =
-        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(12));
+    let (mr, ir, tr, i, jj, t1, t2, addr, sc, best, p, plim) = (
+        g(1),
+        g(2),
+        g(3),
+        g(4),
+        g(5),
+        g(6),
+        g(7),
+        g(8),
+        g(9),
+        g(10),
+        g(11),
+        g(12),
+    );
 
     b.lea_global(mr, mrow);
     b.lea_global(ir, irow);
@@ -315,8 +366,20 @@ pub fn ijpeg(scale: Scale) -> Program {
     let mut b = ProgramBuilder::new("ijpeg");
     let pixels = b.global_bytes(64 * 2, 8);
     let coeffs = b.global_bytes(64 * 2, 8);
-    let (px, co, blk, blim, r, c, addr, a0, a1, a2, a3, t) =
-        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(12));
+    let (px, co, blk, blim, r, c, addr, a0, a1, a2, a3, t) = (
+        g(1),
+        g(2),
+        g(3),
+        g(4),
+        g(5),
+        g(6),
+        g(7),
+        g(8),
+        g(9),
+        g(10),
+        g(11),
+        g(12),
+    );
 
     b.lea_global(px, pixels);
     b.lea_global(co, coeffs);
@@ -379,8 +442,20 @@ pub fn h264(scale: Scale) -> Program {
     let mut b = ProgramBuilder::new("h264");
     let cur = b.global_bytes(BLOCK as u64, 8);
     let refw = b.global_bytes((BLOCK + 512) as u64, 8);
-    let (cu, rf, s, slim, cand, i, addr, a, d, m, sad, best) =
-        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(12));
+    let (cu, rf, s, slim, cand, i, addr, a, d, m, sad, best) = (
+        g(1),
+        g(2),
+        g(3),
+        g(4),
+        g(5),
+        g(6),
+        g(7),
+        g(8),
+        g(9),
+        g(10),
+        g(11),
+        g(12),
+    );
 
     b.lea_global(cu, cur);
     b.lea_global(rf, refw);
@@ -455,8 +530,21 @@ pub fn sjeng(scale: Scale) -> Program {
     let plist = b.global_bytes(PIECES as u64 * 8, 8);
     let psq = b.global_bytes(64 * 4, 8);
     let tt = b.global_bytes(TT * 8, 8);
-    let (bd, pl, pq, tb, e, elim, i, sq, pc, addr, t, hash, score) =
-        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(12), g(0));
+    let (bd, pl, pq, tb, e, elim, i, sq, pc, addr, t, hash, score) = (
+        g(1),
+        g(2),
+        g(3),
+        g(4),
+        g(5),
+        g(6),
+        g(7),
+        g(8),
+        g(9),
+        g(10),
+        g(11),
+        g(12),
+        g(0),
+    );
 
     b.lea_global(bd, board);
     b.lea_global(pl, plist);
@@ -567,11 +655,23 @@ pub fn go(scale: Scale) -> Program {
     let fills = 8 * scale.factor() as i64;
     let mut b = ProgramBuilder::new("go");
     let board = b.global_bytes((DIM * DIM) as u64, 8);
-    let (bd, wl, sp, pos, t, addr, x, fcnt, flim, nb, sz, sum) =
-        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(0));
+    let (bd, wl, sp, pos, t, addr, x, fcnt, flim, nb, sz, sum) = (
+        g(1),
+        g(2),
+        g(3),
+        g(4),
+        g(5),
+        g(6),
+        g(7),
+        g(8),
+        g(9),
+        g(10),
+        g(11),
+        g(0),
+    );
 
     b.lea_global(bd, board);
-    b.li(sz, (DIM * DIM * 8) as i64);
+    b.li(sz, DIM * DIM * 8);
     b.malloc(wl, sz); // worklist on the heap
     b.li(sum, 0);
     b.li(fcnt, 0);
@@ -644,8 +744,20 @@ pub fn gobmk(scale: Scale) -> Program {
     super::frame(&mut b, 32);
     let board = b.global_bytes((DIM * DIM) as u64, 8);
     let pats = b.global_bytes((PATTERNS * DELTAS * 8) as u64, 8);
-    let (bd, pt, pos, t, addr, p, d, v, x, matches, lim, pass) =
-        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(0), g(10), g(11));
+    let (bd, pt, pos, t, addr, p, d, v, x, matches, lim, pass) = (
+        g(1),
+        g(2),
+        g(3),
+        g(4),
+        g(5),
+        g(6),
+        g(7),
+        g(8),
+        g(9),
+        g(0),
+        g(10),
+        g(11),
+    );
 
     b.lea_global(bd, board);
     b.lea_global(pt, pats);

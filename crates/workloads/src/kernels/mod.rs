@@ -70,9 +70,7 @@ mod tests {
         loop {
             match m.step().expect("sim error") {
                 Step::Executed(_) => {}
-                Step::Halted => {
-                    return (m.reg(watchdog_isa::Gpr::new(0)), m.stats().insts, false)
-                }
+                Step::Halted => return (m.reg(watchdog_isa::Gpr::new(0)), m.stats().insts, false),
                 Step::Violation(v) => panic!("kernel violated memory safety: {v}"),
             }
         }
@@ -90,8 +88,16 @@ mod tests {
             let (sum_w, insts_w, _) = run(&p, wd);
             assert_eq!(sum_b, sum_w, "{}: checksum differs across modes", spec.name);
             assert_eq!(insts_b, insts_w, "{}: instruction count differs", spec.name);
-            assert!(insts_b > 3_000, "{}: too small ({insts_b} insts)", spec.name);
-            assert!(insts_b < 3_000_000, "{}: too large at Test scale ({insts_b})", spec.name);
+            assert!(
+                insts_b > 3_000,
+                "{}: too small ({insts_b} insts)",
+                spec.name
+            );
+            assert!(
+                insts_b < 3_000_000,
+                "{}: too large at Test scale ({insts_b})",
+                spec.name
+            );
         }
     }
 
@@ -116,6 +122,9 @@ mod tests {
         cfg.emit_uops = false;
         let (_, small, _) = run(&spec.build(Scale::Test), cfg.clone());
         let (_, big, _) = run(&spec.build(Scale::Small), cfg);
-        assert!(big > small * 2, "Small scale must be meaningfully larger ({small} vs {big})");
+        assert!(
+            big > small * 2,
+            "Small scale must be meaningfully larger ({small} vs {big})"
+        );
     }
 }

@@ -25,8 +25,20 @@ pub fn mcf(scale: Scale) -> Program {
     let sweeps = 2 * scale.factor() as i64;
     let mut b = ProgramBuilder::new("mcf");
     // Node: [next:8][val:8][cost:8][pad:8]
-    let (head, cur, nxt, sz, i, lim, t, addr, ntab, arcs, x, s) =
-        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(12));
+    let (head, cur, nxt, sz, i, lim, t, addr, ntab, arcs, x, s) = (
+        g(1),
+        g(2),
+        g(3),
+        g(4),
+        g(5),
+        g(6),
+        g(7),
+        g(8),
+        g(9),
+        g(10),
+        g(11),
+        g(12),
+    );
     let zero = g(13);
 
     // node-pointer table and arc array live on the heap.
@@ -115,8 +127,20 @@ pub fn twolf(scale: Scale) -> Program {
     let iters = 1000 * scale.factor() as i64;
     let mut b = ProgramBuilder::new("twolf");
     // Cell: [x:4][y:4][score:8][spare:16]
-    let (tab, c1, c2, sz, i, lim, t, addr, x, xa, ya, xb) =
-        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(12));
+    let (tab, c1, c2, sz, i, lim, t, addr, x, xa, ya, xb) = (
+        g(1),
+        g(2),
+        g(3),
+        g(4),
+        g(5),
+        g(6),
+        g(7),
+        g(8),
+        g(9),
+        g(10),
+        g(11),
+        g(12),
+    );
 
     b.li(sz, CELLS * 8);
     b.malloc(tab, sz);
@@ -153,6 +177,7 @@ pub fn twolf(scale: Scale) -> Program {
     b.alui(AluOp::Shl, t, t, 3);
     b.add(addr, tab, t);
     b.ld8(c2, addr, 0); // pointer load
+
     // Swap coordinates if it "improves" the layout (xa+yb < xb+ya).
     b.ld4(xa, c1, 0);
     b.ld4(ya, c1, 4);
@@ -213,8 +238,20 @@ pub fn vpr(scale: Scale) -> Program {
     let sweeps = 2 * scale.factor() as i64;
     let mut b = ProgramBuilder::new("vpr");
     // Node: [cost:4][est:4][pad:8]; adjacency: V*DEG node pointers.
-    let (ntab, adj, n, m, sz, i, k, lim, t, addr, x, s) =
-        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(12));
+    let (ntab, adj, n, m, sz, i, k, lim, t, addr, x, s) = (
+        g(1),
+        g(2),
+        g(3),
+        g(4),
+        g(5),
+        g(6),
+        g(7),
+        g(8),
+        g(9),
+        g(10),
+        g(11),
+        g(12),
+    );
 
     b.li(sz, V * 8);
     b.malloc(ntab, sz);
@@ -438,8 +475,20 @@ pub fn perl(scale: Scale) -> Program {
     let mut b = ProgramBuilder::new("perl");
     let blob = b.global_bytes(256, 8);
     // Node: [next:8][key:8][val:8][pad:8]
-    let (tab, node, cur, prev, sz, i, lim, t, addr, x, h, key) =
-        (g(1), g(2), g(3), g(4), g(5), g(6), g(7), g(8), g(9), g(10), g(11), g(12));
+    let (tab, node, cur, prev, sz, i, lim, t, addr, x, h, key) = (
+        g(1),
+        g(2),
+        g(3),
+        g(4),
+        g(5),
+        g(6),
+        g(7),
+        g(8),
+        g(9),
+        g(10),
+        g(11),
+        g(12),
+    );
     let zero = g(13);
 
     // Init the string blob.
@@ -475,6 +524,7 @@ pub fn perl(scale: Scale) -> Program {
     b.alui(AluOp::And, h, key, (BUCKETS - 1) as i64);
     b.alui(AluOp::Shl, h, h, 3);
     b.add(addr, tab, h); // &bucket
+
     // Dispatch on key bits: 0 = insert, 1 = lookup, 2..3 = lookup+delete.
     b.alui(AluOp::Shr, t, key, 9);
     b.alui(AluOp::And, t, t, 3);
@@ -510,6 +560,7 @@ pub fn perl(scale: Scale) -> Program {
         b.st8(key, node, 8);
         b.st8(i, node, 16);
         b.st8(node, addr, 0); // head = node
+
         // Count two links; delete the third if present.
         b.ld8(cur, addr, 0);
         b.ld8(prev, cur, 0);

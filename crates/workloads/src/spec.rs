@@ -61,26 +61,106 @@ impl BenchSpec {
 pub fn all_benchmarks() -> Vec<BenchSpec> {
     use Category::*;
     vec![
-        BenchSpec { name: "lbm", category: Fp, builder: kernels::fp::lbm },
-        BenchSpec { name: "comp", category: Int, builder: kernels::int::compress },
-        BenchSpec { name: "gzip", category: Int, builder: kernels::int::gzip },
-        BenchSpec { name: "milc", category: Fp, builder: kernels::fp::milc },
-        BenchSpec { name: "bzip2", category: Int, builder: kernels::int::bzip2 },
-        BenchSpec { name: "ammp", category: Fp, builder: kernels::fp::ammp },
-        BenchSpec { name: "go", category: Int, builder: kernels::int::go },
-        BenchSpec { name: "sjeng", category: Int, builder: kernels::int::sjeng },
-        BenchSpec { name: "equake", category: Fp, builder: kernels::fp::equake },
-        BenchSpec { name: "h264", category: Int, builder: kernels::int::h264 },
-        BenchSpec { name: "ijpeg", category: Int, builder: kernels::int::ijpeg },
-        BenchSpec { name: "gobmk", category: Int, builder: kernels::int::gobmk },
-        BenchSpec { name: "art", category: Fp, builder: kernels::fp::art },
-        BenchSpec { name: "twolf", category: Pointer, builder: kernels::ptr::twolf },
-        BenchSpec { name: "hmmer", category: Int, builder: kernels::int::hmmer },
-        BenchSpec { name: "vpr", category: Pointer, builder: kernels::ptr::vpr },
-        BenchSpec { name: "mcf", category: Pointer, builder: kernels::ptr::mcf },
-        BenchSpec { name: "mesa", category: Fp, builder: kernels::fp::mesa },
-        BenchSpec { name: "gcc", category: Pointer, builder: kernels::ptr::gcc },
-        BenchSpec { name: "perl", category: Pointer, builder: kernels::ptr::perl },
+        BenchSpec {
+            name: "lbm",
+            category: Fp,
+            builder: kernels::fp::lbm,
+        },
+        BenchSpec {
+            name: "comp",
+            category: Int,
+            builder: kernels::int::compress,
+        },
+        BenchSpec {
+            name: "gzip",
+            category: Int,
+            builder: kernels::int::gzip,
+        },
+        BenchSpec {
+            name: "milc",
+            category: Fp,
+            builder: kernels::fp::milc,
+        },
+        BenchSpec {
+            name: "bzip2",
+            category: Int,
+            builder: kernels::int::bzip2,
+        },
+        BenchSpec {
+            name: "ammp",
+            category: Fp,
+            builder: kernels::fp::ammp,
+        },
+        BenchSpec {
+            name: "go",
+            category: Int,
+            builder: kernels::int::go,
+        },
+        BenchSpec {
+            name: "sjeng",
+            category: Int,
+            builder: kernels::int::sjeng,
+        },
+        BenchSpec {
+            name: "equake",
+            category: Fp,
+            builder: kernels::fp::equake,
+        },
+        BenchSpec {
+            name: "h264",
+            category: Int,
+            builder: kernels::int::h264,
+        },
+        BenchSpec {
+            name: "ijpeg",
+            category: Int,
+            builder: kernels::int::ijpeg,
+        },
+        BenchSpec {
+            name: "gobmk",
+            category: Int,
+            builder: kernels::int::gobmk,
+        },
+        BenchSpec {
+            name: "art",
+            category: Fp,
+            builder: kernels::fp::art,
+        },
+        BenchSpec {
+            name: "twolf",
+            category: Pointer,
+            builder: kernels::ptr::twolf,
+        },
+        BenchSpec {
+            name: "hmmer",
+            category: Int,
+            builder: kernels::int::hmmer,
+        },
+        BenchSpec {
+            name: "vpr",
+            category: Pointer,
+            builder: kernels::ptr::vpr,
+        },
+        BenchSpec {
+            name: "mcf",
+            category: Pointer,
+            builder: kernels::ptr::mcf,
+        },
+        BenchSpec {
+            name: "mesa",
+            category: Fp,
+            builder: kernels::fp::mesa,
+        },
+        BenchSpec {
+            name: "gcc",
+            category: Pointer,
+            builder: kernels::ptr::gcc,
+        },
+        BenchSpec {
+            name: "perl",
+            category: Pointer,
+            builder: kernels::ptr::perl,
+        },
     ]
 }
 

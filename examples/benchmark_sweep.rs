@@ -31,10 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             oi * 100.0
         );
     }
-    let gm = |xs: &[f64]| {
-        watchdog::core::report::geomean_overhead(xs) * 100.0
-    };
-    println!("\nGeo. mean overhead: conservative {:.1}%, ISA-assisted {:.1}%", gm(&cons_all), gm(&isa_all));
+    let gm = |xs: &[f64]| watchdog::core::report::geomean_overhead(xs) * 100.0;
+    println!(
+        "\nGeo. mean overhead: conservative {:.1}%, ISA-assisted {:.1}%",
+        gm(&cons_all),
+        gm(&isa_all)
+    );
     println!("(paper: 25% and 15%)");
     Ok(())
 }

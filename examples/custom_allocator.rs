@@ -21,9 +21,18 @@ use watchdog::prelude::*;
 /// Builds the pool-allocator scenario. When `instrumented`, the pool
 /// manages identifiers with `newident`/`setident`/`killident`.
 fn pool_program(instrumented: bool) -> Program {
-    let mut b = ProgramBuilder::new(if instrumented { "pool-instrumented" } else { "pool-plain" });
-    let (region, obj_a, obj_b, sz, v) =
-        (Gpr::new(0), Gpr::new(1), Gpr::new(2), Gpr::new(3), Gpr::new(4));
+    let mut b = ProgramBuilder::new(if instrumented {
+        "pool-instrumented"
+    } else {
+        "pool-plain"
+    });
+    let (region, obj_a, obj_b, sz, v) = (
+        Gpr::new(0),
+        Gpr::new(1),
+        Gpr::new(2),
+        Gpr::new(3),
+        Gpr::new(4),
+    );
     let (key_a, lock_a) = (Gpr::new(5), Gpr::new(6));
 
     // The custom allocator grabs one big region from malloc…

@@ -10,8 +10,14 @@ use watchdog::prelude::*;
 /// heap array (off-by-one in the loop bound).
 fn overflow_program() -> Program {
     let mut b = ProgramBuilder::new("overflow");
-    let (buf, sz, i, n, addr, v) =
-        (Gpr::new(0), Gpr::new(1), Gpr::new(2), Gpr::new(3), Gpr::new(4), Gpr::new(5));
+    let (buf, sz, i, n, addr, v) = (
+        Gpr::new(0),
+        Gpr::new(1),
+        Gpr::new(2),
+        Gpr::new(3),
+        Gpr::new(4),
+        Gpr::new(5),
+    );
     b.li(sz, 64); // 8 elements
     b.malloc(buf, sz);
     b.li(i, 0);
@@ -35,8 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let modes = [
         Mode::Baseline,
         Mode::watchdog(), // temporal only: overflow is invisible
-        Mode::WatchdogBounds { ptr: PointerId::IsaAssisted, uops: BoundsUops::Fused },
-        Mode::WatchdogBounds { ptr: PointerId::IsaAssisted, uops: BoundsUops::Split },
+        Mode::WatchdogBounds {
+            ptr: PointerId::IsaAssisted,
+            uops: BoundsUops::Fused,
+        },
+        Mode::WatchdogBounds {
+            ptr: PointerId::IsaAssisted,
+            uops: BoundsUops::Split,
+        },
     ];
     for mode in modes {
         let report = Simulator::new(SimConfig::functional(mode)).run(&program)?;
@@ -52,11 +64,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = Simulator::new(SimConfig::timed(Mode::Baseline)).run(&k)?;
     for mode in [
         Mode::watchdog(),
-        Mode::WatchdogBounds { ptr: PointerId::IsaAssisted, uops: BoundsUops::Fused },
-        Mode::WatchdogBounds { ptr: PointerId::IsaAssisted, uops: BoundsUops::Split },
+        Mode::WatchdogBounds {
+            ptr: PointerId::IsaAssisted,
+            uops: BoundsUops::Fused,
+        },
+        Mode::WatchdogBounds {
+            ptr: PointerId::IsaAssisted,
+            uops: BoundsUops::Split,
+        },
     ] {
         let r = Simulator::new(SimConfig::timed(mode)).run(&k)?;
-        println!("  {:<36} {:+.1}% runtime", mode.label(), r.slowdown_vs(&base) * 100.0);
+        println!(
+            "  {:<36} {:+.1}% runtime",
+            mode.label(),
+            r.slowdown_vs(&base) * 100.0
+        );
     }
     println!("(paper: UAF-only 15%, +bounds 1 µop 18%, +bounds 2 µops 24%)");
     Ok(())

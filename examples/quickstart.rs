@@ -18,9 +18,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.halt();
     let program = b.build()?;
 
-    println!("Program: {} ({} instructions)\n", program.name(), program.len());
+    println!(
+        "Program: {} ({} instructions)\n",
+        program.name(),
+        program.len()
+    );
 
-    for mode in [Mode::Baseline, Mode::LocationBased, Mode::watchdog_conservative()] {
+    for mode in [
+        Mode::Baseline,
+        Mode::LocationBased,
+        Mode::watchdog_conservative(),
+    ] {
         let report = Simulator::new(SimConfig::functional(mode)).run(&program)?;
         match report.violation {
             Some(violation) => println!("{:<22} DETECTED: {violation}", mode.label()),
@@ -33,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mcf = benchmark("mcf").expect("registered").build(Scale::Test);
     let base = Simulator::new(SimConfig::timed(Mode::Baseline)).run(&mcf)?;
     let wd = Simulator::new(SimConfig::timed(Mode::watchdog())).run(&mcf)?;
-    println!("  baseline: {} cycles ({} µops)", base.cycles(), base.uops());
+    println!(
+        "  baseline: {} cycles ({} µops)",
+        base.cycles(),
+        base.uops()
+    );
     println!(
         "  watchdog: {} cycles ({} µops) — {:.1}% slowdown for {:.1}% more µops",
         wd.cycles(),

@@ -17,18 +17,24 @@ fn parse_mode(s: &str) -> Option<Mode> {
         "location" | "location-based" => Mode::LocationBased,
         "cons" | "conservative" => Mode::watchdog_conservative(),
         "isa" | "watchdog" | "isa-assisted" => Mode::watchdog(),
-        "no-ll" | "no-lock-cache" => {
-            Mode::Watchdog { ptr: PointerId::IsaAssisted, lock_cache: false, ideal_shadow: false }
-        }
-        "ideal-shadow" => {
-            Mode::Watchdog { ptr: PointerId::IsaAssisted, lock_cache: true, ideal_shadow: true }
-        }
-        "bounds1" | "bounds-fused" => {
-            Mode::WatchdogBounds { ptr: PointerId::IsaAssisted, uops: BoundsUops::Fused }
-        }
-        "bounds2" | "bounds-split" => {
-            Mode::WatchdogBounds { ptr: PointerId::IsaAssisted, uops: BoundsUops::Split }
-        }
+        "no-ll" | "no-lock-cache" => Mode::Watchdog {
+            ptr: PointerId::IsaAssisted,
+            lock_cache: false,
+            ideal_shadow: false,
+        },
+        "ideal-shadow" => Mode::Watchdog {
+            ptr: PointerId::IsaAssisted,
+            lock_cache: true,
+            ideal_shadow: true,
+        },
+        "bounds1" | "bounds-fused" => Mode::WatchdogBounds {
+            ptr: PointerId::IsaAssisted,
+            uops: BoundsUops::Fused,
+        },
+        "bounds2" | "bounds-split" => Mode::WatchdogBounds {
+            ptr: PointerId::IsaAssisted,
+            uops: BoundsUops::Split,
+        },
         _ => return None,
     })
 }
@@ -63,7 +69,14 @@ fn cmd_list() {
 
 fn cmd_modes() {
     for m in [
-        "baseline", "location", "cons", "isa", "no-ll", "ideal-shadow", "bounds1", "bounds2",
+        "baseline",
+        "location",
+        "cons",
+        "isa",
+        "no-ll",
+        "ideal-shadow",
+        "bounds1",
+        "bounds2",
     ] {
         println!("{:<14} -> {}", m, parse_mode(m).unwrap().label());
     }
@@ -106,7 +119,10 @@ fn cmd_run(args: &[String]) {
         }
     };
 
-    println!("benchmark:       {} ({:?}, {scale:?})", spec.name, spec.category);
+    println!(
+        "benchmark:       {} ({:?}, {scale:?})",
+        spec.name, spec.category
+    );
     println!("mode:            {}", report.mode);
     println!("instructions:    {}", report.machine.insts);
     println!("mem accesses:    {}", report.machine.mem_accesses);
@@ -129,7 +145,11 @@ fn cmd_run(args: &[String]) {
     );
     if let Some(t) = &report.timing {
         println!("cycles:          {} (IPC {:.2})", t.cycles, t.ipc());
-        println!("uops:            {} ({:+.1}% over baseline µops)", t.uops, t.uop_overhead() * 100.0);
+        println!(
+            "uops:            {} ({:+.1}% over baseline µops)",
+            t.uops,
+            t.uop_overhead() * 100.0
+        );
         let [base, check, pl, ps, prop, alloc] = t.uops_by_tag;
         println!("  by tag:        base {base}, checks {check}, ptr-loads {pl}, ptr-stores {ps}, propagate {prop}, alloc {alloc}");
         println!(
@@ -156,8 +176,9 @@ fn cmd_run(args: &[String]) {
 }
 
 fn cmd_juliet(args: &[String]) {
-    let mode = flag_value(args, "--mode")
-        .map_or(Mode::watchdog_conservative(), |m| parse_mode(&m).unwrap_or_else(|| usage()));
+    let mode = flag_value(args, "--mode").map_or(Mode::watchdog_conservative(), |m| {
+        parse_mode(&m).unwrap_or_else(|| usage())
+    });
     let sim = Simulator::new(SimConfig::functional(mode));
     let (mut detected, mut missed, mut fp) = (0, 0, 0);
     for case in juliet_suite() {
@@ -169,7 +190,12 @@ fn cmd_juliet(args: &[String]) {
         }
     }
     for case in benign_suite() {
-        if sim.run(&case.program).expect("case runs").violation.is_some() {
+        if sim
+            .run(&case.program)
+            .expect("case runs")
+            .violation
+            .is_some()
+        {
             fp += 1;
         }
     }

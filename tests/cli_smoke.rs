@@ -1,0 +1,109 @@
+//! Smoke tests for the `watchdog-cli` binary: every documented mode string
+//! parses, and the `list`/`run`/`juliet` subcommands execute on tiny
+//! programs without panicking.
+
+use std::process::{Command, Output};
+
+/// All mode spellings documented by `watchdog-cli modes` and the README.
+const MODE_STRINGS: &[&str] = &[
+    "base",
+    "baseline",
+    "location",
+    "location-based",
+    "cons",
+    "conservative",
+    "isa",
+    "watchdog",
+    "isa-assisted",
+    "no-ll",
+    "no-lock-cache",
+    "ideal-shadow",
+    "bounds1",
+    "bounds-fused",
+    "bounds2",
+    "bounds-split",
+];
+
+fn cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_watchdog-cli"))
+        .args(args)
+        .output()
+        .expect("watchdog-cli spawns")
+}
+
+fn stdout_of(args: &[&str]) -> String {
+    let out = cli(args);
+    assert!(
+        out.status.success(),
+        "watchdog-cli {args:?} failed (status {:?}):\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn list_prints_the_twenty_benchmarks() {
+    let out = stdout_of(&["list"]);
+    // Header plus the paper's twenty SPEC lookalikes.
+    assert_eq!(out.lines().count(), 21, "unexpected listing:\n{out}");
+    for name in ["lbm", "mcf", "perl", "gzip", "hmmer"] {
+        assert!(out.contains(name), "{name} missing from:\n{out}");
+    }
+}
+
+#[test]
+fn modes_subcommand_covers_every_documented_spelling() {
+    // `modes` itself round-trips the canonical spellings through
+    // parse_mode (it unwraps), so success proves they all parse.
+    let out = stdout_of(&["modes"]);
+    assert_eq!(out.lines().count(), 8, "unexpected mode table:\n{out}");
+}
+
+#[test]
+fn every_mode_string_is_accepted_by_run() {
+    // An unknown mode exits with a usage error before simulating, so a
+    // successful tiny run proves the spelling parsed.
+    for mode in MODE_STRINGS {
+        let out = stdout_of(&[
+            "run",
+            "lbm",
+            "--mode",
+            mode,
+            "--functional",
+            "--scale",
+            "test",
+        ]);
+        assert!(out.contains("violation:       none"), "mode {mode}:\n{out}");
+    }
+}
+
+#[test]
+fn run_rejects_unknown_mode_and_benchmark() {
+    assert!(!cli(&["run", "lbm", "--mode", "nonsense"]).status.success());
+    assert!(!cli(&["run", "nonsense"]).status.success());
+    assert!(!cli(&["nonsense"]).status.success());
+}
+
+#[test]
+fn timed_run_reports_cycles() {
+    let out = stdout_of(&["run", "comp", "--scale", "test", "--mode", "cons"]);
+    assert!(
+        out.contains("cycles:"),
+        "timed run must report cycles:\n{out}"
+    );
+    assert!(out.contains("IPC"), "timed run must report IPC:\n{out}");
+}
+
+#[test]
+fn juliet_suite_detects_everything_under_watchdog() {
+    let out = stdout_of(&["juliet", "--mode", "cons"]);
+    assert!(
+        out.contains("bad detected:    291/291"),
+        "detection regressed:\n{out}"
+    );
+    assert!(
+        out.contains("false positives: 0/291"),
+        "false positives appeared:\n{out}"
+    );
+}

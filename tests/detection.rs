@@ -81,25 +81,42 @@ fn double_free() -> Program {
 #[test]
 fn the_paper_detection_matrix_holds() {
     let wd = Mode::watchdog_conservative();
-    let bounds = Mode::WatchdogBounds { ptr: PointerId::Conservative, uops: BoundsUops::Fused };
+    let bounds = Mode::WatchdogBounds {
+        ptr: PointerId::Conservative,
+        uops: BoundsUops::Fused,
+    };
 
     // Heap UAF: everything but the baseline sees it.
     assert_eq!(run(&heap_uaf(), Mode::Baseline), None);
-    assert_eq!(run(&heap_uaf(), Mode::LocationBased), Some(ViolationKind::UseAfterFree));
+    assert_eq!(
+        run(&heap_uaf(), Mode::LocationBased),
+        Some(ViolationKind::UseAfterFree)
+    );
     assert_eq!(run(&heap_uaf(), wd), Some(ViolationKind::UseAfterFree));
 
     // UAF after reallocation: Table 1's separator — only identifier-based
     // checking is comprehensive.
     assert_eq!(run(&uaf_after_realloc(), Mode::Baseline), None);
-    assert_eq!(run(&uaf_after_realloc(), Mode::LocationBased), None, "location checking is blind");
-    assert_eq!(run(&uaf_after_realloc(), wd), Some(ViolationKind::UseAfterFree));
+    assert_eq!(
+        run(&uaf_after_realloc(), Mode::LocationBased),
+        None,
+        "location checking is blind"
+    );
+    assert_eq!(
+        run(&uaf_after_realloc(), wd),
+        Some(ViolationKind::UseAfterFree)
+    );
 
     // Stack use-after-return (Fig. 1 right).
     assert_eq!(run(&stack_uaf(), Mode::Baseline), None);
     assert_eq!(run(&stack_uaf(), wd), Some(ViolationKind::UseAfterReturn));
 
     // Spatial violation: needs the §8 bounds extension.
-    assert_eq!(run(&overflow(), wd), None, "UAF-only Watchdog allows in-lifetime overflows");
+    assert_eq!(
+        run(&overflow(), wd),
+        None,
+        "UAF-only Watchdog allows in-lifetime overflows"
+    );
     assert_eq!(run(&overflow(), bounds), Some(ViolationKind::OutOfBounds));
 
     // Double free: caught by the runtime's free-time identifier check.
@@ -112,7 +129,9 @@ fn detection_is_identical_with_and_without_timing() {
         let f = Simulator::new(SimConfig::functional(Mode::watchdog_conservative()))
             .run(&p)
             .unwrap();
-        let t = Simulator::new(SimConfig::timed(Mode::watchdog_conservative())).run(&p).unwrap();
+        let t = Simulator::new(SimConfig::timed(Mode::watchdog_conservative()))
+            .run(&p)
+            .unwrap();
         assert_eq!(
             f.violation.map(|v| (v.kind, v.pc_index)),
             t.violation.map(|v| (v.kind, v.pc_index)),
@@ -127,15 +146,23 @@ fn isa_assisted_detects_the_same_bugs() {
     // The profile-driven policy must not lose detection coverage on these
     // programs (the pointers are genuinely moved through memory).
     for p in [heap_uaf(), uaf_after_realloc(), stack_uaf()] {
-        let r = Simulator::new(SimConfig::functional(Mode::watchdog())).run(&p).unwrap();
-        assert!(r.violation.is_some(), "{}: ISA-assisted must still detect", p.name());
+        let r = Simulator::new(SimConfig::functional(Mode::watchdog()))
+            .run(&p)
+            .unwrap();
+        assert!(
+            r.violation.is_some(),
+            "{}: ISA-assisted must still detect",
+            p.name()
+        );
     }
 }
 
 #[test]
 fn violation_reports_point_at_the_faulting_instruction() {
     let p = heap_uaf();
-    let r = Simulator::new(SimConfig::functional(Mode::watchdog_conservative())).run(&p).unwrap();
+    let r = Simulator::new(SimConfig::functional(Mode::watchdog_conservative()))
+        .run(&p)
+        .unwrap();
     let v = r.violation.unwrap();
     assert_eq!(v.pc_index, 3, "the dangling load is instruction 3");
     assert!(v.addr >= 0x2000_0000, "faulting address is in the heap");

@@ -12,11 +12,22 @@ fn suite_runs_clean_and_ordered_under_all_policies() {
     let mut isa_overheads = Vec::new();
     for spec in all_benchmarks() {
         let p = spec.build(Scale::Test);
-        let base = Simulator::new(SimConfig::timed(Mode::Baseline)).run(&p).unwrap();
-        let cons = Simulator::new(SimConfig::timed(Mode::watchdog_conservative())).run(&p).unwrap();
-        let isa = Simulator::new(SimConfig::timed(Mode::watchdog())).run(&p).unwrap();
+        let base = Simulator::new(SimConfig::timed(Mode::Baseline))
+            .run(&p)
+            .unwrap();
+        let cons = Simulator::new(SimConfig::timed(Mode::watchdog_conservative()))
+            .run(&p)
+            .unwrap();
+        let isa = Simulator::new(SimConfig::timed(Mode::watchdog()))
+            .run(&p)
+            .unwrap();
         for (label, r) in [("base", &base), ("cons", &cons), ("isa", &isa)] {
-            assert!(r.violation.is_none(), "{}/{label}: spurious violation {:?}", spec.name, r.violation);
+            assert!(
+                r.violation.is_none(),
+                "{}/{label}: spurious violation {:?}",
+                spec.name,
+                r.violation
+            );
             assert!(r.cycles() > 0, "{}/{label}: no cycles", spec.name);
         }
         // Fig. 5 invariant: ISA-assisted classifies a subset.
@@ -26,12 +37,28 @@ fn suite_runs_clean_and_ordered_under_all_policies() {
             spec.name
         );
         // µop ordering: baseline < isa <= cons.
-        assert!(cons.uops() >= isa.uops(), "{}: isa must not add µops over conservative", spec.name);
-        assert!(isa.uops() >= base.uops(), "{}: watchdog adds µops", spec.name);
+        assert!(
+            cons.uops() >= isa.uops(),
+            "{}: isa must not add µops over conservative",
+            spec.name
+        );
+        assert!(
+            isa.uops() >= base.uops(),
+            "{}: watchdog adds µops",
+            spec.name
+        );
         let oc = cons.slowdown_vs(&base);
         let oi = isa.slowdown_vs(&base);
-        assert!(oc >= -0.01, "{}: conservative can't speed things up ({oc})", spec.name);
-        assert!(oi <= oc + 0.02, "{}: isa slower than conservative ({oi} vs {oc})", spec.name);
+        assert!(
+            oc >= -0.01,
+            "{}: conservative can't speed things up ({oc})",
+            spec.name
+        );
+        assert!(
+            oi <= oc + 0.02,
+            "{}: isa slower than conservative ({oi} vs {oc})",
+            spec.name
+        );
         // Checks execute off the critical path: runtime overhead is well
         // below µop overhead (the §9.3 argument).
         assert!(
@@ -46,7 +73,10 @@ fn suite_runs_clean_and_ordered_under_all_policies() {
     let gc = watchdog::core::report::geomean_overhead(&cons_overheads);
     let gi = watchdog::core::report::geomean_overhead(&isa_overheads);
     // Band check, not exact numbers: the paper reports 25% / 15%.
-    assert!(gc > 0.05 && gc < 0.50, "conservative geomean {gc} out of band");
+    assert!(
+        gc > 0.05 && gc < 0.50,
+        "conservative geomean {gc} out of band"
+    );
     assert!(gi > 0.03 && gi < 0.35, "isa geomean {gi} out of band");
     assert!(gc > gi, "conservative must cost more than ISA-assisted");
 }
@@ -55,36 +85,70 @@ fn suite_runs_clean_and_ordered_under_all_policies() {
 /// checking more expensive in aggregate.
 #[test]
 fn removing_the_lock_location_cache_hurts() {
-    let no_ll = Mode::Watchdog { ptr: PointerId::IsaAssisted, lock_cache: false, ideal_shadow: false };
+    let no_ll = Mode::Watchdog {
+        ptr: PointerId::IsaAssisted,
+        lock_cache: false,
+        ideal_shadow: false,
+    };
     let mut with_total = 0u64;
     let mut without_total = 0u64;
     for spec in all_benchmarks().into_iter().take(8) {
         let p = spec.build(Scale::Test);
-        let w = Simulator::new(SimConfig::timed(Mode::watchdog())).run(&p).unwrap();
+        let w = Simulator::new(SimConfig::timed(Mode::watchdog()))
+            .run(&p)
+            .unwrap();
         let wo = Simulator::new(SimConfig::timed(no_ll)).run(&p).unwrap();
         with_total += w.cycles();
         without_total += wo.cycles();
-        assert!(wo.cycles() + 50 >= w.cycles(), "{}: LL$ removal helped?!", spec.name);
+        assert!(
+            wo.cycles() + 50 >= w.cycles(),
+            "{}: LL$ removal helped?!",
+            spec.name
+        );
     }
-    assert!(without_total > with_total, "aggregate cost must rise without the LL$");
+    assert!(
+        without_total > with_total,
+        "aggregate cost must rise without the LL$"
+    );
 }
 
 /// Fig. 11's ordering: UAF-only ≤ fused bounds ≤ split bounds.
 #[test]
 fn bounds_checking_cost_ordering() {
-    let fused = Mode::WatchdogBounds { ptr: PointerId::IsaAssisted, uops: BoundsUops::Fused };
-    let split = Mode::WatchdogBounds { ptr: PointerId::IsaAssisted, uops: BoundsUops::Split };
+    let fused = Mode::WatchdogBounds {
+        ptr: PointerId::IsaAssisted,
+        uops: BoundsUops::Fused,
+    };
+    let split = Mode::WatchdogBounds {
+        ptr: PointerId::IsaAssisted,
+        uops: BoundsUops::Split,
+    };
     let mut t_wd = 0u64;
     let mut t_fused = 0u64;
     let mut t_split = 0u64;
     for spec in ["mcf", "gzip", "hmmer", "milc", "perl"] {
         let p = benchmark(spec).unwrap().build(Scale::Test);
-        t_wd += Simulator::new(SimConfig::timed(Mode::watchdog())).run(&p).unwrap().cycles();
-        t_fused += Simulator::new(SimConfig::timed(fused)).run(&p).unwrap().cycles();
-        t_split += Simulator::new(SimConfig::timed(split)).run(&p).unwrap().cycles();
+        t_wd += Simulator::new(SimConfig::timed(Mode::watchdog()))
+            .run(&p)
+            .unwrap()
+            .cycles();
+        t_fused += Simulator::new(SimConfig::timed(fused))
+            .run(&p)
+            .unwrap()
+            .cycles();
+        t_split += Simulator::new(SimConfig::timed(split))
+            .run(&p)
+            .unwrap()
+            .cycles();
     }
-    assert!(t_fused >= t_wd, "fused bounds cannot be cheaper than UAF-only");
-    assert!(t_split >= t_fused, "split bounds cannot be cheaper than fused");
+    assert!(
+        t_fused >= t_wd,
+        "fused bounds cannot be cheaper than UAF-only"
+    );
+    assert!(
+        t_split >= t_fused,
+        "split bounds cannot be cheaper than fused"
+    );
 }
 
 /// Fig. 10's structural claims: metadata exists only under Watchdog, page
@@ -93,11 +157,21 @@ fn bounds_checking_cost_ordering() {
 fn memory_overhead_structure() {
     for name in ["mcf", "perl", "lbm"] {
         let p = benchmark(name).unwrap().build(Scale::Test);
-        let base = Simulator::new(SimConfig::functional(Mode::Baseline)).run(&p).unwrap();
-        assert_eq!(base.footprint.shadow_words, 0, "{name}: baseline has no shadow");
-        let wd = Simulator::new(SimConfig::functional(Mode::watchdog())).run(&p).unwrap();
+        let base = Simulator::new(SimConfig::functional(Mode::Baseline))
+            .run(&p)
+            .unwrap();
+        assert_eq!(
+            base.footprint.shadow_words, 0,
+            "{name}: baseline has no shadow"
+        );
+        let wd = Simulator::new(SimConfig::functional(Mode::watchdog()))
+            .run(&p)
+            .unwrap();
         if name != "lbm" {
-            assert!(wd.footprint.shadow_words > 0, "{name}: watchdog writes metadata");
+            assert!(
+                wd.footprint.shadow_words > 0,
+                "{name}: watchdog writes metadata"
+            );
             assert!(wd.footprint.lock_words > 0, "{name}: lock locations exist");
         }
         let bounds = Simulator::new(SimConfig::functional(Mode::WatchdogBounds {
@@ -118,8 +192,12 @@ fn memory_overhead_structure() {
 #[test]
 fn timed_runs_are_deterministic() {
     let p = benchmark("twolf").unwrap().build(Scale::Test);
-    let a = Simulator::new(SimConfig::timed(Mode::watchdog())).run(&p).unwrap();
-    let b = Simulator::new(SimConfig::timed(Mode::watchdog())).run(&p).unwrap();
+    let a = Simulator::new(SimConfig::timed(Mode::watchdog()))
+        .run(&p)
+        .unwrap();
+    let b = Simulator::new(SimConfig::timed(Mode::watchdog()))
+        .run(&p)
+        .unwrap();
     assert_eq!(a.cycles(), b.cycles());
     assert_eq!(a.uops(), b.uops());
 }
@@ -127,12 +205,21 @@ fn timed_runs_are_deterministic() {
 /// The ideal-shadow ablation can only help (it removes cache pressure).
 #[test]
 fn ideal_shadow_never_hurts() {
-    let ideal = Mode::Watchdog { ptr: PointerId::IsaAssisted, lock_cache: true, ideal_shadow: true };
+    let ideal = Mode::Watchdog {
+        ptr: PointerId::IsaAssisted,
+        lock_cache: true,
+        ideal_shadow: true,
+    };
     for name in ["comp", "mcf", "milc"] {
         let p = benchmark(name).unwrap().build(Scale::Test);
-        let real = Simulator::new(SimConfig::timed(Mode::watchdog())).run(&p).unwrap();
+        let real = Simulator::new(SimConfig::timed(Mode::watchdog()))
+            .run(&p)
+            .unwrap();
         let idl = Simulator::new(SimConfig::timed(ideal)).run(&p).unwrap();
-        assert!(idl.cycles() <= real.cycles() + 50, "{name}: idealizing shadow accesses hurt");
+        assert!(
+            idl.cycles() <= real.cycles() + 50,
+            "{name}: idealizing shadow accesses hurt"
+        );
     }
 }
 
@@ -141,9 +228,17 @@ fn ideal_shadow_never_hurts() {
 #[test]
 fn copy_elimination_fires_on_real_code() {
     let p = benchmark("mcf").unwrap().build(Scale::Test);
-    let r = Simulator::new(SimConfig::timed(Mode::watchdog())).run(&p).unwrap();
+    let r = Simulator::new(SimConfig::timed(Mode::watchdog()))
+        .run(&p)
+        .unwrap();
     let rn = r.timing.as_ref().unwrap().rename;
-    assert!(rn.eliminated_copies > 1000, "copy elimination barely fired: {rn:?}");
+    assert!(
+        rn.eliminated_copies > 1000,
+        "copy elimination barely fired: {rn:?}"
+    );
     assert!(rn.meta_allocs > 0);
-    assert!(rn.meta_high_water <= 24, "metadata pool pressure is bounded by logical registers");
+    assert!(
+        rn.meta_high_water <= 24,
+        "metadata pool pressure is bounded by logical registers"
+    );
 }

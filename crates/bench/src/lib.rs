@@ -2,75 +2,296 @@
 //!
 //! Every binary in `src/bin/` regenerates one table or figure from the
 //! paper's evaluation (§9). This library provides the common machinery:
-//! running the twenty-benchmark suite under a set of [`Mode`]s, formatting
-//! aligned tables, and computing the paper's geometric-mean aggregates.
+//! running the twenty-benchmark suite under a set of [`Mode`]s — fanned
+//! out across a scoped thread pool, since the (benchmark × mode) grid is
+//! embarrassingly parallel — formatting aligned tables, and computing the
+//! paper's geometric-mean aggregates.
 //!
 //! Scale selection: pass `--scale test|small|ref` (default `small`).
+//! Parallelism: pass `--jobs N` or set `WATCHDOG_JOBS=N` (default: all
+//! available cores).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use watchdog_core::prelude::*;
 use watchdog_workloads::{all_benchmarks, Scale};
 
-/// Parses the `--scale` argument (default [`Scale::Small`]).
-pub fn scale_from_args() -> Scale {
-    let args: Vec<String> = std::env::args().collect();
-    for w in args.windows(2) {
-        if w[0] == "--scale" {
-            return match w[1].as_str() {
-                "test" => Scale::Test,
-                "small" => Scale::Small,
-                "ref" | "reference" => Scale::Reference,
-                other => panic!("unknown scale {other:?} (expected test|small|ref)"),
-            };
+/// Scans for `flag` among the arguments before the first `--` separator
+/// (everything after `--` belongs to someone else, e.g. a test harness).
+///
+/// Returns `None` when the flag is absent, `Some(None)` when it is the
+/// last argument (no value), and `Some(Some(value))` otherwise.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<Option<&'a str>> {
+    let flags = args.split(|a| a == "--").next().unwrap_or(args);
+    let mut it = flags.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return Some(it.next().map(String::as_str));
         }
     }
-    Scale::Small
+    None
+}
+
+/// Parses a `--scale` value from an argument list, considering only the
+/// arguments before the first `--` separator.
+///
+/// # Errors
+///
+/// Returns a message listing the valid values when the flag's value is
+/// unknown or missing.
+pub fn parse_scale(args: &[String]) -> Result<Scale, String> {
+    match flag_value(args, "--scale") {
+        None => Ok(Scale::Small),
+        Some(Some("test")) => Ok(Scale::Test),
+        Some(Some("small")) => Ok(Scale::Small),
+        Some(Some("ref")) | Some(Some("reference")) => Ok(Scale::Reference),
+        Some(Some(other)) => Err(format!(
+            "unknown scale {other:?}: valid values are test, small, ref (or reference)"
+        )),
+        Some(None) => {
+            Err("--scale requires a value: valid values are test, small, ref (or reference)".into())
+        }
+    }
+}
+
+/// Parses the `--scale` argument (default [`Scale::Small`]).
+///
+/// On an invalid value this prints the error — including the list of valid
+/// values — to stderr and exits with status 2, rather than panicking.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    parse_scale(&args[1..]).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Parses a `--jobs` value from an argument list (flags after `--` are
+/// ignored), falling back to the `WATCHDOG_JOBS` value when the flag is
+/// absent. Returns `None` when neither is present.
+///
+/// # Errors
+///
+/// Returns a message when either source is present but not a positive
+/// integer.
+pub fn parse_jobs(args: &[String], env: Option<&str>) -> Result<Option<usize>, String> {
+    match flag_value(args, "--jobs") {
+        Some(Some(v)) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err("--jobs requires a positive integer".into()),
+        },
+        Some(None) => Err("--jobs requires a value (a positive integer)".into()),
+        None => match env {
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(Some(n)),
+                _ => Err(format!(
+                    "WATCHDOG_JOBS must be a positive integer, got {v:?}"
+                )),
+            },
+            None => Ok(None),
+        },
+    }
+}
+
+/// Resolves the worker-thread count for suite runs: `--jobs` beats
+/// `WATCHDOG_JOBS` beats the number of available cores.
+///
+/// Unlike [`scale_from_args`] (a helper for a binary's `main`), this is
+/// called from library paths ([`run_suite`] et al.), so an invalid value
+/// must never abort the embedding process: it prints a warning to stderr
+/// and falls back to the core-count default instead.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let env = std::env::var("WATCHDOG_JOBS").ok();
+    match parse_jobs(&args[1..], env.as_deref()) {
+        Ok(Some(n)) => n,
+        Ok(None) => default_jobs(),
+        Err(e) => {
+            let d = default_jobs();
+            eprintln!("warning: {e}; falling back to {d} worker thread(s)");
+            d
+        }
+    }
+}
+
+/// The default worker-thread count: all available cores.
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// Results of running the full suite under several modes:
 /// `results[benchmark][mode_label] -> RunReport`.
 pub type SuiteResults = BTreeMap<String, BTreeMap<String, RunReport>>;
 
-/// Runs all twenty benchmarks under each mode (timed).
+/// Runs all twenty benchmarks under each mode (timed), in parallel across
+/// [`jobs_from_args`] worker threads.
 pub fn run_suite(modes: &[Mode], scale: Scale) -> SuiteResults {
-    run_suite_inner(modes, scale, true)
+    run_suite_with_jobs(modes, scale, true, jobs_from_args())
 }
 
 /// Runs all twenty benchmarks under each mode, functionally only (fast; no
-/// cycle numbers, but full footprint and classification statistics).
+/// cycle numbers, but full footprint and classification statistics), in
+/// parallel across [`jobs_from_args`] worker threads.
 pub fn run_suite_functional(modes: &[Mode], scale: Scale) -> SuiteResults {
-    run_suite_inner(modes, scale, false)
+    run_suite_with_jobs(modes, scale, false, jobs_from_args())
 }
 
-fn run_suite_inner(modes: &[Mode], scale: Scale, timing: bool) -> SuiteResults {
+/// Runs one (benchmark, mode) cell of the suite grid. Failure messages
+/// carry no bench/mode label here — [`run_grid`] is the single labelling
+/// point for every cell failure.
+fn run_cell(program: &watchdog_isa::Program, mode: Mode, timing: bool) -> RunReport {
+    let cfg = if timing {
+        SimConfig::timed(mode)
+    } else {
+        SimConfig::functional(mode)
+    };
+    let report = Simulator::new(cfg)
+        .run(program)
+        .unwrap_or_else(|e| panic!("{e}"));
+    assert!(
+        report.violation.is_none(),
+        "unexpected violation {:?}",
+        report.violation
+    );
+    report
+}
+
+/// Runs the suite with an explicit worker-thread count.
+///
+/// Each benchmark program is built once and shared read-only across the
+/// modes (and worker threads) that simulate it. The (benchmark × mode)
+/// grid is distributed over `jobs` scoped worker threads pulling from a
+/// shared queue. Every cell is an independent deterministic simulation,
+/// and the merged results land in the same [`BTreeMap`] ordering
+/// regardless of completion order, so the output is identical to a serial
+/// run (`jobs == 1` takes a strictly serial path).
+///
+/// # Panics
+///
+/// Panics if any cell fails — a simulator error or an unexpected
+/// violation — with the benchmark/mode label of every failed cell in the
+/// message, whichever thread it ran on.
+pub fn run_suite_with_jobs(
+    modes: &[Mode],
+    scale: Scale,
+    timing: bool,
+    jobs: usize,
+) -> SuiteResults {
+    let specs = all_benchmarks();
+    let programs: Vec<watchdog_isa::Program> = specs.iter().map(|s| s.build(scale)).collect();
+    let cells = run_grid(&specs, modes, jobs, |si, mi| {
+        run_cell(&programs[si], modes[mi], timing)
+    });
     let mut out = SuiteResults::new();
-    for spec in all_benchmarks() {
-        let program = spec.build(scale);
-        let mut per_mode = BTreeMap::new();
-        for &mode in modes {
-            let cfg = if timing {
-                SimConfig::timed(mode)
-            } else {
-                SimConfig::functional(mode)
-            };
-            let report = Simulator::new(cfg)
-                .run(&program)
-                .unwrap_or_else(|e| panic!("{} under {}: {e}", spec.name, mode.label()));
-            assert!(
-                report.violation.is_none(),
-                "{} under {}: unexpected violation {:?}",
-                spec.name,
-                mode.label(),
-                report.violation
-            );
-            per_mode.insert(mode.label(), report);
-        }
-        out.insert(spec.name.to_string(), per_mode);
+    for (si, mi, report) in cells {
+        out.entry(specs[si].name.to_string())
+            .or_default()
+            .insert(modes[mi].label(), report);
     }
     out
+}
+
+/// Formats a caught panic payload (labels are added by the caller).
+fn payload_msg(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("non-string panic payload")
+}
+
+/// Executes `run` for every `(spec index, mode index)` cell across `jobs`
+/// scoped worker threads (serially when `jobs <= 1`), returning the
+/// unordered `(spec index, mode index, report)` triples.
+///
+/// Cell panics are caught and re-raised on the caller's thread with the
+/// bench/mode label prepended, so a failure deep inside a simulation is
+/// attributable no matter which thread ran it.
+fn run_grid<F>(
+    specs: &[watchdog_workloads::BenchSpec],
+    modes: &[Mode],
+    jobs: usize,
+    run: F,
+) -> Vec<(usize, usize, RunReport)>
+where
+    F: Fn(usize, usize) -> RunReport + Sync,
+{
+    let grid: Vec<(usize, usize)> = (0..specs.len())
+        .flat_map(|s| (0..modes.len()).map(move |m| (s, m)))
+        .collect();
+    let jobs = jobs.max(1).min(grid.len().max(1));
+
+    let label = |si: usize, mi: usize, payload: &(dyn std::any::Any + Send)| {
+        format!(
+            "[{} under {}] {}",
+            specs[si].name,
+            modes[mi].label(),
+            payload_msg(payload)
+        )
+    };
+    let report_failures = |mut failures: Vec<String>| -> ! {
+        failures.sort(); // deterministic message regardless of scheduling
+        panic!(
+            "{} suite cell(s) failed:\n{}",
+            failures.len(),
+            failures.join("\n")
+        );
+    };
+
+    if jobs <= 1 {
+        return grid
+            .into_iter()
+            .map(|(si, mi)| {
+                // Fail fast, in the same message format as the parallel
+                // path.
+                let report = panic::catch_unwind(AssertUnwindSafe(|| run(si, mi))).unwrap_or_else(
+                    |payload| report_failures(vec![label(si, mi, payload.as_ref())]),
+                );
+                (si, mi, report)
+            })
+            .collect();
+    }
+
+    // Work queue: an atomic cursor over the grid. Workers catch panics so
+    // every failure is reported with its bench/mode label instead of
+    // std::thread::scope's anonymous re-panic. The first failure raises
+    // `abort`, so workers stop pulling new cells instead of burning
+    // through the rest of the grid (in-flight cells still finish).
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let done: Mutex<Vec<(usize, usize, RunReport)>> = Mutex::new(Vec::with_capacity(grid.len()));
+    let failed: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(si, mi)) = grid.get(i) else { break };
+                match panic::catch_unwind(AssertUnwindSafe(|| run(si, mi))) {
+                    Ok(report) => done.lock().unwrap().push((si, mi, report)),
+                    Err(payload) => {
+                        failed.lock().unwrap().push(label(si, mi, payload.as_ref()));
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    let failures = failed.into_inner().unwrap();
+    if !failures.is_empty() {
+        report_failures(failures);
+    }
+    done.into_inner().unwrap()
 }
 
 /// Benchmark names in the paper's figure order (the suite map is sorted
@@ -151,6 +372,106 @@ mod tests {
         for (name, modes) in &r {
             assert!(modes.contains_key("baseline"), "{name} missing baseline");
         }
+    }
+
+    fn args(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_scale_accepts_valid_values() {
+        assert_eq!(parse_scale(&args(&[])), Ok(Scale::Small));
+        assert_eq!(parse_scale(&args(&["--scale", "test"])), Ok(Scale::Test));
+        assert_eq!(parse_scale(&args(&["--scale", "small"])), Ok(Scale::Small));
+        assert_eq!(
+            parse_scale(&args(&["--scale", "ref"])),
+            Ok(Scale::Reference)
+        );
+        assert_eq!(
+            parse_scale(&args(&["--scale", "reference"])),
+            Ok(Scale::Reference)
+        );
+    }
+
+    #[test]
+    fn parse_scale_rejects_unknown_values_with_the_valid_list() {
+        let e = parse_scale(&args(&["--scale", "huge"])).unwrap_err();
+        assert!(e.contains("huge") && e.contains("test, small, ref"), "{e}");
+        let e = parse_scale(&args(&["--scale"])).unwrap_err();
+        assert!(e.contains("requires a value"), "{e}");
+    }
+
+    #[test]
+    fn parse_scale_ignores_flags_after_double_dash() {
+        // `--scale` after `--` belongs to someone else (e.g. a test
+        // harness): the default applies and no error is raised.
+        assert_eq!(
+            parse_scale(&args(&["--", "--scale", "bogus"])),
+            Ok(Scale::Small)
+        );
+        assert_eq!(
+            parse_scale(&args(&["--scale", "test", "--", "--scale", "bogus"])),
+            Ok(Scale::Test)
+        );
+    }
+
+    #[test]
+    fn parse_jobs_precedence_and_errors() {
+        assert_eq!(parse_jobs(&args(&[]), None), Ok(None));
+        assert_eq!(parse_jobs(&args(&["--jobs", "4"]), None), Ok(Some(4)));
+        // The flag beats the environment.
+        assert_eq!(parse_jobs(&args(&["--jobs", "2"]), Some("8")), Ok(Some(2)));
+        assert_eq!(parse_jobs(&args(&[]), Some("8")), Ok(Some(8)));
+        assert_eq!(parse_jobs(&args(&["--", "--jobs", "9"]), None), Ok(None));
+        assert!(parse_jobs(&args(&["--jobs", "0"]), None).is_err());
+        assert!(parse_jobs(&args(&["--jobs", "many"]), None).is_err());
+        assert!(parse_jobs(&args(&["--jobs"]), None).is_err());
+        assert!(parse_jobs(&args(&[]), Some("-3")).is_err());
+    }
+
+    #[test]
+    fn oversubscribed_jobs_are_clamped_to_the_grid() {
+        // More workers than cells must not hang or drop results.
+        let r = run_suite_with_jobs(&[Mode::Baseline], Scale::Test, false, 1000);
+        assert_eq!(r.len(), 20);
+    }
+
+    #[test]
+    fn worker_panics_carry_the_bench_and_mode_label() {
+        let specs = all_benchmarks();
+        let modes = [Mode::Baseline];
+        let programs: Vec<_> = specs.iter().map(|s| s.build(Scale::Test)).collect();
+        let got = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_grid(&specs, &modes, 4, |si, mi| {
+                if specs[si].name == "mcf" {
+                    panic!("synthetic cell failure");
+                }
+                run_cell(&programs[si], modes[mi], false)
+            })
+        }))
+        .expect_err("the grid must fail");
+        let msg = got
+            .downcast_ref::<String>()
+            .expect("labelled failures are formatted strings");
+        assert!(
+            msg.contains("[mcf under baseline] synthetic cell failure"),
+            "label lost: {msg}"
+        );
+        // The other 19 cells must not mask or reorder the failure report.
+        assert!(msg.contains("1 suite cell(s) failed"), "{msg}");
+
+        // The strictly serial path labels failures identically.
+        let got = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_grid(&specs, &modes, 1, |si, _| {
+                panic!("early failure in {}", specs[si].name)
+            })
+        }))
+        .expect_err("the serial grid must fail");
+        let msg = got.downcast_ref::<String>().unwrap();
+        assert!(
+            msg.contains("[lbm under baseline] early failure in lbm"),
+            "serial label lost: {msg}"
+        );
     }
 }
 pub mod figs;

@@ -1,0 +1,40 @@
+//! The parallel suite runner must be a pure performance optimisation:
+//! fanning the (benchmark × mode) grid across worker threads may not
+//! change a single byte of the results relative to a serial run.
+
+use watchdog_bench::run_suite_with_jobs;
+use watchdog_core::prelude::*;
+use watchdog_workloads::Scale;
+
+/// Serial (`jobs = 1`) and parallel (`jobs = 4`) runs of the full suite
+/// under two modes at [`Scale::Test`] must render identically — same
+/// benchmarks, same mode labels, same statistics, in the same
+/// [`std::collections::BTreeMap`] order.
+#[test]
+fn parallel_suite_is_byte_identical_to_serial() {
+    let modes = [Mode::Baseline, Mode::watchdog_conservative()];
+    let serial = run_suite_with_jobs(&modes, Scale::Test, false, 1);
+    let parallel = run_suite_with_jobs(&modes, Scale::Test, false, 4);
+
+    assert_eq!(serial.len(), 20);
+    assert_eq!(parallel.len(), 20);
+    for per_mode in serial.values() {
+        assert_eq!(per_mode.len(), modes.len());
+    }
+
+    // Byte-identical: the full Debug rendering covers every field of every
+    // report (stats, heap, footprint, violations) and the map ordering.
+    let s = format!("{serial:#?}");
+    let p = format!("{parallel:#?}");
+    assert_eq!(s, p, "parallel run diverged from the serial run");
+}
+
+/// Two parallel runs must also agree with each other (no scheduling
+/// sensitivity), including when oversubscribed relative to the machine.
+#[test]
+fn parallel_suite_is_schedule_insensitive() {
+    let modes = [Mode::Baseline];
+    let a = run_suite_with_jobs(&modes, Scale::Test, false, 2);
+    let b = run_suite_with_jobs(&modes, Scale::Test, false, 16);
+    assert_eq!(format!("{a:#?}"), format!("{b:#?}"));
+}

@@ -25,6 +25,7 @@
 use watchdog_isa::crack::{
     crack, fill_mem_addrs, CrackConfig, Cracked, CrackedInst, CtrlKind, MetaEffect,
 };
+use watchdog_isa::crack_cache::{CrackCache, CrackCacheStats};
 use watchdog_isa::insn::Inst;
 use watchdog_isa::layout::{
     GLOBAL_KEY, GLOBAL_LOCK_ADDR, HEAP_BASE, HEAP_LOCK_BASE, HEAP_LOCK_SIZE, HEAP_SIZE,
@@ -67,6 +68,12 @@ pub struct MachineConfig {
     /// Emit cracked µops on every step (disable for fast functional-only
     /// runs).
     pub emit_uops: bool,
+    /// Memoize crack expansions per PC (see
+    /// [`watchdog_isa::crack_cache::CrackCache`]). Only takes effect when
+    /// `emit_uops` is set — a machine that never cracks allocates no
+    /// cache. Disable only to measure the uncached decoder or to debug
+    /// the cracker itself.
+    pub crack_cache: bool,
 }
 
 impl MachineConfig {
@@ -78,6 +85,7 @@ impl MachineConfig {
             policy: PointerPolicy::Conservative,
             profiling: false,
             emit_uops: true,
+            crack_cache: true,
         }
     }
 
@@ -89,6 +97,7 @@ impl MachineConfig {
             policy: PointerPolicy::Conservative,
             profiling: false,
             emit_uops: true,
+            crack_cache: true,
         }
     }
 }
@@ -135,6 +144,7 @@ pub struct Machine<'p> {
     prog: &'p Program,
     cfg: MachineConfig,
     crack_cfg: CrackConfig,
+    crack_cache: Option<CrackCache>,
     shadow: ShadowSpace,
     mem: GuestMem,
     regs: [u64; Gpr::COUNT],
@@ -197,10 +207,16 @@ impl<'p> Machine<'p> {
         meta[Gpr::RSP.index()] =
             MetaRecord::with_bounds(stack_key, stack_lock, STACK_LIMIT, STACK_TOP);
 
+        // Only a µop-emitting machine ever cracks; a functional-only run
+        // would pay the per-PC entry table for nothing.
+        let crack_cache =
+            (cfg.crack_cache && cfg.emit_uops).then(|| CrackCache::new(crack_cfg, prog.len()));
+
         Machine {
             prog,
             cfg,
             crack_cfg,
+            crack_cache,
             shadow,
             mem,
             regs,
@@ -264,8 +280,41 @@ impl<'p> Machine<'p> {
 
     /// Enables or disables µop emission mid-run (used by the sampling
     /// driver to fast-forward between measurement windows, §9.1).
+    ///
+    /// A machine constructed functional-only (`emit_uops: false`)
+    /// allocates no crack cache up front; switching emission on here
+    /// creates it on demand so `crack_cache: true` is honoured no matter
+    /// when cracking starts.
     pub fn set_emit_uops(&mut self, on: bool) {
         self.cfg.emit_uops = on;
+        if on && self.cfg.crack_cache && self.crack_cache.is_none() {
+            self.crack_cache = Some(CrackCache::new(self.crack_cfg, self.prog.len()));
+        }
+    }
+
+    /// Hit/miss statistics of the per-PC crack cache (`None` when the
+    /// cache is disabled in the [`MachineConfig`]).
+    pub fn crack_cache_stats(&self) -> Option<CrackCacheStats> {
+        self.crack_cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Invalidation hook: drops the cached crack expansion for one
+    /// instruction index. The guest ISA has no self-modifying code today,
+    /// but anything that patches program text (or flips a static
+    /// instruction's classification) must call this before re-executing
+    /// the patched PC.
+    pub fn invalidate_cracked(&mut self, pc: usize) {
+        if let Some(c) = self.crack_cache.as_mut() {
+            c.invalidate(pc);
+        }
+    }
+
+    /// Invalidation hook: drops every cached crack expansion (e.g. after
+    /// swapping the pointer-identification policy mid-run).
+    pub fn invalidate_all_cracked(&mut self) {
+        if let Some(c) = self.crack_cache.as_mut() {
+            c.invalidate_all();
+        }
     }
 
     /// Whether the machine has halted.
@@ -793,12 +842,18 @@ impl<'p> Machine<'p> {
             return Ok(Step::Executed(None));
         }
 
-        // Assemble the µop expansion with its dynamic facts.
+        // Assemble the µop expansion with its dynamic facts. The static
+        // expansion is a pure function of (inst, ptr_op, crack config), so
+        // it is served from the per-PC cache when enabled; the dynamic
+        // facts below are filled into this step's private copy.
         let Cracked {
             mut uops,
             mut meta,
             ctrl,
-        } = crack(&inst, ptr_op, &self.crack_cfg);
+        } = match self.crack_cache.as_mut() {
+            Some(cache) => cache.get_or_crack(pc, &inst, ptr_op).clone(),
+            None => crack(&inst, ptr_op, &self.crack_cfg),
+        };
         if let Some(Some(effect)) = select_fold {
             // Drop the select µop; the rename stage handles the effect.
             let mut folded = UopVec::new();
@@ -1345,6 +1400,82 @@ mod tests {
         assert!(viol.is_none());
         assert_eq!(m.reg(g(2)), 5);
         assert_eq!(m.freg(Fpr::new(1)), 2.5);
+    }
+
+    #[test]
+    fn crack_cache_is_transparent_to_the_uop_stream() {
+        // A loopy pointer-heavy program: every revisited PC must produce
+        // exactly the µop stream an uncached machine produces, and the
+        // revisits must register as cache hits.
+        let build = || {
+            let mut b = ProgramBuilder::new("cache-loop");
+            let (p, sz, i, n, t) = (g(0), g(1), g(2), g(3), g(4));
+            b.li(sz, 128);
+            b.malloc(p, sz);
+            b.li(i, 0);
+            b.li(n, 16);
+            let l = b.here();
+            b.alui(AluOp::Mul, t, i, 8);
+            b.add(t, p, t);
+            b.st8(t, t, 0); // stores a pointer: shadow-store µop
+            b.ld8(t, t, 0); // loads it back: shadow-load µop
+            b.addi(i, i, 1);
+            b.branch(Cond::Lt, i, n, l);
+            b.free(p);
+            b.halt();
+            b.build().unwrap()
+        };
+        let stream = |cached: bool| {
+            let prog = build();
+            let cfg = MachineConfig {
+                crack_cache: cached,
+                ..MachineConfig::watchdog()
+            };
+            let mut m = Machine::new(&prog, cfg);
+            let mut out = Vec::new();
+            loop {
+                match m.step().expect("no sim error") {
+                    Step::Executed(Some(ci)) => out.push(format!("{ci:?}")),
+                    Step::Executed(None) => unreachable!("emit_uops is on"),
+                    Step::Halted | Step::Violation(_) => break,
+                }
+            }
+            (out, m.crack_cache_stats())
+        };
+        let (cached, stats) = stream(true);
+        let (uncached, no_stats) = stream(false);
+        assert_eq!(cached, uncached, "cache must not change the µop stream");
+        assert!(no_stats.is_none());
+        let stats = stats.expect("cache enabled");
+        assert!(stats.hits > 0, "loop revisits must hit: {stats:?}");
+        assert!(stats.misses > 0, "first visits must miss: {stats:?}");
+        assert!(stats.hit_rate() > 0.5, "loopy code is hit-dominated");
+    }
+
+    #[test]
+    fn emit_uops_toggle_creates_the_cache_on_demand() {
+        let prog = uaf_program();
+        let mut cfg = MachineConfig::watchdog();
+        cfg.emit_uops = false;
+        let mut m = Machine::new(&prog, cfg);
+        assert!(m.crack_cache_stats().is_none(), "functional-only: no cache");
+        assert!(matches!(m.step().unwrap(), Step::Executed(None)));
+        m.set_emit_uops(true);
+        assert!(matches!(m.step().unwrap(), Step::Executed(Some(_))));
+        let stats = m.crack_cache_stats().expect("cache created on demand");
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn crack_cache_invalidation_hooks_recrack() {
+        let prog = uaf_program();
+        let mut m = Machine::new(&prog, MachineConfig::watchdog());
+        assert!(matches!(m.step().unwrap(), Step::Executed(Some(_))));
+        let before = m.crack_cache_stats().unwrap();
+        assert_eq!(before.misses, 1);
+        m.invalidate_cracked(0);
+        m.invalidate_all_cracked(); // already empty: no double count
+        assert_eq!(m.crack_cache_stats().unwrap().invalidations, 1);
     }
 
     #[test]

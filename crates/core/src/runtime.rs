@@ -2,7 +2,7 @@
 //! guest memory.
 //!
 //! The paper modified "the standard DL-malloc memory allocator to use the
-//! new instruction[s] to inform the hardware of memory allocations and
+//! new instruction\[s\] to inform the hardware of memory allocations and
 //! deallocations" (§9.1). We build the same shape of allocator: power-of-two
 //! size classes with LIFO free lists, an 8-byte chunk header holding the
 //! size, and a bump cursor for fresh memory. LIFO reuse is essential to the

@@ -194,6 +194,12 @@ pub struct SimConfig {
     /// Periodic sampling (§9.1). `None` = measure every instruction.
     /// Requires `timing`.
     pub sampling: Option<Sampling>,
+    /// Memoize crack expansions per PC in the functional machine (see
+    /// [`watchdog_isa::crack_cache::CrackCache`]). On by default; only
+    /// µop-emitting (timed) runs crack at all, so functional-only runs
+    /// allocate no cache either way. Disable only to benchmark the
+    /// uncached decoder.
+    pub crack_cache: bool,
 }
 
 impl SimConfig {
@@ -206,6 +212,7 @@ impl SimConfig {
             core: CoreConfig::sandy_bridge(),
             hierarchy: HierarchyConfig::default(),
             sampling: None,
+            crack_cache: true,
         }
     }
 
@@ -258,6 +265,7 @@ impl Simulator {
             policy: PointerPolicy::Conservative,
             profiling: true,
             emit_uops: false,
+            crack_cache: true,
         };
         let mut m = Machine::new(program, cfg);
         let mut executed = 0u64;
@@ -290,6 +298,7 @@ impl Simulator {
             policy,
             profiling: false,
             emit_uops: self.cfg.timing,
+            crack_cache: self.cfg.crack_cache,
         };
         let mut hier = self.cfg.hierarchy;
         if let Mode::Watchdog {
@@ -584,6 +593,23 @@ mod tests {
         let mut cfg = SimConfig::sampled(Mode::Baseline, Sampling::dense());
         cfg.timing = false;
         let _ = Simulator::new(cfg).run(&p);
+    }
+
+    #[test]
+    fn crack_cache_does_not_change_timed_results() {
+        let p = list_program(200);
+        let cached = Simulator::new(SimConfig::timed(Mode::watchdog_conservative()))
+            .run(&p)
+            .unwrap();
+        let mut cfg = SimConfig::timed(Mode::watchdog_conservative());
+        cfg.crack_cache = false;
+        let uncached = Simulator::new(cfg).run(&p).unwrap();
+        assert_eq!(cached.cycles(), uncached.cycles());
+        assert_eq!(cached.uops(), uncached.uops());
+        assert_eq!(
+            cached.timing.as_ref().unwrap().uops_by_tag,
+            uncached.timing.as_ref().unwrap().uops_by_tag
+        );
     }
 
     #[test]

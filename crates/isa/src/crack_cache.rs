@@ -1,0 +1,231 @@
+//! Per-PC cache of crack expansions.
+//!
+//! Cracking a macro-instruction ([`crack`]) walks a large `match`, pushes
+//! up to [`crate::uop::MAX_UOPS`] µops one at a time and re-derives the
+//! rename-stage metadata effect — all of which is a pure function of
+//! `(instruction, pointer classification, CrackConfig)`. The functional
+//! machine sits in a loop that re-executes the same static instructions
+//! millions of times, so re-cracking on every step is the hottest
+//! redundant work on the simulator's fast path.
+//!
+//! [`CrackCache`] memoizes the expansion per *static* program counter
+//! (instruction index). The guest has no self-modifying code, and the
+//! pointer-identification policies are stable per PC within a run, so a
+//! cached entry is almost always a hit; the classification bit is still
+//! stored and compared so a policy that changes its mind mid-run is
+//! handled correctly (the stale entry is re-cracked, counted as a miss).
+//!
+//! The cache deliberately stores the *static* [`Cracked`] result: dynamic
+//! facts (resolved memory addresses, branch outcomes) are filled into a
+//! fresh copy by the machine on every step, exactly as before.
+
+use crate::crack::{crack, CrackConfig, Cracked};
+use crate::insn::Inst;
+
+/// Hit/miss/invalidation counters of a [`CrackCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrackCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to crack (cold entry, or a pointer-classification
+    /// change that forced a re-crack).
+    pub misses: u64,
+    /// Entries explicitly dropped through [`CrackCache::invalidate`] /
+    /// [`CrackCache::invalidate_all`].
+    pub invalidations: u64,
+}
+
+impl CrackCacheStats {
+    /// Fraction of lookups served from the cache (0.0 when empty).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    /// The pointer classification the entry was cracked under.
+    ptr_op: bool,
+    cracked: Cracked,
+}
+
+/// A direct-indexed cache of [`Cracked`] expansions, keyed by instruction
+/// index (PC).
+///
+/// # Examples
+///
+/// Hit/miss semantics — the first visit to a PC cracks the instruction,
+/// subsequent visits reuse the stored expansion, and a changed pointer
+/// classification re-cracks:
+///
+/// ```
+/// use watchdog_isa::crack::CrackConfig;
+/// use watchdog_isa::crack_cache::CrackCache;
+/// use watchdog_isa::{Gpr, Inst, MemAddr, PtrHint, Width};
+///
+/// let load = Inst::Load {
+///     dst: Gpr::new(0),
+///     addr: MemAddr::base(Gpr::new(1)),
+///     width: Width::B8,
+///     hint: PtrHint::Auto,
+/// };
+/// let mut cache = CrackCache::new(CrackConfig::watchdog(), 4);
+///
+/// // Cold entry: the lookup cracks and stores (a miss).
+/// let n = cache.get_or_crack(0, &load, true).uops.len();
+/// assert_eq!((cache.stats().hits, cache.stats().misses), (0, 1));
+///
+/// // Warm entry: the stored expansion is returned (a hit).
+/// assert_eq!(cache.get_or_crack(0, &load, true).uops.len(), n);
+/// assert_eq!((cache.stats().hits, cache.stats().misses), (1, 1));
+///
+/// // A different classification for the same PC re-cracks (a miss): the
+/// // non-pointer expansion of a load drops the shadow-load µop.
+/// assert_eq!(cache.get_or_crack(0, &load, false).uops.len(), n - 1);
+/// assert_eq!((cache.stats().hits, cache.stats().misses), (1, 2));
+///
+/// // Explicit invalidation drops the entry, so the next lookup misses.
+/// cache.invalidate(0);
+/// cache.get_or_crack(0, &load, false);
+/// assert_eq!(cache.stats().misses, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrackCache {
+    cfg: CrackConfig,
+    entries: Vec<Option<Entry>>,
+    stats: CrackCacheStats,
+}
+
+impl CrackCache {
+    /// An empty cache for a program of `len` instructions, cracking under
+    /// `cfg` on misses.
+    pub fn new(cfg: CrackConfig, len: usize) -> Self {
+        CrackCache {
+            cfg,
+            entries: vec![None; len],
+            stats: CrackCacheStats::default(),
+        }
+    }
+
+    /// The configuration misses are cracked under.
+    pub fn config(&self) -> &CrackConfig {
+        &self.cfg
+    }
+
+    /// Returns the expansion of `inst` at instruction index `pc`, cracking
+    /// and caching it if absent or if it was cached under a different
+    /// pointer classification.
+    ///
+    /// PCs beyond the capacity given to [`CrackCache::new`] grow the cache
+    /// (the machine sizes it to the program, so this is a safety net, not
+    /// the expected path).
+    pub fn get_or_crack(&mut self, pc: usize, inst: &Inst, ptr_op: bool) -> &Cracked {
+        if pc >= self.entries.len() {
+            self.entries.resize(pc + 1, None);
+        }
+        let slot = &mut self.entries[pc];
+        match slot {
+            Some(e) if e.ptr_op == ptr_op => self.stats.hits += 1,
+            _ => {
+                self.stats.misses += 1;
+                *slot = Some(Entry {
+                    ptr_op,
+                    cracked: crack(inst, ptr_op, &self.cfg),
+                });
+            }
+        }
+        &slot.as_ref().expect("entry just ensured").cracked
+    }
+
+    /// Invalidation hook: drops the entry for one PC (e.g. after a code
+    /// patch). A no-op for PCs never cached.
+    pub fn invalidate(&mut self, pc: usize) {
+        if let Some(slot) = self.entries.get_mut(pc) {
+            if slot.take().is_some() {
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Invalidation hook: drops every entry (e.g. after swapping the
+    /// pointer-identification policy mid-run).
+    pub fn invalidate_all(&mut self) {
+        for slot in &mut self.entries {
+            if slot.take().is_some() {
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Lookup/invalidation counters.
+    pub fn stats(&self) -> CrackCacheStats {
+        self.stats
+    }
+
+    /// Number of currently-populated entries.
+    pub fn populated(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{MemAddr, PtrHint, Width};
+    use crate::reg::Gpr;
+
+    fn load() -> Inst {
+        Inst::Load {
+            dst: Gpr::new(0),
+            addr: MemAddr::base(Gpr::new(1)),
+            width: Width::B8,
+            hint: PtrHint::Auto,
+        }
+    }
+
+    #[test]
+    fn cached_expansion_matches_a_fresh_crack() {
+        let cfg = CrackConfig::watchdog();
+        let mut cache = CrackCache::new(cfg, 8);
+        let fresh = crack(&load(), true, &cfg);
+        // Miss then hit: both must equal the uncached expansion.
+        for _ in 0..2 {
+            let c = cache.get_or_crack(3, &load(), true);
+            assert_eq!(c.uops.len(), fresh.uops.len());
+            assert_eq!(c.meta, fresh.meta);
+            assert_eq!(c.ctrl, fresh.ctrl);
+            let kinds: Vec<_> = c.uops.iter().map(|u| u.uop.kind).collect();
+            let fresh_kinds: Vec<_> = fresh.uops.iter().map(|u| u.uop.kind).collect();
+            assert_eq!(kinds, fresh_kinds);
+        }
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.populated(), 1);
+    }
+
+    #[test]
+    fn out_of_range_pc_grows_the_cache() {
+        let mut cache = CrackCache::new(CrackConfig::baseline(), 2);
+        cache.get_or_crack(100, &load(), false);
+        assert_eq!(cache.stats().misses, 1);
+        cache.get_or_crack(100, &load(), false);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn invalidate_all_counts_only_populated_entries() {
+        let mut cache = CrackCache::new(CrackConfig::watchdog(), 16);
+        cache.get_or_crack(0, &load(), true);
+        cache.get_or_crack(5, &load(), false);
+        cache.invalidate(9); // empty slot: no count
+        cache.invalidate_all();
+        assert_eq!(cache.stats().invalidations, 2);
+        assert_eq!(cache.populated(), 0);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+}

@@ -15,6 +15,9 @@
 //!   lock-location and `select` µops of Figures 2 and 3.
 //! * [`crack`] — the decoder/cracker that performs Watchdog µop injection
 //!   for every mode (baseline, use-after-free only, bounds fused/split).
+//! * [`crack_cache`] — a per-PC memo of crack expansions so the simulator's
+//!   step loop does not re-crack the same static instruction every
+//!   iteration.
 //! * [`program`] — the program container and an assembler-style
 //!   [`ProgramBuilder`] used by the workload suite.
 //! * [`layout`] — the guest virtual-address-space layout, including the
@@ -48,12 +51,14 @@
 #![warn(missing_docs)]
 
 pub mod crack;
+pub mod crack_cache;
 pub mod insn;
 pub mod layout;
 pub mod program;
 pub mod reg;
 pub mod uop;
 
+pub use crack_cache::{CrackCache, CrackCacheStats};
 pub use insn::{AluOp, Cond, FpOp, FpWidth, Inst, MemAddr, PtrHint, Width};
 pub use program::{Label, Program, ProgramBuilder, ProgramError};
 pub use reg::{Fpr, Gpr, LReg};

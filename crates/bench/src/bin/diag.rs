@@ -1,4 +1,5 @@
-//! Diagnostic: per-benchmark stall breakdown under selected modes.
+//! Diagnostic: per-benchmark stall breakdown, cache behaviour and
+//! crack-cache effectiveness under selected modes.
 use watchdog_core::prelude::*;
 use watchdog_workloads::{benchmark, Scale};
 
@@ -13,12 +14,18 @@ fn main() {
     ] {
         let r = Simulator::new(SimConfig::timed(mode)).run(&p).unwrap();
         let t = r.timing.as_ref().unwrap();
+        let cc = match r.crack_cache {
+            Some(s) => format!("h={} m={} ({:.1}%)", s.hits, s.misses, s.hit_rate() * 100.0),
+            None => "off".into(),
+        };
         println!(
-            "{:<28} cycles={:<8} uops={:<8} ipc={:.2} stalls rob={} iq={} lq={} sq={} ic={} br={} | l1d m={} ll acc={} m={} mpki={:.2} shadow={}",
+            "{:<28} cycles={:<8} uops={:<8} ipc={:.2} stalls rob={} iq={} lq={} sq={} ic={} br={} | l1d m={} ({:.2}%) ll acc={} m={} ({:.2}%, {:.2}/1k insts) shadow={} | crack$ {}",
             mode.label(), t.cycles, t.uops, t.ipc(),
             t.stalls.rob, t.stalls.iq, t.stalls.lq, t.stalls.sq, t.stalls.icache, t.stalls.redirect,
-            t.hierarchy.l1d.misses, t.hierarchy.ll.accesses, t.hierarchy.ll.misses,
-            t.bpred.mpki(), t.hierarchy.shadow_accesses,
+            t.hierarchy.l1d.misses, t.hierarchy.l1d.miss_rate() * 100.0,
+            t.hierarchy.ll.accesses, t.hierarchy.ll.misses, t.hierarchy.ll.miss_rate() * 100.0,
+            t.hierarchy.ll_mpk(t.insts), t.hierarchy.shadow_accesses,
+            cc,
         );
     }
 }

@@ -5,7 +5,7 @@
 use crate::{figure_order, geomean, mean, pct, print_table, run_suite, run_suite_functional};
 use watchdog_core::prelude::*;
 use watchdog_core::PointerId;
-use watchdog_workloads::{benign_suite, juliet_suite, Scale};
+use watchdog_workloads::Scale;
 
 /// Figure 5: percentage of memory accesses classified as pointer
 /// operations, conservative vs ISA-assisted (paper: 31% / 18% average).
@@ -376,52 +376,24 @@ pub fn table2() {
 /// §9.2: the Juliet CWE-416/CWE-562 suite (paper: 291/291 detected, zero
 /// false positives).
 pub fn juliet() {
-    let bad = juliet_suite();
-    let good = benign_suite();
-    let sim = Simulator::new(SimConfig::functional(Mode::watchdog_conservative()));
-    let mut detected = 0;
-    let mut wrong_kind = 0;
-    for case in &bad {
-        let r = sim
-            .run(&case.program)
-            .unwrap_or_else(|e| panic!("{}: {e}", case.name));
-        match r.violation {
-            Some(v) if Some(v.kind) == case.expected => detected += 1,
-            Some(_) => wrong_kind += 1,
-            None => {}
-        }
-    }
-    let mut false_pos = 0;
-    for case in &good {
-        let r = sim
-            .run(&case.program)
-            .unwrap_or_else(|e| panic!("{}: {e}", case.name));
-        if r.violation.is_some() {
-            false_pos += 1;
-        }
-    }
+    // The 291 cases are sharded across the same worker pool as the suite
+    // runner (`--jobs`/`WATCHDOG_JOBS`); results come back in suite order,
+    // so the printed report is identical to a serial run.
+    let outcomes =
+        crate::run_juliet_with_jobs(Mode::watchdog_conservative(), crate::jobs_from_args(), None);
+    let s = crate::summarize_juliet(&outcomes);
     println!("\n== §9.2: Juliet-style CWE-416/CWE-562 suite ==");
     println!(
-        "bad cases detected:        {detected}/{} (expected kind; {wrong_kind} with other kind)",
-        bad.len()
+        "bad cases detected:        {}/{} (expected kind; {} with other kind)",
+        s.detected, s.cases, s.wrong_kind
     );
-    println!("benign false positives:    {false_pos}/{}", good.len());
+    println!(
+        "benign false positives:    {}/{}",
+        s.false_positives, s.cases
+    );
     println!("(paper: 291/291 detected, no false positives)");
-
-    // Contrast: the location-based checker misses reallocation cases.
-    let loc = Simulator::new(SimConfig::functional(Mode::LocationBased));
-    let mut loc_detected = 0;
-    for case in &bad {
-        if case.cwe == watchdog_workloads::Cwe::Cwe416 {
-            let r = loc.run(&case.program).unwrap();
-            if r.violation.is_some() {
-                loc_detected += 1;
-            }
-        }
-    }
-    let n416 = bad
-        .iter()
-        .filter(|c| c.cwe == watchdog_workloads::Cwe::Cwe416)
-        .count();
-    println!("location-based comparison: {loc_detected}/{n416} CWE-416 cases detected (blind to reallocation)");
+    println!(
+        "location-based comparison: {}/{} CWE-416 cases detected (blind to reallocation)",
+        s.loc_detected, s.loc_cases
+    );
 }

@@ -19,7 +19,9 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use watchdog_core::prelude::*;
-use watchdog_workloads::{all_benchmarks, Scale};
+use watchdog_gen::{DiffFailure, DiffOutcome, GenConfig};
+use watchdog_workloads::juliet::SUITE_SIZE;
+use watchdog_workloads::{all_benchmarks, benign_suite_prefix, juliet_suite_prefix, Cwe, Scale};
 
 /// Scans for `flag` among the arguments before the first `--` separator
 /// (everything after `--` belongs to someone else, e.g. a test harness).
@@ -207,13 +209,55 @@ fn payload_msg(payload: &(dyn std::any::Any + Send)) -> &str {
         .unwrap_or("non-string panic payload")
 }
 
-/// Executes `run` for every `(spec index, mode index)` cell across `jobs`
-/// scoped worker threads (serially when `jobs <= 1`), returning the
-/// unordered `(spec index, mode index, report)` triples.
+/// Runs `run(i)` for every `i` in `0..n` across `jobs` scoped worker
+/// threads pulling from a shared atomic cursor (strictly serial when
+/// `jobs <= 1`), returning the results **in index order** regardless of
+/// scheduling.
+///
+/// This is the one worker pool every sharded workload in this crate rides
+/// on: the (benchmark × mode) suite grid, the 291-case Juliet suite and
+/// the `watchdog-gen` fuzzing campaign. A panicking closure propagates
+/// out of the enclosing [`std::thread::scope`]; callers that want
+/// labelled failures catch panics inside `run` (see [`run_suite_with_jobs`]).
+pub fn parallel_map<T, F>(n: usize, jobs: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 {
+        return (0..n).map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = run(i);
+                done.lock().unwrap()[i] = Some(r);
+            });
+        }
+    });
+    done.into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|t| t.expect("every index completes"))
+        .collect()
+}
+
+/// Executes `run` for every `(spec index, mode index)` cell over
+/// [`parallel_map`], returning the `(spec index, mode index, report)`
+/// triples.
 ///
 /// Cell panics are caught and re-raised on the caller's thread with the
 /// bench/mode label prepended, so a failure deep inside a simulation is
-/// attributable no matter which thread ran it.
+/// attributable no matter which thread ran it. The first failure raises
+/// an abort flag so workers stop pulling new cells (in-flight cells still
+/// finish and may contribute their own labelled failures).
 fn run_grid<F>(
     specs: &[watchdog_workloads::BenchSpec],
     modes: &[Mode],
@@ -226,7 +270,6 @@ where
     let grid: Vec<(usize, usize)> = (0..specs.len())
         .flat_map(|s| (0..modes.len()).map(move |m| (s, m)))
         .collect();
-    let jobs = jobs.max(1).min(grid.len().max(1));
 
     let label = |si: usize, mi: usize, payload: &(dyn std::any::Any + Send)| {
         format!(
@@ -236,62 +279,342 @@ where
             payload_msg(payload)
         )
     };
-    let report_failures = |mut failures: Vec<String>| -> ! {
+    let abort = AtomicBool::new(false);
+    let cells = parallel_map(grid.len(), jobs, |i| {
+        if abort.load(Ordering::Relaxed) {
+            return None;
+        }
+        let (si, mi) = grid[i];
+        match panic::catch_unwind(AssertUnwindSafe(|| run(si, mi))) {
+            Ok(report) => Some(Ok((si, mi, report))),
+            Err(payload) => {
+                abort.store(true, Ordering::Relaxed);
+                Some(Err(label(si, mi, payload.as_ref())))
+            }
+        }
+    });
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut done = Vec::with_capacity(grid.len());
+    for cell in cells.into_iter().flatten() {
+        match cell {
+            Ok(t) => done.push(t),
+            Err(f) => failures.push(f),
+        }
+    }
+    if !failures.is_empty() {
         failures.sort(); // deterministic message regardless of scheduling
         panic!(
             "{} suite cell(s) failed:\n{}",
             failures.len(),
             failures.join("\n")
         );
-    };
-
-    if jobs <= 1 {
-        return grid
-            .into_iter()
-            .map(|(si, mi)| {
-                // Fail fast, in the same message format as the parallel
-                // path.
-                let report = panic::catch_unwind(AssertUnwindSafe(|| run(si, mi))).unwrap_or_else(
-                    |payload| report_failures(vec![label(si, mi, payload.as_ref())]),
-                );
-                (si, mi, report)
-            })
-            .collect();
     }
+    done
+}
 
-    // Work queue: an atomic cursor over the grid. Workers catch panics so
-    // every failure is reported with its bench/mode label instead of
-    // std::thread::scope's anonymous re-panic. The first failure raises
-    // `abort`, so workers stop pulling new cells instead of burning
-    // through the rest of the grid (in-flight cells still finish).
-    let next = AtomicUsize::new(0);
-    let abort = AtomicBool::new(false);
-    let done: Mutex<Vec<(usize, usize, RunReport)>> = Mutex::new(Vec::with_capacity(grid.len()));
-    let failed: Mutex<Vec<String>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for _ in 0..jobs {
-            s.spawn(|| loop {
-                if abort.load(Ordering::Relaxed) {
-                    break;
-                }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(si, mi)) = grid.get(i) else { break };
-                match panic::catch_unwind(AssertUnwindSafe(|| run(si, mi))) {
-                    Ok(report) => done.lock().unwrap().push((si, mi, report)),
-                    Err(payload) => {
-                        failed.lock().unwrap().push(label(si, mi, payload.as_ref()));
-                        abort.store(true, Ordering::Relaxed);
-                    }
-                }
-            });
+/// Per-case result of the sharded Juliet evaluation (§9.2): the bad case
+/// and its benign twin under the checked mode, plus the location-based
+/// contrast run for CWE-416 cases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JulietOutcome {
+    /// Case name (the bad case; the twin shares it modulo the suffix).
+    pub name: String,
+    /// CWE class.
+    pub cwe: Cwe,
+    /// Expected violation kind of the bad case.
+    pub expected: Option<ViolationKind>,
+    /// What the checked mode detected on the bad case.
+    pub detected: Option<ViolationKind>,
+    /// What the checked mode detected on the benign twin (must be `None`).
+    pub benign: Option<ViolationKind>,
+    /// Location-based checker's verdict on the bad case (`None` for
+    /// CWE-562 cases, which are heap-free and not run).
+    pub location: Option<Option<ViolationKind>>,
+}
+
+/// Aggregated counts over a slice of [`JulietOutcome`]s.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JulietSummary {
+    /// Cases evaluated.
+    pub cases: usize,
+    /// Bad cases detected with the expected kind.
+    pub detected: usize,
+    /// Bad cases detected with a different kind.
+    pub wrong_kind: usize,
+    /// Bad cases missed entirely.
+    pub missed: usize,
+    /// Benign twins that (wrongly) raised a violation.
+    pub false_positives: usize,
+    /// CWE-416 cases the location-based checker detected.
+    pub loc_detected: usize,
+    /// CWE-416 cases the location-based checker was run on.
+    pub loc_cases: usize,
+}
+
+/// Runs the Juliet-style suite sharded across [`parallel_map`] workers:
+/// each case index is one unit of work (bad case + benign twin under
+/// `mode`, plus the §2.1 location-based contrast on CWE-416 cases).
+/// Results come back in suite order, so the output is byte-identical to a
+/// serial run for any `jobs` (asserted in `tests/determinism.rs`).
+///
+/// `limit` restricts evaluation to the first `limit` cases (used by fast
+/// determinism tests); `None` runs all 291.
+///
+/// # Panics
+///
+/// Panics with the case name if a simulation fails outright.
+pub fn run_juliet_with_jobs(mode: Mode, jobs: usize, limit: Option<usize>) -> Vec<JulietOutcome> {
+    // Construction honours the limit too: a prefix run never pays for
+    // building the remaining programs.
+    let n = limit.unwrap_or(SUITE_SIZE).min(SUITE_SIZE);
+    let bad = juliet_suite_prefix(n);
+    let good = benign_suite_prefix(n);
+    let sim = Simulator::new(SimConfig::functional(mode));
+    let loc = Simulator::new(SimConfig::functional(Mode::LocationBased));
+    parallel_map(n, jobs, |i| {
+        let (b, g) = (&bad[i], &good[i]);
+        let run = |sim: &Simulator, p: &watchdog_isa::Program| {
+            sim.run(p)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name()))
+                .violation_kind()
+        };
+        JulietOutcome {
+            name: b.name.clone(),
+            cwe: b.cwe,
+            expected: b.expected,
+            detected: run(&sim, &b.program),
+            benign: run(&sim, &g.program),
+            location: (b.cwe == Cwe::Cwe416).then(|| run(&loc, &b.program)),
         }
-    });
+    })
+}
 
-    let failures = failed.into_inner().unwrap();
-    if !failures.is_empty() {
-        report_failures(failures);
+/// Aggregates [`JulietOutcome`]s into the counts the §9.2 report prints.
+pub fn summarize_juliet(outcomes: &[JulietOutcome]) -> JulietSummary {
+    let mut s = JulietSummary {
+        cases: outcomes.len(),
+        ..JulietSummary::default()
+    };
+    for o in outcomes {
+        match o.detected {
+            Some(k) if Some(k) == o.expected => s.detected += 1,
+            Some(_) => s.wrong_kind += 1,
+            None => s.missed += 1,
+        }
+        if o.benign.is_some() {
+            s.false_positives += 1;
+        }
+        if let Some(l) = o.location {
+            s.loc_cases += 1;
+            if l.is_some() {
+                s.loc_detected += 1;
+            }
+        }
     }
-    done.into_inner().unwrap()
+    s
+}
+
+/// Result of a differential fuzzing campaign over `watchdog-gen` seeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzSummary {
+    /// First seed of the campaign.
+    pub seed_start: u64,
+    /// Number of seeds (= generated programs, each with a benign twin).
+    pub count: usize,
+    /// Per-seed outcomes of the passing seeds, in seed order.
+    pub outcomes: Vec<DiffOutcome>,
+    /// Failing seeds with their divergence details, in seed order.
+    pub failures: Vec<DiffFailure>,
+}
+
+impl FuzzSummary {
+    /// Whether every seed passed the differential matrix.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Total simulations performed across all passing seeds.
+    pub fn total_runs(&self) -> usize {
+        self.outcomes.iter().map(|o| o.runs).sum()
+    }
+
+    /// Total dynamic guest instructions of the conservative functional
+    /// runs (a rough campaign-size indicator).
+    pub fn total_insts(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.insts).sum()
+    }
+}
+
+/// Runs `watchdog_gen::check_seed` for seeds `seed_start..seed_start+count`
+/// sharded across the same [`parallel_map`] worker pool as the suite
+/// runner. Panics inside a seed's matrix are converted into that seed's
+/// [`DiffFailure`], so one bad seed never takes down the campaign.
+pub fn run_fuzz_with_jobs(seed_start: u64, count: usize, jobs: usize) -> FuzzSummary {
+    let cfg = GenConfig::default();
+    let results = parallel_map(count, jobs, |i| {
+        let seed = seed_start + i as u64;
+        panic::catch_unwind(AssertUnwindSafe(|| watchdog_gen::check_seed(seed, &cfg)))
+            .unwrap_or_else(|payload| {
+                Err(DiffFailure {
+                    seed,
+                    detail: format!("panicked: {}", payload_msg(payload.as_ref())),
+                })
+            })
+    });
+    let mut outcomes = Vec::with_capacity(count);
+    let mut failures = Vec::new();
+    for r in results {
+        match r {
+            Ok(o) => outcomes.push(o),
+            Err(f) => failures.push(f),
+        }
+    }
+    FuzzSummary {
+        seed_start,
+        count,
+        outcomes,
+        failures,
+    }
+}
+
+/// Prints the generated case for `seed` — payload, oracle, disassembly —
+/// then re-runs the differential matrix and prints the verdict. Returns
+/// whether the seed passed. Shared by the `fuzz` binary and
+/// `watchdog-cli fuzz --seed` so the repro format cannot drift.
+pub fn print_seed_repro(seed: u64) -> bool {
+    let g = watchdog_gen::generate(seed, &GenConfig::default());
+    println!("seed:       {seed}");
+    println!("payload:    {:?}", g.oracle.payload);
+    println!(
+        "oracle:     {:?} at instruction {:?} (location-blind: {})",
+        g.oracle.expected, g.oracle.expected_pc, g.oracle.location_blind
+    );
+    println!(
+        "\n-- {} ({} instructions) --",
+        g.program.name(),
+        g.program.len()
+    );
+    print!("{}", g.program.disassemble());
+    match watchdog_gen::check_generated(&g) {
+        Ok(o) => {
+            println!(
+                "\nPASS: {} simulations agree with the oracle ({} guest insts under cons/functional)",
+                o.runs, o.insts
+            );
+            true
+        }
+        Err(f) => {
+            println!("\nFAIL: {f}");
+            false
+        }
+    }
+}
+
+/// Prints a fuzzing-campaign report (seed band, simulation counts, oracle
+/// split, per-failure repro lines). Returns [`FuzzSummary::ok`]. Shared by
+/// the `fuzz` binary and `watchdog-cli fuzz`.
+pub fn print_fuzz_report(s: &FuzzSummary, jobs: usize, elapsed_secs: Option<f64>) -> bool {
+    println!(
+        "seeds:       {}..{} ({} programs + {} benign twins, {jobs} worker thread(s))",
+        s.seed_start,
+        s.seed_start + s.count as u64,
+        s.count,
+        s.count
+    );
+    let time = elapsed_secs.map_or(String::new(), |t| format!(" in {t:.2}s"));
+    // `outcomes` holds passing seeds only; be explicit about that when
+    // some seeds failed, so a failing campaign never under-reports its
+    // own size without saying so.
+    let scope = if s.failures.is_empty() {
+        ""
+    } else {
+        ", passing seeds only"
+    };
+    println!(
+        "simulations: {} ({} guest insts under cons/functional{scope}){time}",
+        s.total_runs(),
+        s.total_insts()
+    );
+    let violating = s.outcomes.iter().filter(|o| o.expected.is_some()).count();
+    println!(
+        "oracles:     {} violating, {} benign{scope} — 0 misses, 0 false positives required",
+        violating,
+        s.outcomes.len() - violating
+    );
+    if s.ok() {
+        println!(
+            "result:      PASS ({} seed(s), zero oracle mismatches)",
+            s.count
+        );
+    } else {
+        println!(
+            "result:      FAIL ({} of {} seed(s) diverged)",
+            s.failures.len(),
+            s.count
+        );
+        for f in &s.failures {
+            println!("{f}");
+        }
+    }
+    s.ok()
+}
+
+/// Complete fuzz command line, shared verbatim by the standalone `fuzz`
+/// binary and `watchdog-cli fuzz` so flags, defaults and report formats
+/// cannot drift between the two entry points.
+///
+/// `args` are the arguments after the command name. `--seed K` runs a
+/// verbose single-seed repro; otherwise `--seeds N` (default 1000) and
+/// `--seed-start K` (default 0) run a campaign across
+/// [`jobs_from_args`] workers. Returns the process exit code: 0 on
+/// success, 1 on oracle divergence, 2 on a flag error.
+#[must_use]
+pub fn fuzz_main(args: &[String]) -> i32 {
+    let mut flag_err = false;
+    let mut get = |flag: &str| match parse_u64_flag(args, flag) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            flag_err = true;
+            None
+        }
+    };
+    let (seed, seeds, start) = (get("--seed"), get("--seeds"), get("--seed-start"));
+    if flag_err {
+        return 2;
+    }
+    if let Some(seed) = seed {
+        return if print_seed_repro(seed) { 0 } else { 1 };
+    }
+    let count = seeds.unwrap_or(1000) as usize;
+    let start = start.unwrap_or(0);
+    let jobs = jobs_from_args();
+    let t0 = std::time::Instant::now();
+    let s = run_fuzz_with_jobs(start, count, jobs);
+    println!("== watchdog-gen differential fuzz ==");
+    if print_fuzz_report(&s, jobs, Some(t0.elapsed().as_secs_f64())) {
+        0
+    } else {
+        1
+    }
+}
+
+/// Parses an unsigned-integer flag from an argument list (flags after `--`
+/// are ignored). Returns `None` when absent.
+///
+/// # Errors
+///
+/// Returns a message when the flag is present without a parseable value.
+pub fn parse_u64_flag(args: &[String], flag: &str) -> Result<Option<u64>, String> {
+    match flag_value(args, flag) {
+        None => Ok(None),
+        Some(Some(v)) => v
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("{flag} requires an unsigned integer, got {v:?}")),
+        Some(None) => Err(format!("{flag} requires a value (an unsigned integer)")),
+    }
 }
 
 /// Benchmark names in the paper's figure order (the suite map is sorted
@@ -427,6 +750,59 @@ mod tests {
         assert!(parse_jobs(&args(&["--jobs", "many"]), None).is_err());
         assert!(parse_jobs(&args(&["--jobs"]), None).is_err());
         assert!(parse_jobs(&args(&[]), Some("-3")).is_err());
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        for jobs in [1, 3, 16] {
+            let r = parallel_map(40, jobs, |i| i * i);
+            assert_eq!(r, (0..40).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(parallel_map(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn parse_u64_flag_parses_and_rejects() {
+        assert_eq!(parse_u64_flag(&args(&[]), "--seeds"), Ok(None));
+        assert_eq!(
+            parse_u64_flag(&args(&["--seeds", "250"]), "--seeds"),
+            Ok(Some(250))
+        );
+        assert!(parse_u64_flag(&args(&["--seeds", "many"]), "--seeds").is_err());
+        assert!(parse_u64_flag(&args(&["--seeds"]), "--seeds").is_err());
+        assert_eq!(
+            parse_u64_flag(&args(&["--", "--seeds", "9"]), "--seeds"),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn juliet_shard_detects_everything_on_a_slice() {
+        let outcomes = run_juliet_with_jobs(Mode::watchdog_conservative(), 4, Some(42));
+        let s = summarize_juliet(&outcomes);
+        assert_eq!(s.cases, 42);
+        assert_eq!(s.detected, 42, "every bad case detected: {s:?}");
+        assert_eq!(s.false_positives, 0, "no benign twin trips: {s:?}");
+        assert!(s.loc_cases > 0);
+        assert!(
+            s.loc_detected < s.loc_cases,
+            "location-based checking must miss the reallocation cases: {s:?}"
+        );
+    }
+
+    #[test]
+    fn fuzz_campaign_smoke() {
+        let s = run_fuzz_with_jobs(0, 8, 4);
+        assert!(s.ok(), "failures: {:?}", s.failures);
+        assert_eq!(s.outcomes.len(), 8);
+        assert!(
+            s.total_runs() >= 8 * 8,
+            "at least the 8-run main matrix per seed"
+        );
+        assert!(s.total_insts() > 0);
+        // Seed order is stable regardless of scheduling.
+        let seeds: Vec<u64> = s.outcomes.iter().map(|o| o.seed).collect();
+        assert_eq!(seeds, (0..8).collect::<Vec<_>>());
     }
 
     #[test]

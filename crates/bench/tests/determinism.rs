@@ -1,8 +1,11 @@
-//! The parallel suite runner must be a pure performance optimisation:
-//! fanning the (benchmark × mode) grid across worker threads may not
-//! change a single byte of the results relative to a serial run.
+//! The parallel runners must be pure performance optimisations: fanning
+//! the (benchmark × mode) grid, the Juliet suite or a fuzzing campaign
+//! across worker threads may not change a single byte of the results
+//! relative to a serial run.
 
-use watchdog_bench::run_suite_with_jobs;
+use watchdog_bench::{
+    run_fuzz_with_jobs, run_juliet_with_jobs, run_suite_with_jobs, summarize_juliet,
+};
 use watchdog_core::prelude::*;
 use watchdog_workloads::Scale;
 
@@ -37,4 +40,43 @@ fn parallel_suite_is_schedule_insensitive() {
     let a = run_suite_with_jobs(&modes, Scale::Test, false, 2);
     let b = run_suite_with_jobs(&modes, Scale::Test, false, 16);
     assert_eq!(format!("{a:#?}"), format!("{b:#?}"));
+}
+
+/// The sharded Juliet runner (one case per work unit) must render
+/// byte-identically to its serial run: same cases, same order, same
+/// verdicts, whatever the worker count.
+#[test]
+fn sharded_juliet_is_byte_identical_to_serial() {
+    let mode = Mode::watchdog_conservative();
+    let serial = run_juliet_with_jobs(mode, 1, Some(60));
+    let parallel = run_juliet_with_jobs(mode, 8, Some(60));
+    assert_eq!(serial.len(), 60);
+    assert_eq!(
+        format!("{serial:#?}"),
+        format!("{parallel:#?}"),
+        "sharded Juliet run diverged from the serial run"
+    );
+    let s = summarize_juliet(&serial);
+    assert_eq!((s.detected, s.false_positives), (60, 0), "{s:?}");
+}
+
+/// Generator determinism across the worker pool: the same seed band must
+/// produce identical programs, oracles and per-mode results (down to the
+/// report digests) for a serial and a parallel campaign.
+#[test]
+fn fuzz_campaign_is_schedule_insensitive() {
+    let serial = run_fuzz_with_jobs(100, 16, 1);
+    let parallel = run_fuzz_with_jobs(100, 16, 4);
+    assert!(serial.ok(), "failures: {:?}", serial.failures);
+    assert_eq!(
+        serial, parallel,
+        "sharded fuzz campaign diverged from the serial run"
+    );
+    // The digests cover the generated program bytes, the oracle and every
+    // mode's architectural results — byte-identical generation and
+    // simulation per seed, independent of scheduling.
+    for (a, b) in serial.outcomes.iter().zip(&parallel.outcomes) {
+        assert_eq!(a.program_digest, b.program_digest);
+        assert_eq!(a.report_digest, b.report_digest);
+    }
 }

@@ -33,7 +33,7 @@ use watchdog_isa::layout::{
 };
 use watchdog_isa::program::Program;
 use watchdog_isa::reg::Gpr;
-use watchdog_isa::uop::{Uop, UopKind, UopTag, UopVec};
+use watchdog_isa::uop::{Uop, UopExec, UopKind, UopTag};
 use watchdog_mem::{Footprint, GuestMem, MetaRecord, ShadowSpace};
 
 use crate::baseline::LocationChecker;
@@ -104,16 +104,17 @@ impl MachineConfig {
 
 /// Outcome of one [`Machine::step`].
 ///
-/// `Executed` dwarfs the other variants, but it is also the variant
-/// produced once per instruction on the simulator's hottest path; boxing
-/// the payload would trade the size imbalance for a per-instruction heap
-/// allocation.
-#[allow(clippy::large_enum_variant)]
+/// `Executed` borrows the machine's in-place µop expansion rather than
+/// moving a ~1KB [`CrackedInst`] out per step: the machine refills one
+/// scratch expansion with a length-aware copy
+/// ([`UopVec::clone_from_compact`](watchdog_isa::uop::UopVec::clone_from_compact))
+/// and hands out a reference, so the timed path never bulk-copies the
+/// fixed-capacity µop array.
 #[derive(Debug)]
-pub enum Step {
+pub enum Step<'m> {
     /// The instruction executed; its µop expansion is attached when
     /// `emit_uops` is set.
-    Executed(Option<CrackedInst>),
+    Executed(Option<&'m CrackedInst>),
     /// The machine executed `halt`.
     Halted,
     /// A memory-safety violation was detected (the Watchdog exception of
@@ -122,7 +123,7 @@ pub enum Step {
 }
 
 /// Architectural + metadata execution statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MachineStats {
     /// Macro-instructions executed.
     pub insts: u64,
@@ -159,6 +160,8 @@ pub struct Machine<'p> {
     loc: LocationChecker,
     profile: Profile,
     stats: MachineStats,
+    /// Per-step scratch expansion, refilled in place (see [`Step`]).
+    cur: CrackedInst,
 }
 
 impl<'p> Machine<'p> {
@@ -231,6 +234,7 @@ impl<'p> Machine<'p> {
             loc: LocationChecker::new(),
             profile: Profile::new(),
             stats: MachineStats::default(),
+            cur: CrackedInst::empty(),
         }
     }
 
@@ -431,7 +435,7 @@ impl<'p> Machine<'p> {
     /// Returns a [`SimError`] for simulator-level failures (heap/stack
     /// exhaustion, runaway PC). *Detected memory-safety violations* are not
     /// errors: they arrive as [`Step::Violation`].
-    pub fn step(&mut self) -> Result<Step, SimError> {
+    pub fn step(&mut self) -> Result<Step<'_>, SimError> {
         if self.halted {
             return Ok(Step::Halted);
         }
@@ -844,45 +848,52 @@ impl<'p> Machine<'p> {
 
         // Assemble the µop expansion with its dynamic facts. The static
         // expansion is a pure function of (inst, ptr_op, crack config), so
-        // it is served from the per-PC cache when enabled; the dynamic
-        // facts below are filled into this step's private copy.
-        let Cracked {
-            mut uops,
-            mut meta,
-            ctrl,
-        } = match self.crack_cache.as_mut() {
-            Some(cache) => cache.get_or_crack(pc, &inst, ptr_op).clone(),
-            None => crack(&inst, ptr_op, &self.crack_cfg),
-        };
+        // it is served from the per-PC cache when enabled. Dynamic facts
+        // are filled into the machine's scratch expansion, refreshed with
+        // a length-aware copy — the fixed-capacity tail of the µop vector
+        // is never touched.
+        let cur = &mut self.cur;
+        match self.crack_cache.as_mut() {
+            Some(cache) => {
+                let c = cache.get_or_crack(pc, &inst, ptr_op);
+                cur.uops.clone_from_compact(&c.uops);
+                cur.meta = c.meta;
+                cur.ctrl = c.ctrl;
+            }
+            None => {
+                let Cracked { uops, meta, ctrl } = crack(&inst, ptr_op, &self.crack_cfg);
+                cur.uops.clone_from_compact(&uops);
+                cur.meta = meta;
+                cur.ctrl = ctrl;
+            }
+        }
+        cur.pc = self.prog.addr_of(pc);
+        cur.len = inst.encoded_len();
         if let Some(Some(effect)) = select_fold {
             // Drop the select µop; the rename stage handles the effect.
-            let mut folded = UopVec::new();
-            for u in uops.iter() {
-                if u.uop.kind != UopKind::SelectMeta {
-                    folded.push(*u);
-                }
-            }
-            uops = folded;
-            meta = effect;
+            cur.uops.retain(|u| u.uop.kind != UopKind::SelectMeta);
+            cur.meta = effect;
         }
-        if self.cfg.check == CheckMode::Location {
-            uops = Self::location_uops(&uops, &inst);
+        if self.cfg.check == CheckMode::Location && inst.is_mem() {
+            // Location-based checking: one allocation-status check µop per
+            // memory access (§2.1 hardware, e.g. MemTracker).
+            cur.uops.insert_front(UopExec::plain(Uop::new(
+                UopKind::Check,
+                None,
+                None,
+                None,
+                UopTag::Check,
+            )));
         }
-        fill_mem_addrs(&mut uops, &mem_addrs);
-        if ctrl != CtrlKind::None {
-            let n = uops.len();
+        fill_mem_addrs(&mut cur.uops, &mem_addrs);
+        if cur.ctrl != CtrlKind::None {
+            let n = cur.uops.len();
             let (taken, target) = branch.expect("control instruction resolved");
-            let last = &mut uops.as_mut_slice()[n - 1];
+            let last = &mut cur.uops.as_mut_slice()[n - 1];
             last.taken = taken;
             last.target = target;
         }
-        Ok(Step::Executed(Some(CrackedInst {
-            pc: self.prog.addr_of(pc),
-            len: inst.encoded_len(),
-            uops,
-            meta,
-            ctrl,
-        })))
+        Ok(Step::Executed(Some(&self.cur)))
     }
 
     /// Emits the check-µop lock addresses for an access through `base`
@@ -902,19 +913,6 @@ impl<'p> Machine<'p> {
             }
             CheckMode::None => {}
         }
-    }
-
-    /// Builds the location-based µop expansion: the baseline µops plus one
-    /// status-check µop per memory access.
-    fn location_uops(base_uops: &UopVec, inst: &Inst) -> UopVec {
-        let mut out = UopVec::new();
-        if inst.is_mem() {
-            out.push_uop(Uop::new(UopKind::Check, None, None, None, UopTag::Check));
-        }
-        for u in base_uops.iter() {
-            out.push(*u);
-        }
-        out
     }
 }
 

@@ -1,8 +1,9 @@
 //! Run reports: everything one simulation produces.
 
-use crate::error::Violation;
+use crate::error::{Violation, ViolationKind};
 use crate::machine::MachineStats;
 use crate::runtime::HeapStats;
+use watchdog_isa::crack_cache::CrackCacheStats;
 use watchdog_mem::Footprint;
 use watchdog_pipeline::TimingReport;
 
@@ -24,6 +25,9 @@ pub struct RunReport {
     pub violation: Option<Violation>,
     /// Timing-model results (absent for functional-only runs).
     pub timing: Option<TimingReport>,
+    /// Per-PC crack-cache hit/miss counters (`None` when the run never
+    /// cracked — functional-only runs — or the cache was disabled).
+    pub crack_cache: Option<CrackCacheStats>,
 }
 
 impl RunReport {
@@ -92,6 +96,69 @@ impl RunReport {
     /// Memory overhead at page granularity (Fig. 10, right bars).
     pub fn page_overhead(&self) -> f64 {
         self.footprint.page_overhead()
+    }
+
+    /// Kind of the detected violation, if any.
+    pub fn violation_kind(&self) -> Option<ViolationKind> {
+        self.violation.map(|v| v.kind)
+    }
+
+    /// Checks that two runs of the *same program* agree on everything the
+    /// functional machine decides: architectural statistics, heap
+    /// behaviour, memory footprint and the detected violation.
+    ///
+    /// The timed and functional paths share one functional machine, so a
+    /// timed run may only add timing data on top — any divergence here is
+    /// a simulator bug. Used by the `watchdog-gen` differential harness.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first field that
+    /// differs.
+    pub fn agrees_with(&self, other: &RunReport) -> Result<(), String> {
+        if self.program != other.program {
+            return Err(format!(
+                "different programs: {:?} vs {:?}",
+                self.program, other.program
+            ));
+        }
+        // Structural comparisons; Debug renderings are built only on the
+        // (exceptional) mismatch path — this runs several times per seed
+        // in the fuzzing campaign's hot loop.
+        let diverged = if self.machine != other.machine {
+            Some((
+                "machine stats",
+                format!("{:?}", self.machine),
+                format!("{:?}", other.machine),
+            ))
+        } else if self.heap != other.heap {
+            Some((
+                "heap stats",
+                format!("{:?}", self.heap),
+                format!("{:?}", other.heap),
+            ))
+        } else if self.footprint != other.footprint {
+            Some((
+                "footprint",
+                format!("{:?}", self.footprint),
+                format!("{:?}", other.footprint),
+            ))
+        } else if self.violation != other.violation {
+            Some((
+                "violation",
+                format!("{:?}", self.violation),
+                format!("{:?}", other.violation),
+            ))
+        } else {
+            None
+        };
+        match diverged {
+            None => Ok(()),
+            Some((what, a, b)) => Err(format!(
+                "{what} diverge between {} and {}: {a} vs {b}",
+                self.mode, other.mode
+            )),
+        }
     }
 }
 

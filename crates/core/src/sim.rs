@@ -339,7 +339,7 @@ impl Simulator {
             }
             match machine.step()? {
                 Step::Executed(ci) => {
-                    if let (Some(core), Some(ci)) = (core.as_mut(), ci.as_ref()) {
+                    if let (Some(core), Some(ci)) = (core.as_mut(), ci) {
                         core.consume(ci);
                     }
                     executed += 1;
@@ -388,6 +388,7 @@ impl Simulator {
             footprint: machine.footprint(),
             violation,
             timing,
+            crack_cache: machine.crack_cache_stats(),
         })
     }
 }

@@ -134,6 +134,22 @@ pub struct CrackedInst {
     pub ctrl: CtrlKind,
 }
 
+impl CrackedInst {
+    /// An empty expansion (no µops, no control flow). The machine keeps one
+    /// of these as its per-step scratch and refills it with a length-aware
+    /// copy of the cached static expansion, so the ~1KB fixed-capacity µop
+    /// array is never bulk-copied per step.
+    pub fn empty() -> Self {
+        CrackedInst {
+            pc: 0,
+            len: 0,
+            uops: UopVec::new(),
+            meta: MetaEffect::None,
+            ctrl: CtrlKind::None,
+        }
+    }
+}
+
 /// Number of µops the *baseline* expansion of `inst` contains (used for
 /// µop-overhead accounting, Fig. 8).
 pub fn baseline_uop_count(inst: &Inst) -> usize {

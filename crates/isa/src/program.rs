@@ -188,6 +188,15 @@ impl ProgramBuilder {
         l
     }
 
+    /// Index the *next* emitted instruction will occupy.
+    ///
+    /// Program generators use this to record ground-truth positions (e.g.
+    /// the exact instruction a constructed memory-safety violation must
+    /// trap at) while the program is still being built.
+    pub fn next_index(&self) -> usize {
+        self.insts.len()
+    }
+
     /// Emits a raw instruction.
     pub fn push(&mut self, inst: Inst) -> &mut Self {
         self.insts.push(inst);
@@ -487,6 +496,21 @@ mod tests {
         assert_eq!(p.target(end), 3);
         assert_eq!(p.addr_of(0), CODE_BASE);
         assert!(p.addr_of(1) > p.addr_of(0));
+    }
+
+    #[test]
+    fn next_index_tracks_emission() {
+        let mut b = ProgramBuilder::new("t");
+        assert_eq!(b.next_index(), 0);
+        b.nop();
+        assert_eq!(b.next_index(), 1);
+        let r0 = Gpr::new(0);
+        b.li(r0, 1);
+        let at = b.next_index();
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(at, 2);
+        assert!(matches!(p.inst(at), Inst::Halt));
     }
 
     #[test]

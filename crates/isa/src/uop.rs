@@ -231,10 +231,19 @@ impl Default for UopExec {
 
 /// Fixed-capacity vector of [`UopExec`] (avoids per-instruction heap
 /// allocation on the simulator fast path).
-#[derive(Copy, Clone, Debug)]
+#[derive(Copy, Clone)]
 pub struct UopVec {
     items: [UopExec; MAX_UOPS],
     len: u8,
+}
+
+impl fmt::Debug for UopVec {
+    /// Formats only the populated prefix: entries past `len` are
+    /// unreachable scratch (see [`UopVec::clone_from_compact`]) and must
+    /// not leak into comparisons or logs.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
 }
 
 impl UopVec {
@@ -281,6 +290,44 @@ impl UopVec {
     /// Mutable view of the µops.
     pub fn as_mut_slice(&mut self) -> &mut [UopExec] {
         &mut self.items[..self.len as usize]
+    }
+
+    /// Length-aware overwrite: copies only `src`'s populated prefix into
+    /// `self` and adopts its length. Entries past the new length are stale
+    /// but unreachable (every accessor is bounded by `len`), so the
+    /// ~1KB fixed-capacity tail is neither initialized nor copied — this is
+    /// the cheap per-step copy the simulator's µop-emitting path uses to
+    /// materialize a cached crack expansion.
+    pub fn clone_from_compact(&mut self, src: &UopVec) {
+        let n = src.len as usize;
+        self.items[..n].copy_from_slice(&src.items[..n]);
+        self.len = src.len;
+    }
+
+    /// In-place filter preserving order (used to drop a folded `select`
+    /// µop without building a second vector).
+    pub fn retain(&mut self, mut f: impl FnMut(&UopExec) -> bool) {
+        let mut keep = 0usize;
+        for i in 0..self.len as usize {
+            if f(&self.items[i]) {
+                self.items[keep] = self.items[i];
+                keep += 1;
+            }
+        }
+        self.len = keep as u8;
+    }
+
+    /// Inserts a µop at the front, shifting the populated prefix right.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector already holds [`MAX_UOPS`] entries.
+    pub fn insert_front(&mut self, u: UopExec) {
+        let n = self.len as usize;
+        assert!(n < MAX_UOPS, "µop expansion overflow");
+        self.items.copy_within(0..n, 1);
+        self.items[0] = u;
+        self.len += 1;
     }
 
     /// Iterates over the µops.
@@ -359,6 +406,60 @@ mod tests {
         for _ in 0..=MAX_UOPS {
             v.push_uop(Uop::base(UopKind::Nop, None, None, None));
         }
+    }
+
+    #[test]
+    fn clone_from_compact_matches_a_full_copy() {
+        let mut v = UopVec::new();
+        for i in 0..7u8 {
+            v.push_uop(Uop::base(
+                UopKind::IntAlu,
+                Some(LReg::G(Gpr::new(i))),
+                None,
+                None,
+            ));
+        }
+        // A stale, longer destination: the compact copy must shrink it.
+        let mut dst = UopVec::new();
+        for _ in 0..MAX_UOPS {
+            dst.push_uop(Uop::base(UopKind::Nop, None, None, None));
+        }
+        dst.clone_from_compact(&v);
+        assert_eq!(dst.len(), v.len());
+        assert_eq!(dst.as_slice(), v.as_slice());
+    }
+
+    #[test]
+    fn retain_filters_in_place() {
+        let mut v = UopVec::new();
+        v.push_uop(Uop::base(UopKind::IntAlu, None, None, None));
+        v.push_uop(Uop::new(
+            UopKind::SelectMeta,
+            None,
+            None,
+            None,
+            UopTag::Propagate,
+        ));
+        v.push_uop(Uop::base(UopKind::Load, None, None, None));
+        v.retain(|u| u.uop.kind != UopKind::SelectMeta);
+        let kinds: Vec<_> = v.iter().map(|u| u.uop.kind).collect();
+        assert_eq!(kinds, vec![UopKind::IntAlu, UopKind::Load]);
+    }
+
+    #[test]
+    fn insert_front_shifts_the_prefix() {
+        let mut v = UopVec::new();
+        v.push_uop(Uop::base(UopKind::Load, None, None, None));
+        v.push_uop(Uop::base(UopKind::Store, None, None, None));
+        v.insert_front(UopExec::plain(Uop::new(
+            UopKind::Check,
+            None,
+            None,
+            None,
+            UopTag::Check,
+        )));
+        let kinds: Vec<_> = v.iter().map(|u| u.uop.kind).collect();
+        assert_eq!(kinds, vec![UopKind::Check, UopKind::Load, UopKind::Store]);
     }
 
     #[test]

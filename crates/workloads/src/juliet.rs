@@ -655,15 +655,16 @@ fn build_case(s: &Scenario, flow: Flow, size: i64, bad: bool) -> JulietCase {
     }
 }
 
-fn suite(bad: bool) -> Vec<JulietCase> {
+fn suite(bad: bool, limit: usize) -> Vec<JulietCase> {
     // Iterate (flow, size)-major so that trimming the cross product
     // (14 scenarios × 10 flows × 3 sizes = 420) down to the paper's 291
     // keeps every scenario and every flow variant represented.
-    let mut out = Vec::with_capacity(SUITE_SIZE);
+    let limit = limit.min(SUITE_SIZE);
+    let mut out = Vec::with_capacity(limit);
     'outer: for flow in Flow::ALL {
         for size in SIZES {
             for s in scenarios() {
-                if out.len() == SUITE_SIZE {
+                if out.len() == limit {
                     break 'outer;
                 }
                 out.push(build_case(&s, flow, size, bad));
@@ -676,13 +677,25 @@ fn suite(bad: bool) -> Vec<JulietCase> {
 /// The 291 *bad* cases: every one must be detected, with the expected
 /// violation kind.
 pub fn juliet_suite() -> Vec<JulietCase> {
-    suite(true)
+    suite(true, SUITE_SIZE)
 }
 
 /// The 291 benign twins: none may trigger a violation (false-positive
 /// check).
 pub fn benign_suite() -> Vec<JulietCase> {
-    suite(false)
+    suite(false, SUITE_SIZE)
+}
+
+/// The first `n` bad cases. Construction stops early, so runners that
+/// evaluate only a prefix (fast determinism tests) do not pay for
+/// building the remaining programs.
+pub fn juliet_suite_prefix(n: usize) -> Vec<JulietCase> {
+    suite(true, n)
+}
+
+/// The first `n` benign twins (see [`juliet_suite_prefix`]).
+pub fn benign_suite_prefix(n: usize) -> Vec<JulietCase> {
+    suite(false, n)
 }
 
 #[cfg(test)]

@@ -28,5 +28,7 @@ pub mod juliet;
 pub mod kernels;
 pub mod spec;
 
-pub use juliet::{benign_suite, juliet_suite, Cwe, JulietCase};
+pub use juliet::{
+    benign_suite, benign_suite_prefix, juliet_suite, juliet_suite_prefix, Cwe, JulietCase,
+};
 pub use spec::{all_benchmarks, benchmark, BenchSpec, Category, Scale};

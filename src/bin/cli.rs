@@ -6,10 +6,12 @@
 //! watchdog-cli run mcf --mode isa           # simulate one benchmark
 //! watchdog-cli run perl --mode cons --scale ref --sampled
 //! watchdog-cli juliet                       # run the §9.2 security suite
+//! watchdog-cli fuzz --seeds 1000            # differential fuzzing campaign
+//! watchdog-cli fuzz --seed 42               # reproduce one generated case
 //! ```
 
+use watchdog::bench::{fuzz_main, jobs_from_args, run_juliet_with_jobs, summarize_juliet};
 use watchdog::prelude::*;
-use watchdog::workloads::{benign_suite, juliet_suite};
 
 fn parse_mode(s: &str) -> Option<Mode> {
     Some(match s {
@@ -51,7 +53,8 @@ fn parse_scale(s: &str) -> Option<Scale> {
 fn usage() -> ! {
     eprintln!(
         "usage:\n  watchdog-cli list\n  watchdog-cli modes\n  watchdog-cli run <bench> \
-         [--mode <mode>] [--scale test|small|ref] [--functional] [--sampled]\n  watchdog-cli juliet [--mode <mode>]"
+         [--mode <mode>] [--scale test|small|ref] [--functional] [--sampled]\n  watchdog-cli juliet [--mode <mode>]\n  \
+         watchdog-cli fuzz [--seeds N] [--seed-start K] [--jobs J]\n  watchdog-cli fuzz --seed <K>"
     );
     std::process::exit(2);
 }
@@ -179,29 +182,28 @@ fn cmd_juliet(args: &[String]) {
     let mode = flag_value(args, "--mode").map_or(Mode::watchdog_conservative(), |m| {
         parse_mode(&m).unwrap_or_else(|| usage())
     });
-    let sim = Simulator::new(SimConfig::functional(mode));
-    let (mut detected, mut missed, mut fp) = (0, 0, 0);
-    for case in juliet_suite() {
-        let r = sim.run(&case.program).expect("case runs");
-        if r.violation.map(|v| v.kind) == case.expected {
-            detected += 1;
-        } else {
-            missed += 1;
-        }
-    }
-    for case in benign_suite() {
-        if sim
-            .run(&case.program)
-            .expect("case runs")
-            .violation
-            .is_some()
-        {
-            fp += 1;
-        }
-    }
+    // Cases are sharded across the worker pool (`--jobs`/`WATCHDOG_JOBS`);
+    // results are merged in suite order, identical to a serial run.
+    let outcomes = run_juliet_with_jobs(mode, jobs_from_args(), None);
+    let s = summarize_juliet(&outcomes);
     println!("mode:            {}", mode.label());
-    println!("bad detected:    {detected}/291 (missed or wrong kind: {missed})");
-    println!("false positives: {fp}/291");
+    println!(
+        "bad detected:    {}/{} (missed or wrong kind: {})",
+        s.detected,
+        s.cases,
+        s.missed + s.wrong_kind
+    );
+    println!("false positives: {}/{}", s.false_positives, s.cases);
+}
+
+fn cmd_fuzz(args: &[String]) {
+    // The whole fuzz command line (flags, defaults, repro and campaign
+    // reports) is shared with the standalone `fuzz` binary, so the two
+    // entry points cannot drift.
+    let code = fuzz_main(args);
+    if code != 0 {
+        std::process::exit(code);
+    }
 }
 
 fn main() {
@@ -211,6 +213,7 @@ fn main() {
         Some("modes") => cmd_modes(),
         Some("run") => cmd_run(&args[1..]),
         Some("juliet") => cmd_juliet(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         _ => usage(),
     }
 }

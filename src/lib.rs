@@ -15,9 +15,11 @@
 //! µop-injecting cracker ([`isa`]), guest memory + shadow space + cache
 //! hierarchy ([`mem`]), an out-of-order timing model with
 //! metadata-renaming copy elimination ([`pipeline`]), the Watchdog
-//! machine, heap runtime and simulator ([`core`]), and the twenty
+//! machine, heap runtime and simulator ([`core`]), the twenty
 //! SPEC-lookalike workloads plus the Juliet-style security suite
-//! ([`workloads`]).
+//! ([`workloads`]), a seeded program generator with a differential
+//! detection oracle ([`gen`]), and the parallel suite/fuzz runners
+//! (the `bench` re-export).
 //!
 //! # Quickstart
 //!
@@ -51,7 +53,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use watchdog_bench as bench;
 pub use watchdog_core as core;
+pub use watchdog_gen as gen;
 pub use watchdog_isa as isa;
 pub use watchdog_mem as mem;
 pub use watchdog_pipeline as pipeline;

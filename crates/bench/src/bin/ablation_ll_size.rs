@@ -5,51 +5,57 @@
 //! than 1 miss per 1000 instructions for seventeen of the twenty
 //! benchmarks." This sweep varies the LL$ from 1KB to 16KB and reports the
 //! geometric-mean overhead and the <1-miss/1k-instructions count.
+//!
+//! The sweep is **trace-driven**: each benchmark's functional machine runs
+//! once (`watchdog_trace::record`), and every LL$ size is a cheap timing
+//! replay of that trace — identical to a full re-simulation (the
+//! equivalence tests assert byte-for-byte), at a fraction of the cost.
 
-use watchdog_bench::{figure_order, geomean, pct, scale_from_args};
+use watchdog_bench::{figure_order, geomean, pct, run_sweep_traced, scale_from_args, SweepPoint};
 use watchdog_core::prelude::*;
-use watchdog_mem::CacheConfig;
-use watchdog_workloads::all_benchmarks;
+
+const SIZES_KB: [u64; 5] = [1, 2, 4, 8, 16];
 
 fn main() {
     let scale = scale_from_args();
-    println!("\n== Ablation: lock-location cache size sweep ==");
+    println!("\n== Ablation: lock-location cache size sweep (trace-driven) ==");
     println!(
         "{:<8} {:>12} {:>22}",
         "LL$ size", "geo overhead", "benchmarks < 1 mpki"
     );
 
-    // Baselines once.
-    let mut base_cycles = std::collections::BTreeMap::new();
-    for spec in all_benchmarks() {
-        let p = spec.build(scale);
-        let r = Simulator::new(SimConfig::timed(Mode::Baseline))
-            .run(&p)
-            .unwrap();
-        base_cycles.insert(spec.name.to_string(), r.cycles());
-    }
+    // Baselines: one functional pass + one replay per benchmark (the
+    // baseline's cycles do not depend on the LL$, which it never touches).
+    let base = run_sweep_traced(Mode::Baseline, scale, &[SweepPoint::table2("table2")]);
+    // Watchdog: one functional pass per benchmark, five replayed sizes.
+    let points: Vec<SweepPoint> = SIZES_KB
+        .iter()
+        .map(|&kb| SweepPoint::ll_size_kb(kb))
+        .collect();
+    let wd = run_sweep_traced(Mode::watchdog(), scale, &points);
 
-    for kb in [1u64, 2, 4, 8, 16] {
+    for (pi, kb) in SIZES_KB.into_iter().enumerate() {
         let mut overheads = Vec::new();
         let mut low_mpk = 0;
-        for spec in all_benchmarks() {
-            let p = spec.build(scale);
-            let mut cfg = SimConfig::timed(Mode::watchdog());
-            cfg.hierarchy.ll = CacheConfig::new(kb * 1024, 8, 64);
-            let r = Simulator::new(cfg).run(&p).unwrap();
-            let t = r.timing.as_ref().unwrap();
-            overheads.push(r.cycles() as f64 / base_cycles[spec.name] as f64 - 1.0);
+        for name in figure_order() {
+            let r = &wd[&name][pi];
+            let t = r.timing.as_ref().expect("replays are timed");
+            overheads.push(r.cycles() as f64 / base[&name][0].cycles() as f64 - 1.0);
             if t.hierarchy.ll_mpk(t.insts) < 1.0 {
                 low_mpk += 1;
             }
         }
         println!(
-            "{:>5}KB  {:>12} {:>19}/20",
-            kb,
+            "{kb:>5}KB  {:>12} {:>19}/20",
             pct(geomean(&overheads)),
             low_mpk
         );
     }
-    let _ = figure_order();
     println!("(paper: not particularly sensitive; 4KB gives <1 miss/1k insts on 17/20)");
+    println!(
+        "({} functional passes + {} timing replays instead of {} full simulations)",
+        2 * figure_order().len(),
+        (SIZES_KB.len() + 1) * figure_order().len(),
+        (SIZES_KB.len() + 1) * figure_order().len(),
+    );
 }

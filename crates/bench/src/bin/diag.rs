@@ -1,18 +1,24 @@
-//! Diagnostic: per-benchmark stall breakdown, cache behaviour and
-//! crack-cache effectiveness under selected modes.
+//! Diagnostic: per-benchmark stall breakdown, cache behaviour,
+//! crack-cache effectiveness and trace-subsystem figures (trace size,
+//! events/inst, replay-vs-live speedup) under selected modes.
+use std::time::Instant;
 use watchdog_core::prelude::*;
+use watchdog_trace::{record, replay, ReplayConfig};
 use watchdog_workloads::{benchmark, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let name = args.get(1).map(String::as_str).unwrap_or("milc");
     let p = benchmark(name).expect("known benchmark").build(Scale::Test);
+    let mut live: Vec<(Mode, RunReport, f64)> = Vec::new();
     for mode in [
         Mode::Baseline,
         Mode::watchdog_conservative(),
         Mode::watchdog(),
     ] {
+        let t0 = Instant::now();
         let r = Simulator::new(SimConfig::timed(mode)).run(&p).unwrap();
+        let secs = t0.elapsed().as_secs_f64();
         let t = r.timing.as_ref().unwrap();
         let cc = match r.crack_cache {
             Some(s) => format!("h={} m={} ({:.1}%)", s.hits, s.misses, s.hit_rate() * 100.0),
@@ -26,6 +32,33 @@ fn main() {
             t.hierarchy.ll.accesses, t.hierarchy.ll.misses, t.hierarchy.ll.miss_rate() * 100.0,
             t.hierarchy.ll_mpk(t.insts), t.hierarchy.shadow_accesses,
             cc,
+        );
+        live.push((mode, r, secs));
+    }
+
+    // Trace subsystem: capture once per mode, replay, and show what the
+    // trace-driven sweep path costs next to the live timed simulation.
+    println!("-- trace: record once, replay per ablation point --");
+    for (mode, live_report, live_secs) in &live {
+        let t0 = Instant::now();
+        let trace = record(&p, *mode, SimConfig::timed(*mode).max_insts).unwrap();
+        let record_secs = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let replayed = replay(&p, &trace, &ReplayConfig::default()).unwrap();
+        let replay_secs = t0.elapsed().as_secs_f64();
+        let exact = format!("{live_report:?}") == format!("{replayed:?}");
+        let info = trace.info();
+        println!(
+            "{:<28} trace={}B ({:.2} B/event, {:.3} events/inst) record={:.3}s replay={:.3}s live={:.3}s speedup={:.1}x oracle-exact={}",
+            mode.label(),
+            info.total_bytes,
+            info.bytes_per_event(),
+            info.events as f64 / info.insts.max(1) as f64,
+            record_secs,
+            replay_secs,
+            live_secs,
+            live_secs / replay_secs.max(1e-9),
+            if exact { "yes" } else { "NO (BUG)" },
         );
     }
 }

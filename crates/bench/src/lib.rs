@@ -313,6 +313,182 @@ where
     done
 }
 
+/// One ablation point of a configuration sweep: a label plus the
+/// timing-side knobs that vary between points (the memory hierarchy and
+/// the crack-cache toggle; core parameters stay at Table 2).
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Human-readable point label (table column).
+    pub label: String,
+    /// Memory-hierarchy parameters for this point.
+    pub hierarchy: watchdog_mem::HierarchyConfig,
+    /// Whether the per-PC crack cache serves static expansions.
+    pub crack_cache: bool,
+}
+
+impl SweepPoint {
+    /// The Table 2 default configuration.
+    pub fn table2(label: impl Into<String>) -> Self {
+        SweepPoint {
+            label: label.into(),
+            hierarchy: watchdog_mem::HierarchyConfig::default(),
+            crack_cache: true,
+        }
+    }
+
+    /// Table 2 with the lock-location cache resized to `kb` kilobytes
+    /// (the §4.2 / §9.3 LL$ sensitivity sweep).
+    pub fn ll_size_kb(kb: u64) -> Self {
+        let mut p = Self::table2(format!("{kb}KB LL$"));
+        p.hierarchy.ll = watchdog_mem::CacheConfig::new(kb * 1024, 8, 64);
+        p
+    }
+}
+
+/// Results of a configuration sweep: `results[benchmark][point index]`,
+/// with points in the order they were passed.
+pub type SweepResults = BTreeMap<String, Vec<RunReport>>;
+
+/// Trace-driven configuration sweep with [`jobs_from_args`] workers: one
+/// functional recording pass per benchmark, then every ablation point
+/// replayed from the trace. See [`run_sweep_traced_with_jobs`].
+pub fn run_sweep_traced(mode: Mode, scale: Scale, points: &[SweepPoint]) -> SweepResults {
+    run_sweep_traced_with_jobs(mode, scale, points, jobs_from_args(), None)
+}
+
+/// Trace-driven configuration sweep: records each benchmark **once**
+/// (a functional pass via [`watchdog_trace::record()`]), then replays every
+/// [`SweepPoint`] from the trace through the timing model — turning
+/// O(points × full simulations) into O(1 functional pass + points cheap
+/// replays) per benchmark. Recording and the (benchmark × point) replay
+/// grid are both sharded across the [`parallel_map`] worker pool.
+///
+/// The output is byte-identical to [`run_sweep_resim_with_jobs`] — replay
+/// is oracle-exact — which the workspace equivalence tests assert.
+///
+/// `limit` restricts the sweep to the first `limit` benchmarks (fast
+/// tests); `None` runs all twenty.
+///
+/// # Panics
+///
+/// Panics with a benchmark/mode/point label if recording or replay fails,
+/// or if any benchmark raises an unexpected violation.
+pub fn run_sweep_traced_with_jobs(
+    mode: Mode,
+    scale: Scale,
+    points: &[SweepPoint],
+    jobs: usize,
+    limit: Option<usize>,
+) -> SweepResults {
+    let mut specs = all_benchmarks();
+    specs.truncate(limit.unwrap_or(usize::MAX));
+    let programs: Vec<watchdog_isa::Program> = specs.iter().map(|s| s.build(scale)).collect();
+    let max_insts = SimConfig::timed(mode).max_insts;
+    let traces = parallel_map(programs.len(), jobs, |i| {
+        watchdog_trace::record(&programs[i], mode, max_insts).unwrap_or_else(|e| {
+            panic!(
+                "[{} under {}] trace recording failed: {e}",
+                specs[i].name,
+                mode.label()
+            )
+        })
+    });
+    let grid: Vec<(usize, usize)> = (0..specs.len())
+        .flat_map(|s| (0..points.len()).map(move |p| (s, p)))
+        .collect();
+    let cells = parallel_map(grid.len(), jobs, |k| {
+        let (si, pi) = grid[k];
+        let point = &points[pi];
+        // Start from the timing slice of the live configuration the resim
+        // path uses, so the two sweeps can never drift apart on the core
+        // parameters; the point only overrides what an ablation varies.
+        let mut cfg = watchdog_trace::ReplayConfig::from_sim(&SimConfig::timed(mode));
+        cfg.hierarchy = point.hierarchy;
+        cfg.crack_cache = point.crack_cache;
+        let report = watchdog_trace::replay(&programs[si], &traces[si], &cfg).unwrap_or_else(|e| {
+            panic!(
+                "[{} under {} @ {}] trace replay failed: {e}",
+                specs[si].name,
+                mode.label(),
+                point.label
+            )
+        });
+        assert!(
+            report.violation.is_none(),
+            "[{} under {} @ {}] unexpected violation {:?}",
+            specs[si].name,
+            mode.label(),
+            point.label,
+            report.violation
+        );
+        report
+    });
+    collect_sweep(&specs, points, cells)
+}
+
+/// The reference path [`run_sweep_traced_with_jobs`] is checked against: a
+/// full functional+timed re-simulation per (benchmark × point) cell.
+///
+/// # Panics
+///
+/// As [`run_sweep_traced_with_jobs`].
+pub fn run_sweep_resim_with_jobs(
+    mode: Mode,
+    scale: Scale,
+    points: &[SweepPoint],
+    jobs: usize,
+    limit: Option<usize>,
+) -> SweepResults {
+    let mut specs = all_benchmarks();
+    specs.truncate(limit.unwrap_or(usize::MAX));
+    let programs: Vec<watchdog_isa::Program> = specs.iter().map(|s| s.build(scale)).collect();
+    let grid: Vec<(usize, usize)> = (0..specs.len())
+        .flat_map(|s| (0..points.len()).map(move |p| (s, p)))
+        .collect();
+    let cells = parallel_map(grid.len(), jobs, |k| {
+        let (si, pi) = grid[k];
+        let point = &points[pi];
+        let mut cfg = SimConfig::timed(mode);
+        cfg.hierarchy = point.hierarchy;
+        cfg.crack_cache = point.crack_cache;
+        let report = Simulator::new(cfg).run(&programs[si]).unwrap_or_else(|e| {
+            panic!(
+                "[{} under {} @ {}] simulation failed: {e}",
+                specs[si].name,
+                mode.label(),
+                point.label
+            )
+        });
+        assert!(
+            report.violation.is_none(),
+            "[{} under {} @ {}] unexpected violation {:?}",
+            specs[si].name,
+            mode.label(),
+            point.label,
+            report.violation
+        );
+        report
+    });
+    collect_sweep(&specs, points, cells)
+}
+
+/// Merges a flat (benchmark × point) cell vector — in grid order, as
+/// [`parallel_map`] returns it — into [`SweepResults`].
+fn collect_sweep(
+    specs: &[watchdog_workloads::BenchSpec],
+    points: &[SweepPoint],
+    cells: Vec<RunReport>,
+) -> SweepResults {
+    let mut out = SweepResults::new();
+    for (k, report) in cells.into_iter().enumerate() {
+        let si = k / points.len();
+        out.entry(specs[si].name.to_string())
+            .or_default()
+            .push(report);
+    }
+    out
+}
+
 /// Per-case result of the sharded Juliet evaluation (§9.2): the bad case
 /// and its benign twin under the checked mode, plus the location-based
 /// contrast run for CWE-416 cases.
@@ -803,6 +979,38 @@ mod tests {
         // Seed order is stable regardless of scheduling.
         let seeds: Vec<u64> = s.outcomes.iter().map(|o| o.seed).collect();
         assert_eq!(seeds, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn traced_sweep_is_byte_identical_to_resim() {
+        // The trace acceptance anchor at harness level: one functional
+        // pass + N replays must produce the exact ablation table a full
+        // re-simulation produces, for any worker count.
+        let mut uncached = SweepPoint::table2("uncached crack$");
+        uncached.crack_cache = false;
+        let points = [
+            SweepPoint::table2("table2"),
+            SweepPoint::ll_size_kb(1),
+            uncached,
+        ];
+        let mode = Mode::watchdog_conservative();
+        let traced = run_sweep_traced_with_jobs(mode, Scale::Test, &points, 4, Some(3));
+        let resim = run_sweep_resim_with_jobs(mode, Scale::Test, &points, 2, Some(3));
+        assert_eq!(
+            format!("{traced:?}"),
+            format!("{resim:?}"),
+            "trace-driven sweep diverges from full re-simulation"
+        );
+        let serial = run_sweep_traced_with_jobs(mode, Scale::Test, &points, 1, Some(3));
+        assert_eq!(
+            format!("{traced:?}"),
+            format!("{serial:?}"),
+            "sweep results depend on worker count"
+        );
+        assert_eq!(traced.len(), 3);
+        for (name, reports) in &traced {
+            assert_eq!(reports.len(), points.len(), "{name} missing points");
+        }
     }
 
     #[test]

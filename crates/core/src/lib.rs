@@ -62,7 +62,7 @@ pub mod sim;
 
 pub use error::{SimError, Violation, ViolationKind};
 pub use ident::LockManager;
-pub use machine::Machine;
+pub use machine::{CheckMode, CommitHook, CommitRecord, Machine, MachineConfig};
 pub use pointer_id::{PointerId, PointerPolicy, Profile};
 pub use report::RunReport;
 pub use runtime::HeapAllocator;

@@ -23,7 +23,7 @@
 //! unchecked **baseline**.
 
 use watchdog_isa::crack::{
-    crack, fill_mem_addrs, CrackConfig, Cracked, CrackedInst, CtrlKind, MetaEffect,
+    assemble_cracked, crack, CommitFacts, CrackConfig, CrackedInst, MetaEffect,
 };
 use watchdog_isa::crack_cache::{CrackCache, CrackCacheStats};
 use watchdog_isa::insn::Inst;
@@ -33,7 +33,6 @@ use watchdog_isa::layout::{
 };
 use watchdog_isa::program::Program;
 use watchdog_isa::reg::Gpr;
-use watchdog_isa::uop::{Uop, UopExec, UopKind, UopTag};
 use watchdog_mem::{Footprint, GuestMem, MetaRecord, ShadowSpace};
 
 use crate::baseline::LocationChecker;
@@ -100,6 +99,45 @@ impl MachineConfig {
             crack_cache: true,
         }
     }
+}
+
+/// Dynamic facts of one committed instruction, handed to a [`CommitHook`].
+///
+/// Together with the static program this is *everything* the timing model's
+/// input depends on: the µop expansion itself is a pure function of
+/// `(instruction, ptr_op, crack config)`, and the remaining dynamic inputs
+/// are exactly the fields below. `watchdog-trace` serializes these records
+/// to drive trace-based timing replay without re-executing architectural
+/// semantics.
+#[derive(Debug, Clone, Copy)]
+pub struct CommitRecord<'a> {
+    /// Instruction index (not byte address) that committed.
+    pub pc_index: usize,
+    /// Whether the active pointer-identification policy classified the
+    /// instruction as a pointer operation.
+    pub ptr_op: bool,
+    /// Rename-stage select folding: `None` = not a foldable instruction,
+    /// `Some(false)` = the select µop is kept, `Some(true)` = it folds into
+    /// a rename-stage invalidate (§6.2).
+    pub folded: Option<bool>,
+    /// Resolved memory-µop addresses, in µop program order.
+    pub mem_addrs: &'a [u64],
+    /// Branch outcome `(taken, target byte address)` for control
+    /// instructions.
+    pub branch: Option<(bool, u64)>,
+}
+
+/// Observer of the machine's commit stream (see [`Machine::step_hooked`]).
+///
+/// Called once per committed instruction, after architectural state has
+/// been updated and *regardless of `emit_uops`* — so a fast functional-only
+/// run can still capture everything a later µop-emitting replay needs.
+/// `halt` and detected violations terminate the run without a commit
+/// record, mirroring the µop stream (the timing model never consumes
+/// them either).
+pub trait CommitHook {
+    /// Receives one committed instruction's dynamic facts.
+    fn on_commit(&mut self, rec: &CommitRecord<'_>);
 }
 
 /// Outcome of one [`Machine::step`].
@@ -436,6 +474,20 @@ impl<'p> Machine<'p> {
     /// exhaustion, runaway PC). *Detected memory-safety violations* are not
     /// errors: they arrive as [`Step::Violation`].
     pub fn step(&mut self) -> Result<Step<'_>, SimError> {
+        self.step_inner(None)
+    }
+
+    /// [`Machine::step`] with a [`CommitHook`] observing the committed
+    /// instruction's dynamic facts (trace recording).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Machine::step`].
+    pub fn step_hooked(&mut self, hook: &mut dyn CommitHook) -> Result<Step<'_>, SimError> {
+        self.step_inner(Some(hook))
+    }
+
+    fn step_inner(&mut self, hook: Option<&mut dyn CommitHook>) -> Result<Step<'_>, SimError> {
         if self.halted {
             return Ok(Step::Halted);
         }
@@ -842,6 +894,16 @@ impl<'p> Machine<'p> {
 
         self.pc = next_pc;
 
+        if let Some(hook) = hook {
+            hook.on_commit(&CommitRecord {
+                pc_index: pc,
+                ptr_op,
+                folded: select_fold.map(|f| f.is_some()),
+                mem_addrs: &mem_addrs,
+                branch,
+            });
+        }
+
         if !self.cfg.emit_uops {
             return Ok(Step::Executed(None));
         }
@@ -851,47 +913,20 @@ impl<'p> Machine<'p> {
         // it is served from the per-PC cache when enabled. Dynamic facts
         // are filled into the machine's scratch expansion, refreshed with
         // a length-aware copy — the fixed-capacity tail of the µop vector
-        // is never touched.
+        // is never touched. Assembly is shared with the trace replayer
+        // (`assemble_cracked`), so replayed streams match by construction.
+        let facts = CommitFacts {
+            pc: self.prog.addr_of(pc),
+            len: inst.encoded_len(),
+            select_fold: select_fold.flatten(),
+            location_check: self.cfg.check == CheckMode::Location && inst.is_mem(),
+            mem_addrs: &mem_addrs,
+            branch,
+        };
         let cur = &mut self.cur;
         match self.crack_cache.as_mut() {
-            Some(cache) => {
-                let c = cache.get_or_crack(pc, &inst, ptr_op);
-                cur.uops.clone_from_compact(&c.uops);
-                cur.meta = c.meta;
-                cur.ctrl = c.ctrl;
-            }
-            None => {
-                let Cracked { uops, meta, ctrl } = crack(&inst, ptr_op, &self.crack_cfg);
-                cur.uops.clone_from_compact(&uops);
-                cur.meta = meta;
-                cur.ctrl = ctrl;
-            }
-        }
-        cur.pc = self.prog.addr_of(pc);
-        cur.len = inst.encoded_len();
-        if let Some(Some(effect)) = select_fold {
-            // Drop the select µop; the rename stage handles the effect.
-            cur.uops.retain(|u| u.uop.kind != UopKind::SelectMeta);
-            cur.meta = effect;
-        }
-        if self.cfg.check == CheckMode::Location && inst.is_mem() {
-            // Location-based checking: one allocation-status check µop per
-            // memory access (§2.1 hardware, e.g. MemTracker).
-            cur.uops.insert_front(UopExec::plain(Uop::new(
-                UopKind::Check,
-                None,
-                None,
-                None,
-                UopTag::Check,
-            )));
-        }
-        fill_mem_addrs(&mut cur.uops, &mem_addrs);
-        if cur.ctrl != CtrlKind::None {
-            let n = cur.uops.len();
-            let (taken, target) = branch.expect("control instruction resolved");
-            let last = &mut cur.uops.as_mut_slice()[n - 1];
-            last.taken = taken;
-            last.target = target;
+            Some(cache) => assemble_cracked(cur, cache.get_or_crack(pc, &inst, ptr_op), &facts),
+            None => assemble_cracked(cur, &crack(&inst, ptr_op, &self.crack_cfg), &facts),
         }
         Ok(Step::Executed(Some(&self.cur)))
     }

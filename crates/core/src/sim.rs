@@ -111,7 +111,8 @@ impl Mode {
         }
     }
 
-    fn check_mode(&self) -> CheckMode {
+    /// The machine-level checking scheme this mode enforces.
+    pub fn check_mode(&self) -> CheckMode {
         match self {
             Mode::Baseline => CheckMode::None,
             Mode::LocationBased => CheckMode::Location,
@@ -119,17 +120,45 @@ impl Mode {
         }
     }
 
-    fn bounds(&self) -> Option<BoundsUops> {
+    /// The bounds-extension µop flavour, if this mode checks bounds (§8).
+    pub fn bounds_uops(&self) -> Option<BoundsUops> {
         match self {
             Mode::WatchdogBounds { uops, .. } => Some(*uops),
             _ => None,
         }
     }
 
-    fn pointer_id(&self) -> Option<PointerId> {
+    /// The pointer-identification policy, for modes that classify at all.
+    pub fn pointer_id(&self) -> Option<PointerId> {
         match self {
             Mode::Watchdog { ptr, .. } | Mode::WatchdogBounds { ptr, .. } => Some(*ptr),
             _ => None,
+        }
+    }
+
+    /// The cracker configuration this mode decodes under — the same mapping
+    /// [`Machine::new`] applies, exposed so trace replay cracks identically.
+    pub fn crack_config(&self) -> watchdog_isa::crack::CrackConfig {
+        use watchdog_isa::crack::CrackConfig;
+        match (self.check_mode() == CheckMode::Watchdog, self.bounds_uops()) {
+            (true, Some(b)) => CrackConfig::with_bounds(b),
+            (true, None) => CrackConfig::watchdog(),
+            (false, _) => CrackConfig::baseline(),
+        }
+    }
+
+    /// Applies this mode's memory-hierarchy knobs (lock-location cache,
+    /// idealized shadow) on top of a base configuration — exactly what
+    /// [`Simulator::run`] does before building the timing core.
+    pub fn apply_hierarchy(&self, hier: &mut HierarchyConfig) {
+        if let Mode::Watchdog {
+            lock_cache,
+            ideal_shadow,
+            ..
+        } = *self
+        {
+            hier.lock_cache = lock_cache;
+            hier.ideal_shadow = ideal_shadow;
         }
     }
 }
@@ -294,22 +323,14 @@ impl Simulator {
         };
         let mcfg = MachineConfig {
             check: self.cfg.mode.check_mode(),
-            bounds: self.cfg.mode.bounds(),
+            bounds: self.cfg.mode.bounds_uops(),
             policy,
             profiling: false,
             emit_uops: self.cfg.timing,
             crack_cache: self.cfg.crack_cache,
         };
         let mut hier = self.cfg.hierarchy;
-        if let Mode::Watchdog {
-            lock_cache,
-            ideal_shadow,
-            ..
-        } = self.cfg.mode
-        {
-            hier.lock_cache = lock_cache;
-            hier.ideal_shadow = ideal_shadow;
-        }
+        self.cfg.mode.apply_hierarchy(&mut hier);
         let sampling = self.cfg.sampling;
         if let Some(s) = sampling {
             assert!(self.cfg.timing, "sampling requires the timing model");

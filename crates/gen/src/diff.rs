@@ -10,7 +10,7 @@
 //! | watchdog/conservative, functional + timed | violation kind **and** instruction index match the oracle; timed agrees |
 //! | watchdog/isa-assisted, functional + timed | same oracle match (profiling must not miss or over-mark); timed agrees |
 //! | watchdog+bounds (fused), functional | same oracle match (all generated accesses are in-bounds) |
-//! | location-based, functional | clean on benign programs; **must miss** the reallocation cases (Table 1 blindness) |
+//! | location-based, functional | clean on benign programs; **must miss** the location-blind cases — reallocation reuse and pool-allocator sub-object frees (Table 1 / §7) |
 //! | benign twin × {cons, isa, location, bounds} | no violation (false-positive check; skipped for benign payloads, whose twin is instruction-identical to the already-checked program) |
 //!
 //! "Timed agrees with functional" means identical architectural statistics,
@@ -185,8 +185,9 @@ pub fn check_generated(g: &Generated) -> Result<DiffOutcome, DiffFailure> {
     } else if g.oracle.location_blind {
         if let Some(v) = loc_f.violation {
             return Err(fail(format!(
-                "location-based checking unexpectedly caught the reallocation case ({v}) — \
-                 the generated program failed to recycle the chunk"
+                "location-based checking unexpectedly caught a location-blind case ({v}) — \
+                 the faulting access was supposed to land in *allocated* memory \
+                 (recycled chunk or still-live pool region)"
             )));
         }
     }

@@ -8,6 +8,7 @@
 //! adversarial heap-lifetime script — mallocs, frees, pointer copies
 //! through registers, globals, heap words and function frames,
 //! reallocation that recycles chunks and lock locations, double frees,
+//! instrumented pool allocators (`newident`/`setident`/`killident`, §7),
 //! benign twins — and because the script is sampled against an exact
 //! model *before* any instruction is emitted, the generator knows
 //! precisely which access must trap, with which [`ViolationKind`], at

@@ -12,7 +12,8 @@
 //! 2. **Append a payload**: either a benign epilogue or one constructed
 //!    memory-safety violation (use-after-free through four aliasing
 //!    routes, reallocation reuse, double free, use-after-return, wild
-//!    dereference, invalid free). Because the script above is benign by
+//!    dereference, invalid free, or an instrumented pool allocator's
+//!    sub-object use-after-free). Because the script above is benign by
 //!    construction, the payload's faulting instruction is *exactly* the
 //!    first (and only) violation in the program — that fact, its expected
 //!    [`ViolationKind`] and its instruction index form the [`Oracle`].
@@ -396,6 +397,13 @@ pub enum Payload {
     /// A frame-local address escapes through a global and is dereferenced
     /// after the frame pops (CWE-562 shape).
     UseAfterReturn,
+    /// A §7 custom allocator: the program carves a sub-object out of the
+    /// (still-live) victim region and manages its identifier itself with
+    /// `newident`/`setident`/`killident` — then dereferences the
+    /// sub-object after returning it to the pool. The region stays
+    /// allocated, so location-based checking is blind; the killed
+    /// identifier catches the use exactly.
+    PoolUseAfterFree,
     /// Dereference of a fabricated address that never had an identifier.
     WildPointer,
     /// `free` of a register that never held a valid pointer.
@@ -689,6 +697,34 @@ fn emit_payload(
                 None
             }
         }
+        Payload::PoolUseAfterFree => {
+            // Pool-allocator instrumentation (§7, promoted from
+            // `examples/custom_allocator.rs`): obj_a gets its own
+            // identifier; obj_b is an uninstrumented sibling that keeps
+            // inheriting the region's identifier and must stay valid
+            // throughout.
+            let off_b = ((plan.off as u64 + 8) % plan.vsize) as i32;
+            b.lea(ALIAS, victim, plan.off); // obj_a = region + off
+            b.new_ident(CTR, BOUND); // fresh key + lock location
+            b.set_ident(ALIAS, CTR, BOUND);
+            b.li(SCRATCH, 11);
+            b.st8(SCRATCH, ALIAS, 0); // use obj_a while pool-live
+            b.lea(ADDR, victim, off_b); // obj_b, uninstrumented
+            b.li(SCRATCH, 22);
+            b.st8(SCRATCH, ADDR, 0); // checked against the region's id
+            if bad {
+                b.kill_ident(CTR, BOUND); // pool-free of obj_a
+                let pc = b.next_index();
+                b.ld8(SCRATCH, ALIAS, 0); // sub-object use-after-free
+                Some(pc)
+            } else {
+                b.ld8(SCRATCH, ALIAS, 0); // use *before* the pool-free
+                b.kill_ident(CTR, BOUND);
+                b.ld8(SCRATCH, ADDR, 0); // the sibling outlives the kill
+                b.free(victim);
+                None
+            }
+        }
         Payload::UseAfterReturn => {
             b.call(h.fn_publish);
             b.lea_global(CALLEE, h.pub_slot);
@@ -753,7 +789,7 @@ fn emit(seed: u64, script: &[Op], plan: &PayloadPlan, bad: bool) -> (Program, Op
 }
 
 fn sample_payload(rng: &mut Rng) -> Payload {
-    match rng.below(21) {
+    match rng.below(24) {
         0..=5 => Payload::Benign,
         6..=9 => Payload::UseAfterFree(match rng.below(4) {
             0 => Route::Direct,
@@ -765,7 +801,8 @@ fn sample_payload(rng: &mut Rng) -> Payload {
         13..=14 => Payload::DoubleFree,
         15..=16 => Payload::UseAfterReturn,
         17..=18 => Payload::WildPointer,
-        _ => Payload::InvalidFree,
+        19..=20 => Payload::InvalidFree,
+        _ => Payload::PoolUseAfterFree,
     }
 }
 
@@ -790,7 +827,9 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> Generated {
     let (twin, _) = emit(seed, &script, &plan, false);
     let expected = match payload {
         Payload::Benign => None,
-        Payload::UseAfterFree(_) | Payload::UseAfterRealloc => Some(ViolationKind::UseAfterFree),
+        Payload::UseAfterFree(_) | Payload::UseAfterRealloc | Payload::PoolUseAfterFree => {
+            Some(ViolationKind::UseAfterFree)
+        }
         Payload::DoubleFree => Some(ViolationKind::DoubleFree),
         Payload::UseAfterReturn => Some(ViolationKind::UseAfterReturn),
         Payload::WildPointer => Some(ViolationKind::WildPointer),
@@ -804,7 +843,10 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> Generated {
             payload,
             expected,
             expected_pc,
-            location_blind: payload == Payload::UseAfterRealloc,
+            location_blind: matches!(
+                payload,
+                Payload::UseAfterRealloc | Payload::PoolUseAfterFree
+            ),
         },
     }
 }
@@ -843,7 +885,28 @@ mod tests {
         for seed in 0..200 {
             kinds.insert(std::mem::discriminant(&generate(seed, &cfg).oracle.payload));
         }
-        assert!(kinds.len() >= 7, "all seven payload kinds within 200 seeds");
+        assert!(kinds.len() >= 8, "all eight payload kinds within 200 seeds");
+    }
+
+    #[test]
+    fn pool_payloads_use_custom_allocator_instrumentation() {
+        // The §7 custom-allocator family: sub-object UAF through
+        // newident/setident/killident, with a benign twin, and blind to
+        // location-based checking (the region is still allocated).
+        let cfg = GenConfig::default();
+        let pools: Vec<Generated> = (0..300)
+            .map(|s| generate(s, &cfg))
+            .filter(|g| g.oracle.payload == Payload::PoolUseAfterFree)
+            .collect();
+        assert!(!pools.is_empty(), "pool payloads are reachable");
+        for g in &pools {
+            assert_eq!(g.oracle.expected, Some(ViolationKind::UseAfterFree));
+            assert!(g.oracle.location_blind, "pool frees leave the region live");
+            let text = g.program.disassemble();
+            for op in ["newident", "setident", "killident"] {
+                assert!(text.contains(op), "missing {op} in:\n{text}");
+            }
+        }
     }
 
     #[test]
@@ -864,7 +927,10 @@ mod tests {
             }
             assert_eq!(
                 g.oracle.location_blind,
-                g.oracle.payload == Payload::UseAfterRealloc
+                matches!(
+                    g.oracle.payload,
+                    Payload::UseAfterRealloc | Payload::PoolUseAfterFree
+                )
             );
         }
     }

@@ -175,6 +175,76 @@ pub fn fill_mem_addrs(uops: &mut UopVec, addrs: &[u64]) {
     assert!(it.next().is_none(), "more addresses than memory µops");
 }
 
+/// Dynamic per-commit facts needed to turn a static [`Cracked`] expansion
+/// into the exact [`CrackedInst`] the timing model consumes.
+///
+/// The functional machine produces one of these per executed instruction;
+/// the trace replayer decodes the same facts from a recorded event stream.
+/// Both feed [`assemble_cracked`], so a replayed µop stream is equal to the
+/// live one *by construction*, not by parallel re-implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct CommitFacts<'a> {
+    /// Byte address of the macro-instruction.
+    pub pc: u64,
+    /// Encoded length in bytes.
+    pub len: u8,
+    /// Rename-stage select folding: `Some(effect)` drops the `select` µop
+    /// and replaces the expansion's [`MetaEffect`] (§6.2 — both inputs'
+    /// metadata mappings were trivially invalid at execution time).
+    pub select_fold: Option<MetaEffect>,
+    /// Insert the §2.1 location-based allocation-status check µop in front
+    /// (location-based checking mode, memory instructions only).
+    pub location_check: bool,
+    /// Resolved addresses of the memory µops, in µop program order.
+    pub mem_addrs: &'a [u64],
+    /// Branch outcome `(taken, target byte address)`; required exactly when
+    /// the expansion is a control instruction.
+    pub branch: Option<(bool, u64)>,
+}
+
+/// Assembles the full [`CrackedInst`] for one committed instruction into
+/// `cur` (in place — the fixed-capacity µop tail is never bulk-copied) from
+/// its cached static expansion and the dynamic [`CommitFacts`].
+///
+/// # Panics
+///
+/// Panics if the facts disagree with the expansion's shape: a missing
+/// branch outcome on a control instruction, or a memory-address count that
+/// does not match the expansion's memory µops (see [`fill_mem_addrs`]).
+/// Both indicate an internal bug — or, on the replay path, a corrupt trace
+/// (the replayer validates the shape before calling this).
+pub fn assemble_cracked(cur: &mut CrackedInst, stat: &Cracked, facts: &CommitFacts<'_>) {
+    cur.uops.clone_from_compact(&stat.uops);
+    cur.meta = stat.meta;
+    cur.ctrl = stat.ctrl;
+    cur.pc = facts.pc;
+    cur.len = facts.len;
+    if let Some(effect) = facts.select_fold {
+        // Drop the select µop; the rename stage handles the effect.
+        cur.uops.retain(|u| u.uop.kind != UopKind::SelectMeta);
+        cur.meta = effect;
+    }
+    if facts.location_check {
+        // Location-based checking: one allocation-status check µop per
+        // memory access (§2.1 hardware, e.g. MemTracker).
+        cur.uops.insert_front(UopExec::plain(Uop::new(
+            UopKind::Check,
+            None,
+            None,
+            None,
+            UopTag::Check,
+        )));
+    }
+    fill_mem_addrs(&mut cur.uops, facts.mem_addrs);
+    if cur.ctrl != CtrlKind::None {
+        let n = cur.uops.len();
+        let (taken, target) = facts.branch.expect("control instruction resolved");
+        let last = &mut cur.uops.as_mut_slice()[n - 1];
+        last.taken = taken;
+        last.target = target;
+    }
+}
+
 /// Cracks one macro-instruction.
 ///
 /// `ptr_op` says whether the active pointer-identification policy classified

@@ -1,0 +1,144 @@
+//! Primitive wire encodings: LEB128 varints and zigzag signed deltas.
+//!
+//! The trace format is built entirely from these two primitives plus raw
+//! bytes, so "versioned" reduces to "the event grammar may change, the
+//! scalars cannot": unsigned values are LEB128 (7 bits per byte, high bit
+//! = continuation), signed deltas are zigzag-mapped first so small
+//! magnitudes of either sign stay short.
+
+use crate::TraceError;
+
+/// Appends `v` as a LEB128 varint.
+pub fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint at `*pos`, advancing it.
+///
+/// # Errors
+///
+/// [`TraceError::Truncated`] when the buffer ends mid-varint;
+/// [`TraceError::Corrupt`] when the encoding overflows 64 bits.
+pub fn get_uvarint(buf: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = buf.get(*pos) else {
+            return Err(TraceError::Truncated);
+        };
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(TraceError::Corrupt("varint overflows 64 bits"));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-maps a signed value so small magnitudes encode short.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a signed value as a zigzag varint.
+pub fn put_ivarint(buf: &mut Vec<u8>, v: i64) {
+    put_uvarint(buf, zigzag(v));
+}
+
+/// Reads a zigzag varint at `*pos`, advancing it.
+///
+/// # Errors
+///
+/// Exactly as [`get_uvarint`].
+pub fn get_ivarint(buf: &[u8], pos: &mut usize) -> Result<i64, TraceError> {
+    get_uvarint(buf, pos).map(unzigzag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uvarint_edge_values_round_trip() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_uvarint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_maps_small_magnitudes_to_small_codes() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        for v in [i64::MIN, i64::MAX, -1, 0, 1, 123_456_789] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn truncated_and_overlong_varints_are_rejected() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&buf, &mut pos), Err(TraceError::Truncated));
+        // Eleven continuation bytes can never fit in 64 bits.
+        let overlong = [0x80u8; 11];
+        let mut pos = 0;
+        assert!(matches!(
+            get_uvarint(&overlong, &mut pos),
+            Err(TraceError::Corrupt(_))
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn uvarint_round_trips(values in proptest::collection::vec(any::<u64>(), 0..64)) {
+            let mut buf = Vec::new();
+            for &v in &values {
+                put_uvarint(&mut buf, v);
+            }
+            let mut pos = 0;
+            for &v in &values {
+                prop_assert_eq!(get_uvarint(&buf, &mut pos).unwrap(), v);
+            }
+            prop_assert_eq!(pos, buf.len());
+        }
+
+        #[test]
+        fn ivarint_round_trips(values in proptest::collection::vec(any::<u64>(), 0..64)) {
+            let values: Vec<i64> = values.iter().map(|&v| v as i64).collect();
+            let mut buf = Vec::new();
+            for &v in &values {
+                put_ivarint(&mut buf, v);
+            }
+            let mut pos = 0;
+            for &v in &values {
+                prop_assert_eq!(get_ivarint(&buf, &mut pos).unwrap(), v);
+            }
+            prop_assert_eq!(pos, buf.len());
+        }
+    }
+}

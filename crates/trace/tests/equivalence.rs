@@ -1,0 +1,212 @@
+//! The tentpole's correctness anchor, at unit scale: for hand-built
+//! programs covering every mode and outcome, a trace-driven replay must
+//! reproduce the live timed simulation's [`RunReport`] exactly — cycles,
+//! µop tags, hierarchy/predictor statistics, crack-cache counters,
+//! violation, heap and footprint. (Suite- and fuzz-scale equivalence
+//! lives in the workspace-level `trace_equivalence` tests.)
+
+use watchdog_core::prelude::*;
+use watchdog_isa::{Cond, Gpr, Program, ProgramBuilder};
+use watchdog_mem::CacheConfig;
+use watchdog_trace::{record, replay, ReplayConfig, Trace, TraceError, TraceOutcome};
+
+fn g(n: u8) -> Gpr {
+    Gpr::new(n)
+}
+
+/// A pointer-heavy benign kernel: build a linked list, walk it, free it
+/// (the same shape the simulator's own tests use).
+fn list_program(nodes: i64) -> Program {
+    let mut b = ProgramBuilder::new("list");
+    let (head, cur, nxt, sz, i, n, acc) = (g(0), g(1), g(2), g(3), g(4), g(5), g(6));
+    b.li(sz, 16);
+    b.li(head, 0);
+    b.li(i, 0);
+    b.li(n, nodes);
+    let build = b.here();
+    b.malloc(nxt, sz);
+    b.st8(head, nxt, 0);
+    b.st8(i, nxt, 8);
+    b.mov(head, nxt);
+    b.addi(i, i, 1);
+    b.branch(Cond::Lt, i, n, build);
+    b.li(acc, 0);
+    b.mov(cur, head);
+    let walk = b.here();
+    b.ld8(nxt, cur, 8);
+    b.add(acc, acc, nxt);
+    b.ld8(cur, cur, 0);
+    b.branch(Cond::Ne, cur, g(14), walk);
+    b.mov(cur, head);
+    let fr = b.here();
+    b.ld8(nxt, cur, 0);
+    b.free(cur);
+    b.mov(cur, nxt);
+    b.branch(Cond::Ne, cur, g(14), fr);
+    b.halt();
+    b.build().unwrap()
+}
+
+fn uaf_program() -> Program {
+    let mut b = ProgramBuilder::new("uaf");
+    let (p, sz) = (g(0), g(1));
+    b.li(sz, 64);
+    b.malloc(p, sz);
+    b.free(p);
+    b.ld8(g(2), p, 0);
+    b.halt();
+    b.build().unwrap()
+}
+
+/// Records under `mode`, replays under the timing slice of `sim`, and
+/// asserts the replayed report is identical (via `Debug`, which renders
+/// every field of every nested statistic) to the live timed run.
+fn assert_replay_exact(program: &Program, mode: Mode, sim: SimConfig) {
+    let live = Simulator::new(sim.clone()).run(program).expect("live run");
+    let trace = record(program, mode, sim.max_insts).expect("record");
+    let rep = replay(program, &trace, &ReplayConfig::from_sim(&sim)).expect("replay");
+    assert_eq!(
+        format!("{live:?}"),
+        format!("{rep:?}"),
+        "replayed report diverges from live under {}",
+        mode.label()
+    );
+}
+
+#[test]
+fn replay_matches_live_under_every_mode() {
+    let p = list_program(60);
+    for mode in [
+        Mode::Baseline,
+        Mode::LocationBased,
+        Mode::watchdog_conservative(),
+        Mode::watchdog(),
+        Mode::Watchdog {
+            ptr: PointerId::IsaAssisted,
+            lock_cache: false,
+            ideal_shadow: false,
+        },
+        Mode::Watchdog {
+            ptr: PointerId::IsaAssisted,
+            lock_cache: true,
+            ideal_shadow: true,
+        },
+        Mode::WatchdogBounds {
+            ptr: PointerId::Conservative,
+            uops: BoundsUops::Fused,
+        },
+        Mode::WatchdogBounds {
+            ptr: PointerId::IsaAssisted,
+            uops: BoundsUops::Split,
+        },
+    ] {
+        assert_replay_exact(&p, mode, SimConfig::timed(mode));
+    }
+}
+
+#[test]
+fn replay_matches_live_on_violating_runs() {
+    let p = uaf_program();
+    for mode in [
+        Mode::LocationBased,
+        Mode::watchdog_conservative(),
+        Mode::watchdog(),
+    ] {
+        assert_replay_exact(&p, mode, SimConfig::timed(mode));
+        let trace = record(&p, mode, 1_000_000).unwrap();
+        assert!(matches!(trace.outcome(), TraceOutcome::Violation(_)));
+    }
+}
+
+#[test]
+fn replay_matches_live_with_the_crack_cache_disabled() {
+    let p = list_program(40);
+    let mode = Mode::watchdog_conservative();
+    let mut sim = SimConfig::timed(mode);
+    sim.crack_cache = false;
+    assert_replay_exact(&p, mode, sim);
+}
+
+#[test]
+fn one_trace_sweeps_many_hierarchies_exactly() {
+    // The whole point: one functional pass, N ablation replays — each
+    // identical to a dedicated live simulation of that configuration.
+    let p = list_program(80);
+    let mode = Mode::watchdog_conservative();
+    let trace = record(&p, mode, 10_000_000).unwrap();
+    for kb in [1u64, 4, 16] {
+        let mut sim = SimConfig::timed(mode);
+        sim.hierarchy.ll = CacheConfig::new(kb * 1024, 8, 64);
+        let live = Simulator::new(sim.clone()).run(&p).unwrap();
+        let rep = replay(&p, &trace, &ReplayConfig::from_sim(&sim)).unwrap();
+        assert_eq!(format!("{live:?}"), format!("{rep:?}"), "LL$ {kb}KB");
+    }
+}
+
+#[test]
+fn serialized_traces_replay_identically() {
+    let p = list_program(30);
+    let mode = Mode::watchdog();
+    let trace = record(&p, mode, 10_000_000).unwrap();
+    let back = Trace::from_bytes(&trace.to_bytes()).expect("round-trip");
+    assert_eq!(trace, back);
+    let a = replay(&p, &trace, &ReplayConfig::default()).unwrap();
+    let b = replay(&p, &back, &ReplayConfig::default()).unwrap();
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
+fn traces_are_compact() {
+    let p = list_program(100);
+    let trace = record(&p, Mode::watchdog_conservative(), 10_000_000).unwrap();
+    let info = trace.info();
+    assert_eq!(info.insts, trace.machine_stats().insts);
+    assert!(info.events > 0 && info.events < info.insts + 1);
+    // Delta encoding keeps the stream small: well under 16 bytes per
+    // committed instruction for pointer-chasing code.
+    assert!(
+        info.bytes_per_event() < 16.0,
+        "bytes/event = {:.1}",
+        info.bytes_per_event()
+    );
+}
+
+#[test]
+fn replaying_the_wrong_program_is_rejected() {
+    let a = list_program(10);
+    let b = list_program(11); // same name, different instructions
+    let trace = record(&a, Mode::watchdog_conservative(), 1_000_000).unwrap();
+    let err = replay(&b, &trace, &ReplayConfig::default()).unwrap_err();
+    assert!(matches!(err, TraceError::ProgramMismatch { .. }), "{err}");
+    let err = replay(&uaf_program(), &trace, &ReplayConfig::default()).unwrap_err();
+    assert!(matches!(err, TraceError::ProgramMismatch { .. }), "{err}");
+}
+
+#[test]
+fn corrupt_event_streams_fail_closed() {
+    let p = list_program(10);
+    let trace = record(&p, Mode::watchdog_conservative(), 1_000_000).unwrap();
+    let bytes = trace.to_bytes();
+    // Flip every single byte of the serialized trace in turn: decoding or
+    // replay may fail, report different numbers, or (rarely) be a benign
+    // flip in an unused flag-ish position — but it must never panic.
+    let baseline = replay(&p, &trace, &ReplayConfig::default()).unwrap();
+    let mut survived = 0usize;
+    for i in 0..bytes.len() {
+        let mut mutated = bytes.clone();
+        mutated[i] ^= 0x41;
+        if let Ok(t) = Trace::from_bytes(&mutated) {
+            if let Ok(r) = replay(&p, &t, &ReplayConfig::default()) {
+                if format!("{r:?}") == format!("{baseline:?}") {
+                    survived += 1;
+                }
+            }
+        }
+    }
+    // A flip that still yields the identical report should be rare.
+    assert!(
+        survived * 10 < bytes.len(),
+        "{survived}/{} byte flips were silent no-ops",
+        bytes.len()
+    );
+}

@@ -8,10 +8,15 @@
 //! watchdog-cli juliet                       # run the §9.2 security suite
 //! watchdog-cli fuzz --seeds 1000            # differential fuzzing campaign
 //! watchdog-cli fuzz --seed 42               # reproduce one generated case
+//! watchdog-cli trace record mcf --mode cons -o mcf.wdtr
+//! watchdog-cli trace replay mcf --trace mcf.wdtr --verify
+//! watchdog-cli trace info --trace mcf.wdtr
+//! watchdog-cli trace selftest --seeds 25    # record→replay equivalence smoke
 //! ```
 
 use watchdog::bench::{fuzz_main, jobs_from_args, run_juliet_with_jobs, summarize_juliet};
 use watchdog::prelude::*;
+use watchdog::trace::{record, replay, verify_replay, ReplayConfig, Trace};
 
 fn parse_mode(s: &str) -> Option<Mode> {
     Some(match s {
@@ -54,7 +59,11 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  watchdog-cli list\n  watchdog-cli modes\n  watchdog-cli run <bench> \
          [--mode <mode>] [--scale test|small|ref] [--functional] [--sampled]\n  watchdog-cli juliet [--mode <mode>]\n  \
-         watchdog-cli fuzz [--seeds N] [--seed-start K] [--jobs J]\n  watchdog-cli fuzz --seed <K>"
+         watchdog-cli fuzz [--seeds N] [--seed-start K] [--jobs J]\n  watchdog-cli fuzz --seed <K>\n  \
+         watchdog-cli trace record <bench> [--mode <mode>] [--scale <scale>] [-o FILE]\n  \
+         watchdog-cli trace replay <bench> --trace FILE [--scale <scale>] [--verify]\n  \
+         watchdog-cli trace info --trace FILE\n  \
+         watchdog-cli trace selftest [--bench <bench>] [--scale <scale>] [--seeds N]"
     );
     std::process::exit(2);
 }
@@ -126,6 +135,12 @@ fn cmd_run(args: &[String]) {
         "benchmark:       {} ({:?}, {scale:?})",
         spec.name, spec.category
     );
+    print_report(&report);
+}
+
+/// Prints the standard per-run report block (shared by `run` and
+/// `trace replay`, so the two render identically).
+fn print_report(report: &RunReport) {
     println!("mode:            {}", report.mode);
     println!("instructions:    {}", report.machine.insts);
     println!("mem accesses:    {}", report.machine.mem_accesses);
@@ -178,6 +193,180 @@ fn cmd_run(args: &[String]) {
     }
 }
 
+/// Builds the named benchmark or exits with the standard unknown-name
+/// message.
+fn build_bench(name: &str, scale: Scale) -> Program {
+    let Some(spec) = benchmark(name) else {
+        eprintln!("unknown benchmark {name:?}; see `watchdog-cli list`");
+        std::process::exit(2);
+    };
+    spec.build(scale)
+}
+
+fn scale_arg(args: &[String], default: Scale) -> Scale {
+    flag_value(args, "--scale").map_or(default, |s| {
+        parse_scale(&s).unwrap_or_else(|| {
+            eprintln!("unknown scale {s:?}");
+            std::process::exit(2);
+        })
+    })
+}
+
+fn trace_file_arg(args: &[String]) -> Trace {
+    let Some(path) = flag_value(args, "--trace") else {
+        eprintln!("--trace FILE is required");
+        std::process::exit(2);
+    };
+    let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    Trace::from_bytes(&bytes).unwrap_or_else(|e| {
+        eprintln!("cannot decode {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn cmd_trace_record(args: &[String]) {
+    let Some(name) = args.first() else { usage() };
+    let mode = flag_value(args, "--mode").map_or(Mode::watchdog(), |m| {
+        parse_mode(&m).unwrap_or_else(|| {
+            eprintln!("unknown mode {m:?}; see `watchdog-cli modes`");
+            std::process::exit(2);
+        })
+    });
+    let scale = scale_arg(args, Scale::Small);
+    let out = flag_value(args, "-o")
+        .or_else(|| flag_value(args, "--out"))
+        .unwrap_or_else(|| format!("{name}.wdtr"));
+    let program = build_bench(name, scale);
+    let trace = record(&program, mode, SimConfig::timed(mode).max_insts).unwrap_or_else(|e| {
+        eprintln!("recording failed: {e}");
+        std::process::exit(1);
+    });
+    let bytes = trace.to_bytes();
+    std::fs::write(&out, &bytes).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    let info = trace.info();
+    println!(
+        "recorded {} under {} at {scale:?}: {} events over {} insts, {} bytes ({:.2} B/event) -> {out}",
+        info.program, info.mode, info.events, info.insts, bytes.len(), info.bytes_per_event()
+    );
+}
+
+fn cmd_trace_replay(args: &[String]) {
+    let Some(name) = args.first() else { usage() };
+    let scale = scale_arg(args, Scale::Small);
+    let trace = trace_file_arg(args);
+    let program = build_bench(name, scale);
+    let report = replay(&program, &trace, &ReplayConfig::default()).unwrap_or_else(|e| {
+        eprintln!("replay failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "benchmark:       {} (replayed from trace, {scale:?})",
+        trace.program()
+    );
+    print_report(&report);
+    if args.iter().any(|a| a == "--verify") {
+        let live = Simulator::new(SimConfig::timed(trace.mode()))
+            .run(&program)
+            .unwrap_or_else(|e| {
+                eprintln!("live verification run failed: {e}");
+                std::process::exit(1);
+            });
+        if format!("{live:?}") == format!("{report:?}") {
+            println!("verify:          replay is oracle-exact (identical RunReport)");
+        } else {
+            eprintln!("verify:          MISMATCH between live simulation and replay");
+            eprintln!("live:   {live:?}");
+            eprintln!("replay: {report:?}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_trace_info(args: &[String]) {
+    let trace = trace_file_arg(args);
+    let info = trace.info();
+    println!("format version:  {}", info.version);
+    println!("program:         {}", info.program);
+    println!("fingerprint:     {:#018x}", trace.fingerprint());
+    println!("mode:            {}", info.mode);
+    println!("instructions:    {}", info.insts);
+    println!(
+        "events:          {} ({:.3} per instruction)",
+        info.events,
+        info.events as f64 / info.insts.max(1) as f64
+    );
+    println!(
+        "size:            {} bytes total, {} event bytes ({:.2} B/event)",
+        info.total_bytes,
+        info.event_bytes,
+        info.bytes_per_event()
+    );
+    println!("outcome:         {}", info.outcome);
+}
+
+/// Record→replay→equivalence smoke: one benchmark plus a band of
+/// fuzz-generated programs, each replayed (through a serialization round
+/// trip) and compared field-for-field against the live timed simulation.
+/// Exit code 0 = every comparison identical.
+fn cmd_trace_selftest(args: &[String]) {
+    let bench_name = flag_value(args, "--bench").unwrap_or_else(|| "mcf".into());
+    let scale = scale_arg(args, Scale::Test);
+    let seeds = flag_value(args, "--seeds").map_or(25u64, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--seeds requires an unsigned integer");
+            std::process::exit(2);
+        })
+    });
+    let mut failures = 0usize;
+    // One shared recipe (`verify_replay`): live timed run vs.
+    // record→serialize→deserialize→replay, compared field-for-field — the
+    // same helper the workspace equivalence tests assert with, so the CI
+    // smoke and tier-1 can never check different properties.
+    let mut check = |program: &Program, mode: Mode| {
+        if let Err(e) = verify_replay(program, &SimConfig::timed(mode)) {
+            eprintln!("{e}");
+            failures += 1;
+        }
+    };
+    let program = build_bench(&bench_name, scale);
+    let mut cases = 0usize;
+    for mode in [Mode::watchdog_conservative(), Mode::watchdog()] {
+        check(&program, mode);
+        cases += 1;
+    }
+    let cfg = watchdog::gen::GenConfig::default();
+    for seed in 0..seeds {
+        let g = watchdog::gen::generate(seed, &cfg);
+        check(&g.program, Mode::watchdog_conservative());
+        cases += 1;
+    }
+    if failures == 0 {
+        println!(
+            "trace selftest: PASS — {cases} record→replay comparisons identical \
+             ({bench_name} under cons+isa at {scale:?}, {seeds} fuzz seeds under cons)"
+        );
+    } else {
+        println!("trace selftest: FAIL — {failures}/{cases} comparisons diverged");
+        std::process::exit(1);
+    }
+}
+
+fn cmd_trace(args: &[String]) {
+    match args.first().map(String::as_str) {
+        Some("record") => cmd_trace_record(&args[1..]),
+        Some("replay") => cmd_trace_replay(&args[1..]),
+        Some("info") => cmd_trace_info(&args[1..]),
+        Some("selftest") => cmd_trace_selftest(&args[1..]),
+        _ => usage(),
+    }
+}
+
 fn cmd_juliet(args: &[String]) {
     let mode = flag_value(args, "--mode").map_or(Mode::watchdog_conservative(), |m| {
         parse_mode(&m).unwrap_or_else(|| usage())
@@ -214,6 +403,7 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("juliet") => cmd_juliet(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         _ => usage(),
     }
 }

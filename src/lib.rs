@@ -18,8 +18,9 @@
 //! machine, heap runtime and simulator ([`core`]), the twenty
 //! SPEC-lookalike workloads plus the Juliet-style security suite
 //! ([`workloads`]), a seeded program generator with a differential
-//! detection oracle ([`gen`]), and the parallel suite/fuzz runners
-//! (the `bench` re-export).
+//! detection oracle ([`gen`]), commit-stream capture with trace-driven
+//! timing replay for one-pass configuration sweeps ([`trace`]), and the
+//! parallel suite/fuzz/sweep runners (the `bench` re-export).
 //!
 //! # Quickstart
 //!
@@ -59,6 +60,7 @@ pub use watchdog_gen as gen;
 pub use watchdog_isa as isa;
 pub use watchdog_mem as mem;
 pub use watchdog_pipeline as pipeline;
+pub use watchdog_trace as trace;
 pub use watchdog_workloads as workloads;
 
 /// The most common imports for driving the simulator.

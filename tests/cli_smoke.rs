@@ -107,3 +107,52 @@ fn juliet_suite_detects_everything_under_watchdog() {
         "false positives appeared:\n{out}"
     );
 }
+
+#[test]
+fn trace_record_info_replay_round_trip() {
+    let dir = std::env::temp_dir().join(format!("wdtrace-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("gzip.wdtr");
+    let path = path.to_str().expect("utf-8 temp path");
+
+    let out = stdout_of(&[
+        "trace", "record", "gzip", "--mode", "cons", "--scale", "test", "-o", path,
+    ]);
+    assert!(out.contains("recorded gzip"), "{out}");
+
+    let out = stdout_of(&["trace", "info", "--trace", path]);
+    assert!(out.contains("watchdog/conservative"), "{out}");
+    assert!(out.contains("outcome:         halted"), "{out}");
+
+    // --verify re-runs the live timed simulation and demands an identical
+    // RunReport, so a successful exit is an end-to-end equivalence check.
+    let out = stdout_of(&[
+        "trace", "replay", "gzip", "--trace", path, "--scale", "test", "--verify",
+    ]);
+    assert!(out.contains("oracle-exact"), "{out}");
+    assert!(out.contains("cycles:"), "replay reports timing:\n{out}");
+
+    // A trace never silently replays against the wrong program or scale.
+    assert!(
+        !cli(&["trace", "replay", "mcf", "--trace", path, "--scale", "test"])
+            .status
+            .success()
+    );
+    assert!(
+        !cli(&["trace", "replay", "gzip", "--trace", path, "--scale", "small"])
+            .status
+            .success()
+    );
+    assert!(!cli(&["trace", "info", "--trace", "/nonexistent.wdtr"])
+        .status
+        .success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_selftest_smoke_passes() {
+    let out = stdout_of(&[
+        "trace", "selftest", "--bench", "gzip", "--scale", "test", "--seeds", "3",
+    ]);
+    assert!(out.contains("trace selftest: PASS"), "{out}");
+}

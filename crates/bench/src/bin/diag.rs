@@ -1,9 +1,11 @@
 //! Diagnostic: per-benchmark stall breakdown, cache behaviour,
-//! crack-cache effectiveness and trace-subsystem figures (trace size,
-//! events/inst, replay-vs-live speedup) under selected modes.
+//! crack-cache effectiveness, trace-subsystem figures (trace size,
+//! events/inst, replay-vs-live speedup) and batched-feed statistics
+//! (batch occupancy, batches/1k insts, per-inst vs batched consume
+//! speedup, lock-probe memo hits) under selected modes.
 use std::time::Instant;
 use watchdog_core::prelude::*;
-use watchdog_trace::{record, replay, ReplayConfig};
+use watchdog_trace::{record, replay, replay_with_stats, ReplayConfig};
 use watchdog_workloads::{benchmark, Scale};
 
 fn main() {
@@ -39,6 +41,7 @@ fn main() {
     // Trace subsystem: capture once per mode, replay, and show what the
     // trace-driven sweep path costs next to the live timed simulation.
     println!("-- trace: record once, replay per ablation point --");
+    let mut traces = Vec::new();
     for (mode, live_report, live_secs) in &live {
         let t0 = Instant::now();
         let trace = record(&p, *mode, SimConfig::timed(*mode).max_insts).unwrap();
@@ -58,6 +61,45 @@ fn main() {
             replay_secs,
             live_secs,
             live_secs / replay_secs.max(1e-9),
+            if exact { "yes" } else { "NO (BUG)" },
+        );
+        traces.push((*mode, trace));
+    }
+
+    // Batched µop-event pipeline: how the committed stream reaches the
+    // timing core, and what batching buys over the per-instruction shim.
+    // Timed on the replay path, where both feeds drain the same recorded
+    // events (the live loop uses the same batched consume).
+    println!("-- batched µop-event feed: per-inst vs batched consume --");
+    for (mode, trace) in &traces {
+        let best = |batch: bool| {
+            let cfg = ReplayConfig {
+                batch,
+                ..ReplayConfig::default()
+            };
+            // Best of three: replay is fast enough at diag scale that a
+            // single run is noise-dominated.
+            (0..3)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    let out = replay_with_stats(&p, trace, &cfg).unwrap();
+                    (t0.elapsed().as_secs_f64(), out)
+                })
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+                .expect("three runs")
+        };
+        let (batched_secs, (batched_report, stats)) = best(true);
+        let (per_inst_secs, (per_inst_report, _)) = best(false);
+        let exact = format!("{batched_report:?}") == format!("{per_inst_report:?}");
+        println!(
+            "{:<28} occupancy={:.1} insts/batch batches/1k-insts={:.2} ll-memo-hits={} per-inst={:.3}s batched={:.3}s consume-speedup={:.2}x feed-exact={}",
+            mode.label(),
+            stats.feed.mean_occupancy(),
+            stats.feed.batches_per_kinst(),
+            stats.ll_memo_hits,
+            per_inst_secs,
+            batched_secs,
+            per_inst_secs / batched_secs.max(1e-9),
             if exact { "yes" } else { "NO (BUG)" },
         );
     }

@@ -339,8 +339,15 @@ impl SweepPoint {
     /// Table 2 with the lock-location cache resized to `kb` kilobytes
     /// (the §4.2 / §9.3 LL$ sensitivity sweep).
     pub fn ll_size_kb(kb: u64) -> Self {
-        let mut p = Self::table2(format!("{kb}KB LL$"));
-        p.hierarchy.ll = watchdog_mem::CacheConfig::new(kb * 1024, 8, 64);
+        Self::ll_geometry(kb, 8)
+    }
+
+    /// Table 2 with the lock-location cache set to `kb` kilobytes and
+    /// `ways`-way associativity (the widened §4.2 size × associativity
+    /// sweep; Table 2's LL$ is 4KB 8-way).
+    pub fn ll_geometry(kb: u64, ways: u64) -> Self {
+        let mut p = Self::table2(format!("{kb}KB/{ways}-way LL$"));
+        p.hierarchy.ll = watchdog_mem::CacheConfig::new(kb * 1024, ways, 64);
         p
     }
 }

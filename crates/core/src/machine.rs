@@ -34,6 +34,7 @@ use watchdog_isa::layout::{
 use watchdog_isa::program::Program;
 use watchdog_isa::reg::Gpr;
 use watchdog_mem::{Footprint, GuestMem, MetaRecord, ShadowSpace};
+use watchdog_pipeline::UopBatch;
 
 use crate::baseline::LocationChecker;
 use crate::error::{SimError, Violation, ViolationKind};
@@ -474,7 +475,7 @@ impl<'p> Machine<'p> {
     /// exhaustion, runaway PC). *Detected memory-safety violations* are not
     /// errors: they arrive as [`Step::Violation`].
     pub fn step(&mut self) -> Result<Step<'_>, SimError> {
-        self.step_inner(None)
+        self.step_inner(None, None)
     }
 
     /// [`Machine::step`] with a [`CommitHook`] observing the committed
@@ -484,10 +485,27 @@ impl<'p> Machine<'p> {
     ///
     /// Exactly as [`Machine::step`].
     pub fn step_hooked(&mut self, hook: &mut dyn CommitHook) -> Result<Step<'_>, SimError> {
-        self.step_inner(Some(hook))
+        self.step_inner(Some(hook), None)
     }
 
-    fn step_inner(&mut self, hook: Option<&mut dyn CommitHook>) -> Result<Step<'_>, SimError> {
+    /// [`Machine::step`] that appends the committed µop expansion (when
+    /// `emit_uops` is on) straight into `batch` via
+    /// [`UopBatch::push_expansion`] — no scratch [`CrackedInst`] assembly,
+    /// no second copy. The returned [`Step::Executed`] carries `None`; the
+    /// expansion lives in the batch.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Machine::step`].
+    pub fn step_batched(&mut self, batch: &mut UopBatch) -> Result<Step<'_>, SimError> {
+        self.step_inner(None, Some(batch))
+    }
+
+    fn step_inner(
+        &mut self,
+        hook: Option<&mut dyn CommitHook>,
+        batch: Option<&mut UopBatch>,
+    ) -> Result<Step<'_>, SimError> {
         if self.halted {
             return Ok(Step::Halted);
         }
@@ -910,11 +928,13 @@ impl<'p> Machine<'p> {
 
         // Assemble the µop expansion with its dynamic facts. The static
         // expansion is a pure function of (inst, ptr_op, crack config), so
-        // it is served from the per-PC cache when enabled. Dynamic facts
-        // are filled into the machine's scratch expansion, refreshed with
-        // a length-aware copy — the fixed-capacity tail of the µop vector
-        // is never touched. Assembly is shared with the trace replayer
-        // (`assemble_cracked`), so replayed streams match by construction.
+        // it is served from the per-PC cache when enabled. A batched
+        // caller gets it appended straight to its `UopBatch`
+        // (`push_expansion` — the same routine the trace replayer fills
+        // with, so the two feeds match by construction); a per-step caller
+        // gets the machine's scratch expansion, refreshed with a
+        // length-aware copy — the fixed-capacity tail of the µop vector is
+        // never touched. Both assembly routines mirror `assemble_cracked`.
         let facts = CommitFacts {
             pc: self.prog.addr_of(pc),
             len: inst.encoded_len(),
@@ -923,6 +943,13 @@ impl<'p> Machine<'p> {
             mem_addrs: &mem_addrs,
             branch,
         };
+        if let Some(batch) = batch {
+            match self.crack_cache.as_mut() {
+                Some(cache) => batch.push_expansion(cache.get_or_crack(pc, &inst, ptr_op), &facts),
+                None => batch.push_expansion(&crack(&inst, ptr_op, &self.crack_cfg), &facts),
+            }
+            return Ok(Step::Executed(None));
+        }
         let cur = &mut self.cur;
         match self.crack_cache.as_mut() {
             Some(cache) => assemble_cracked(cur, cache.get_or_crack(pc, &inst, ptr_op), &facts),

@@ -18,7 +18,7 @@ use watchdog_isa::crack::BoundsUops;
 use watchdog_isa::program::Program;
 use watchdog_mem::HierarchyConfig;
 use watchdog_pipeline::core::Snapshot;
-use watchdog_pipeline::{CoreConfig, TimingCore};
+use watchdog_pipeline::{CoreConfig, TimingCore, UopBatch};
 
 use crate::error::SimError;
 use crate::machine::{CheckMode, Machine, MachineConfig, Step};
@@ -229,6 +229,13 @@ pub struct SimConfig {
     /// allocate no cache either way. Disable only to benchmark the
     /// uncached decoder.
     pub crack_cache: bool,
+    /// Feed the timing core through the batched µop-event pipeline
+    /// ([`UopBatch`] windows of [`UopBatch::TARGET_INSTS`] instructions)
+    /// instead of one [`TimingCore::consume`] call per instruction. On by
+    /// default; the two feeds produce field-identical reports (asserted by
+    /// the batch-equivalence suites), so disabling is only useful to
+    /// benchmark the per-instruction path.
+    pub batch: bool,
 }
 
 impl SimConfig {
@@ -242,6 +249,7 @@ impl SimConfig {
             hierarchy: HierarchyConfig::default(),
             sampling: None,
             crack_cache: true,
+            batch: true,
         }
     }
 
@@ -346,28 +354,53 @@ impl Simulator {
             .then(|| TimingCore::new(self.cfg.core, hier));
         let mut violation = None;
         let mut executed = 0u64;
+        // The batched µop-event feed: the machine appends committed
+        // expansions straight into an SoA window (`Machine::step_batched`,
+        // no scratch `CrackedInst`) and `consume_batch` drains it.
+        // Draining an empty or partial window is always safe (batching is
+        // timing-transparent), so the flush points below only have to
+        // precede snapshots.
+        let batching = self.cfg.batch && core.is_some();
+        let mut batch = UopBatch::new();
+        let flush = |core: &mut TimingCore, batch: &mut UopBatch| {
+            core.consume_batch(batch);
+            batch.clear();
+        };
         // Sampling state: accumulated measured counters and the snapshot at
         // the start of the current sample window (if inside one).
         let mut measured = Snapshot::default();
         let mut window_start: Option<Snapshot> = None;
         loop {
-            if let (Some(s), Some(core)) = (sampling, core.as_ref()) {
+            if let (Some(s), Some(core)) = (sampling, core.as_mut()) {
                 let pos = executed % s.period;
                 if pos == s.fast_forward() + s.warmup && window_start.is_none() {
+                    flush(core, &mut batch);
                     window_start = Some(core.snapshot());
                 }
                 machine.set_emit_uops(pos >= s.fast_forward());
             }
-            match machine.step()? {
+            let step = if batching {
+                machine.step_batched(&mut batch)?
+            } else {
+                machine.step()?
+            };
+            match step {
                 Step::Executed(ci) => {
-                    if let (Some(core), Some(ci)) = (core.as_mut(), ci) {
-                        core.consume(ci);
+                    if let Some(core) = core.as_mut() {
+                        if batching {
+                            if batch.len() >= UopBatch::TARGET_INSTS {
+                                flush(core, &mut batch);
+                            }
+                        } else if let Some(ci) = ci {
+                            core.consume(ci);
+                        }
                     }
                     executed += 1;
-                    if let (Some(s), Some(core)) = (sampling, core.as_ref()) {
+                    if let (Some(s), Some(core)) = (sampling, core.as_mut()) {
                         // Close the sample window at the period boundary.
                         if executed.is_multiple_of(s.period) {
                             if let Some(start) = window_start.take() {
+                                flush(core, &mut batch);
                                 measured.accumulate(&core.snapshot().delta(&start));
                             }
                         }
@@ -384,6 +417,9 @@ impl Simulator {
                     break;
                 }
             }
+        }
+        if let Some(core) = core.as_mut() {
+            flush(core, &mut batch);
         }
         // Close a partially-complete final window.
         if let (Some(start), Some(core)) = (window_start.take(), core.as_ref()) {
@@ -632,6 +668,32 @@ mod tests {
             cached.timing.as_ref().unwrap().uops_by_tag,
             uncached.timing.as_ref().unwrap().uops_by_tag
         );
+    }
+
+    #[test]
+    fn batched_feed_matches_per_inst_feed() {
+        // The batched µop-event pipeline is timing-transparent: disabling
+        // it (one `consume` per committed instruction) must produce a
+        // field-identical report, including under sampling, where batch
+        // flushes have to line up with the measurement windows.
+        let p = list_program(300);
+        for cfg in [
+            SimConfig::timed(Mode::watchdog_conservative()),
+            SimConfig::timed(Mode::watchdog()),
+            SimConfig::timed(Mode::Baseline),
+            SimConfig::sampled(Mode::watchdog_conservative(), Sampling::dense()),
+        ] {
+            let batched = Simulator::new(cfg.clone()).run(&p).unwrap();
+            let mut per_inst_cfg = cfg.clone();
+            per_inst_cfg.batch = false;
+            let per_inst = Simulator::new(per_inst_cfg).run(&p).unwrap();
+            assert_eq!(
+                format!("{batched:?}"),
+                format!("{per_inst:?}"),
+                "batched and per-instruction feeds diverge under {}",
+                cfg.mode.label()
+            );
+        }
     }
 
     #[test]

@@ -66,6 +66,13 @@ struct Line {
 #[derive(Debug)]
 pub struct Cache {
     cfg: CacheConfig,
+    // Set-index math hoisted out of the access path: geometry is
+    // power-of-two (asserted by `CacheConfig::new`), so the per-access
+    // block/set/tag divisions reduce to precomputed shifts and masks.
+    block_shift: u32,
+    set_mask: u64,
+    tag_shift: u32,
+    ways: usize,
     lines: Vec<Line>,
     clock: u64,
     stats: CacheStats,
@@ -75,8 +82,14 @@ impl Cache {
     /// Builds an empty cache.
     pub fn new(cfg: CacheConfig) -> Self {
         let n = (cfg.sets() * cfg.ways) as usize;
+        let block_shift = cfg.block.trailing_zeros();
+        let set_bits = cfg.sets().trailing_zeros();
         Cache {
             cfg,
+            block_shift,
+            set_mask: cfg.sets() - 1,
+            tag_shift: block_shift + set_bits,
+            ways: cfg.ways as usize,
             lines: vec![Line::default(); n],
             clock: 0,
             stats: CacheStats::default(),
@@ -90,15 +103,13 @@ impl Cache {
 
     #[inline]
     fn set_range(&self, addr: u64) -> (usize, usize) {
-        let block = addr / self.cfg.block;
-        let set = (block % self.cfg.sets()) as usize;
-        let ways = self.cfg.ways as usize;
-        (set * ways, set * ways + ways)
+        let set = ((addr >> self.block_shift) & self.set_mask) as usize;
+        (set * self.ways, set * self.ways + self.ways)
     }
 
     #[inline]
     fn tag(&self, addr: u64) -> u64 {
-        addr / self.cfg.block / self.cfg.sets()
+        addr >> self.tag_shift
     }
 
     /// Demand access: returns `true` on hit. On miss the block is installed
@@ -117,6 +128,20 @@ impl Cache {
         self.stats.misses += 1;
         self.install(lo, hi, tag);
         false
+    }
+
+    /// Accounts a demand hit to the line accessed **immediately before**
+    /// in this cache, without touching replacement state.
+    ///
+    /// Callers must guarantee the repeat invariant (see
+    /// [`Hierarchy`](crate::Hierarchy)'s lock-probe memo): the line is
+    /// resident and already the most-recently-used way of its set. Under
+    /// that invariant the outcome is identical to [`Cache::access`] — the
+    /// lookup would hit, and re-stamping the set's MRU way changes no
+    /// relative LRU order (stamps are only ever compared within a set, and
+    /// the global clock stays monotonic whether or not it ticks here).
+    pub fn repeat_hit(&mut self) {
+        self.stats.accesses += 1;
     }
 
     /// Non-allocating lookup (no stats, no LRU update).

@@ -26,6 +26,6 @@ pub mod tlb;
 pub mod vm;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
-pub use hierarchy::{AccessClass, Hierarchy, HierarchyConfig, HierarchyStats};
+pub use hierarchy::{AccessClass, AccessReq, Hierarchy, HierarchyConfig, HierarchyStats};
 pub use shadow::{MetaRecord, ShadowSpace};
 pub use vm::{Footprint, GuestMem};

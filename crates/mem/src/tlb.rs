@@ -58,6 +58,17 @@ impl Tlb {
         false
     }
 
+    /// Accounts a hit to the page translated **immediately before**,
+    /// without touching replacement state.
+    ///
+    /// Same contract as [`crate::Cache::repeat_hit`]: the caller guarantees
+    /// the page of the previous [`Tlb::access`] is being translated again,
+    /// so the entry is resident and already most recent — re-stamping it
+    /// would change no relative LRU order.
+    pub fn repeat_hit(&mut self) {
+        self.accesses += 1;
+    }
+
     /// `(accesses, misses)` counters.
     pub fn stats(&self) -> (u64, u64) {
         (self.accesses, self.misses)

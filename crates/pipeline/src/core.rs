@@ -27,6 +27,8 @@ use watchdog_isa::reg::{LReg, NUM_LREGS};
 use watchdog_isa::uop::{UopKind, UopTag};
 use watchdog_mem::{AccessClass, Hierarchy, HierarchyConfig, HierarchyStats};
 
+use crate::batch::{FeedStats, MemOp, UopBatch};
+
 use crate::bpred::{BpredStats, Predictor};
 use crate::config::CoreConfig;
 use crate::rename::{Rename, RenameConfig, RenameStats};
@@ -171,7 +173,8 @@ impl Snapshot {
 }
 
 /// The timing core. Feed it the committed instruction stream via
-/// [`TimingCore::consume`], then call [`TimingCore::finish`].
+/// [`TimingCore::consume_batch`] (or the per-instruction
+/// [`TimingCore::consume`] shim), then call [`TimingCore::finish`].
 #[derive(Debug)]
 pub struct TimingCore {
     cfg: CoreConfig,
@@ -202,6 +205,9 @@ pub struct TimingCore {
     uops: u64,
     uops_by_tag: [u64; NUM_TAGS],
     stalls: StallCycles,
+    // Batched-feed machinery (carries no timing state).
+    shim: UopBatch,
+    feed: FeedStats,
 }
 
 impl TimingCore {
@@ -246,12 +252,20 @@ impl TimingCore {
             uops: 0,
             uops_by_tag: [0; NUM_TAGS],
             stalls: StallCycles::default(),
+            shim: UopBatch::new(),
+            feed: FeedStats::default(),
         }
     }
 
     /// Immutable view of the memory hierarchy (for diagnostics).
     pub fn hierarchy(&self) -> &Hierarchy {
         &self.hier
+    }
+
+    /// How the committed µop stream arrived (batch occupancy diagnostics;
+    /// deliberately outside [`TimingReport`]).
+    pub fn feed_stats(&self) -> FeedStats {
+        self.feed
     }
 
     /// Current counter snapshot (for sampled measurement windows).
@@ -325,251 +339,297 @@ impl TimingCore {
         t
     }
 
-    /// Consumes one committed macro-instruction.
+    /// Consumes one committed macro-instruction — a thin shim over a
+    /// one-element [`UopBatch`], so the per-instruction and batched feeds
+    /// run the exact same pipeline.
     pub fn consume(&mut self, inst: &CrackedInst) {
-        self.insts += 1;
+        let mut one = std::mem::take(&mut self.shim);
+        one.clear();
+        one.push_cracked(inst);
+        self.consume_batch(&one);
+        self.shim = one;
+    }
 
-        // Honour a pending redirect (mispredicted branch before us).
-        if self.next_fetch_earliest > self.fe_cycle {
-            self.stalls.redirect += self.next_fetch_earliest - self.fe_cycle;
-            self.fe_stall_to(self.next_fetch_earliest);
+    /// Consumes a batch of committed instructions, in program order.
+    ///
+    /// One fused pass over the SoA arrays: per instruction it touches the
+    /// packed [`InstEvent`](crate::batch::InstEvent) record once, streams
+    /// the 8-byte static µop descriptors through the scheduler, and reads
+    /// the `mem`/`addr` arrays only where a µop actually accesses memory —
+    /// where the per-instruction feed drags the full 40-byte
+    /// [`UopExec`](watchdog_isa::uop::UopExec) per µop. Memory accesses
+    /// drive [`Hierarchy::access`] inline, in exactly the per-instruction
+    /// path's order: the I-fetch probe stream interleaves with µop
+    /// accesses under branch-predictor control (a correctly-predicted
+    /// taken branch resets the fetch block), and L2/L3 back every access
+    /// class, so *any* batching of the hierarchy call stream would have to
+    /// materialize the same interleaved sequence first — measured to cost
+    /// more than it saves. The repeated-lock-probe fast path lives inside
+    /// the hierarchy instead (see the lock-probe memo), where it serves
+    /// every feed.
+    ///
+    /// Equivalence: each stateful component (hierarchy, predictor, rename)
+    /// sees exactly the call sequence the per-instruction path produces,
+    /// so the resulting [`TimingReport`] is identical for any batching of
+    /// the same stream (the batch-equivalence suites assert this field
+    /// for field).
+    pub fn consume_batch(&mut self, batch: &UopBatch) {
+        let n = batch.len();
+        if n == 0 {
+            return;
         }
+        self.feed.batches += 1;
+        self.feed.insts += n as u64;
+        self.feed.uops += batch.uops() as u64;
 
-        // Instruction fetch: one I-cache access per new 64-byte block.
-        let block = inst.pc / 64;
-        if block != self.last_fetch_block {
-            self.last_fetch_block = block;
-            let lat = self.hier.access(AccessClass::Ifetch, inst.pc, false);
-            let l1 = 3;
-            if lat > l1 {
-                // An I-cache miss starves the frontend for the extra cycles.
-                self.stalls.icache += lat - l1;
-                let stall_to = self.fe_cycle + (lat - l1);
-                self.fe_stall_to(stall_to);
-            }
-        }
+        let insts = batch.insts();
+        let uops = batch.uop_descs();
+        let mems = batch.mems();
+        let addrs = batch.addrs();
 
-        // Fetch bandwidth: 16 bytes per cycle.
-        let len = u64::from(inst.len);
-        if self.fe_bytes + len > self.cfg.fetch_bytes_per_cycle {
-            self.fe_next_cycle();
-        }
-        self.fe_bytes += len;
-
-        // Rename bookkeeping (map-table structure + copy elimination) and
-        // its timing effect: a metadata copy makes the destination ready
-        // exactly when the source is — with no µop executed.
-        self.rename.process(inst);
-        match inst.meta {
-            MetaEffect::None => {}
-            MetaEffect::Copy { dst, src } => {
-                self.reg_ready[LReg::M(dst).index()] = self.reg_ready[LReg::M(src).index()];
-            }
-            MetaEffect::Invalidate(r) | MetaEffect::Global(r) => {
-                self.reg_ready[LReg::M(r).index()] = 0;
-            }
-        }
-
-        let mut branch_complete = 0u64;
         let lock_via_ll = self.hier.lock_cache_enabled();
+        for (i, ev) in insts.iter().enumerate() {
+            self.insts += 1;
 
-        for u in inst.uops.iter() {
-            self.uops += 1;
-            self.uops_by_tag[tag_index(u.uop.tag)] += 1;
+            // Honour a pending redirect (mispredicted branch before us).
+            if self.next_fetch_earliest > self.fe_cycle {
+                self.stalls.redirect += self.next_fetch_earliest - self.fe_cycle;
+                self.fe_stall_to(self.next_fetch_earliest);
+            }
 
-            // Frontend slot (rename/dispatch width).
-            if self.fe_slots >= self.cfg.rename_width {
+            // Instruction fetch: one I-cache access per new 64-byte block.
+            let block = ev.pc / 64;
+            if block != self.last_fetch_block {
+                self.last_fetch_block = block;
+                let lat = self.hier.access(AccessClass::Ifetch, ev.pc, false);
+                let l1 = 3;
+                if lat > l1 {
+                    // An I-cache miss starves the frontend for the extra
+                    // cycles.
+                    self.stalls.icache += lat - l1;
+                    let stall_to = self.fe_cycle + (lat - l1);
+                    self.fe_stall_to(stall_to);
+                }
+            }
+
+            // Fetch bandwidth: 16 bytes per cycle.
+            let len = u64::from(ev.len);
+            if self.fe_bytes + len > self.cfg.fetch_bytes_per_cycle {
                 self.fe_next_cycle();
             }
-            self.fe_slots += 1;
-            let mut disp = self.fe_cycle;
+            self.fe_bytes += len;
 
-            // ROB occupancy.
-            if self.rob.len() >= self.cfg.rob_entries {
-                let head = self.rob.pop_front().expect("rob non-empty");
-                if head > disp {
-                    self.stalls.rob += head - disp;
-                    self.fe_stall_to(head);
-                    disp = head;
+            // Rename bookkeeping (map-table structure + copy elimination)
+            // and its timing effect: a metadata copy makes the destination
+            // ready exactly when the source is — with no µop executed.
+            let r = batch.uop_range(i);
+            for u in &uops[r.clone()] {
+                self.rename.rename_dst(u.dst);
+            }
+            self.rename.apply_meta(&ev.meta);
+            match ev.meta {
+                MetaEffect::None => {}
+                MetaEffect::Copy { dst, src } => {
+                    self.reg_ready[LReg::M(dst).index()] = self.reg_ready[LReg::M(src).index()];
+                }
+                MetaEffect::Invalidate(r) | MetaEffect::Global(r) => {
+                    self.reg_ready[LReg::M(r).index()] = 0;
                 }
             }
-            // IQ occupancy: entries leave at issue.
-            while let Some(&Reverse(t)) = self.iq.peek() {
-                if t <= disp {
-                    self.iq.pop();
-                } else {
-                    break;
+
+            let mut branch_complete = 0u64;
+
+            for ((u, &mem), &addr) in uops[r.clone()].iter().zip(&mems[r.clone()]).zip(&addrs[r]) {
+                self.uops += 1;
+                self.uops_by_tag[tag_index(u.tag)] += 1;
+
+                // Frontend slot (rename/dispatch width).
+                if self.fe_slots >= self.cfg.rename_width {
+                    self.fe_next_cycle();
                 }
-            }
-            if self.iq.len() >= self.cfg.iq_entries {
-                if let Some(Reverse(t)) = self.iq.pop() {
-                    if t > disp {
-                        self.stalls.iq += t - disp;
-                        self.fe_stall_to(t);
-                        disp = t;
+                self.fe_slots += 1;
+                let mut disp = self.fe_cycle;
+
+                // ROB occupancy.
+                if self.rob.len() >= self.cfg.rob_entries {
+                    let head = self.rob.pop_front().expect("rob non-empty");
+                    if head > disp {
+                        self.stalls.rob += head - disp;
+                        self.fe_stall_to(head);
+                        disp = head;
                     }
                 }
-            }
-            // LQ/SQ occupancy: entries leave at commit.
-            let kind = u.uop.kind;
-            let is_load_like = kind.is_mem() && !kind.is_mem_write();
-            let is_store_like = kind.is_mem_write();
-            if is_load_like {
-                while let Some(&Reverse(t)) = self.lq.peek() {
+                // IQ occupancy: entries leave at issue.
+                while let Some(&Reverse(t)) = self.iq.peek() {
                     if t <= disp {
-                        self.lq.pop();
+                        self.iq.pop();
                     } else {
                         break;
                     }
                 }
-                if self.lq.len() >= self.cfg.lq_entries {
-                    if let Some(Reverse(t)) = self.lq.pop() {
+                if self.iq.len() >= self.cfg.iq_entries {
+                    if let Some(Reverse(t)) = self.iq.pop() {
                         if t > disp {
-                            self.stalls.lq += t - disp;
+                            self.stalls.iq += t - disp;
                             self.fe_stall_to(t);
                             disp = t;
                         }
                     }
                 }
-            } else if is_store_like {
-                while let Some(&Reverse(t)) = self.sq.peek() {
-                    if t <= disp {
-                        self.sq.pop();
-                    } else {
-                        break;
+                // LQ/SQ occupancy: entries leave at commit.
+                let kind = u.kind;
+                let (is_load_like, is_store_like) = match mem {
+                    MemOp::None => (false, false),
+                    MemOp::Read(_) => (true, false),
+                    MemOp::Write(_) => (false, true),
+                };
+                if is_load_like {
+                    while let Some(&Reverse(t)) = self.lq.peek() {
+                        if t <= disp {
+                            self.lq.pop();
+                        } else {
+                            break;
+                        }
                     }
-                }
-                if self.sq.len() >= self.cfg.sq_entries {
-                    if let Some(Reverse(t)) = self.sq.pop() {
-                        if t > disp {
-                            self.stalls.sq += t - disp;
-                            self.fe_stall_to(t);
-                            disp = t;
+                    if self.lq.len() >= self.cfg.lq_entries {
+                        if let Some(Reverse(t)) = self.lq.pop() {
+                            if t > disp {
+                                self.stalls.lq += t - disp;
+                                self.fe_stall_to(t);
+                                disp = t;
+                            }
+                        }
+                    }
+                } else if is_store_like {
+                    while let Some(&Reverse(t)) = self.sq.peek() {
+                        if t <= disp {
+                            self.sq.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                    if self.sq.len() >= self.cfg.sq_entries {
+                        if let Some(Reverse(t)) = self.sq.pop() {
+                            if t > disp {
+                                self.stalls.sq += t - disp;
+                                self.fe_stall_to(t);
+                                disp = t;
+                            }
                         }
                     }
                 }
+
+                // Source readiness.
+                let mut ready = 0u64;
+                if let Some(src) = u.src1 {
+                    ready = ready.max(self.reg_ready[src.index()]);
+                }
+                if let Some(src) = u.src2 {
+                    ready = ready.max(self.reg_ready[src.index()]);
+                }
+                let earliest = (disp + self.cfg.dispatch_latency).max(ready);
+
+                // Schedule on a functional unit / cache port.
+                let (issue, complete) = match kind {
+                    UopKind::IntAlu | UopKind::SelectMeta | UopKind::BoundsCheck | UopKind::Nop => {
+                        let st = self.reserve_issue(Fu::IntAlu, earliest, 1);
+                        (st, st + self.cfg.lat_int_alu)
+                    }
+                    UopKind::IntMul => {
+                        let st = self.reserve_issue(Fu::MulDiv, earliest, 1);
+                        (st, st + self.cfg.lat_int_mul)
+                    }
+                    UopKind::IntDiv => {
+                        let st = self.reserve_issue(Fu::MulDiv, earliest, self.cfg.lat_int_div);
+                        (st, st + self.cfg.lat_int_div)
+                    }
+                    UopKind::FpAlu => {
+                        let st = self.reserve_issue(Fu::FpAlu, earliest, 1);
+                        (st, st + self.cfg.lat_fp_alu)
+                    }
+                    UopKind::FpMul => {
+                        let st = self.reserve_issue(Fu::FpMul, earliest, 1);
+                        (st, st + self.cfg.lat_fp_mul)
+                    }
+                    UopKind::FpDiv => {
+                        let st = self.reserve_issue(Fu::FpDiv, earliest, self.cfg.lat_fp_div);
+                        (st, st + self.cfg.lat_fp_div)
+                    }
+                    UopKind::Branch => {
+                        let st = self.reserve_issue(Fu::Branch, earliest, 1);
+                        (st, st + 1)
+                    }
+                    UopKind::Load | UopKind::ShadowLoad => {
+                        let st = self.reserve_issue(Fu::LoadPort, earliest, 1);
+                        let MemOp::Read(class) = mem else {
+                            unreachable!("load µops are classified as reads")
+                        };
+                        let lat = self.hier.access(class, addr, false);
+                        (st, st + self.cfg.lat_agu + lat)
+                    }
+                    UopKind::Store | UopKind::ShadowStore => {
+                        let st = self.reserve_issue(Fu::StorePort, earliest, 1);
+                        let MemOp::Write(class) = mem else {
+                            unreachable!("store µops are classified as writes")
+                        };
+                        let _ = self.hier.access(class, addr, true);
+                        // Stores complete once address+data are staged;
+                        // the write drains from the SQ after commit.
+                        (st, st + 1)
+                    }
+                    UopKind::Check | UopKind::CheckCombined | UopKind::LockLoad => {
+                        let port = if lock_via_ll {
+                            Fu::LlPort
+                        } else {
+                            Fu::LoadPort
+                        };
+                        let st = self.reserve_issue2(port, earliest);
+                        let lat = self.hier.access(AccessClass::Lock, addr, false);
+                        (st, st + self.cfg.lat_agu + lat)
+                    }
+                    UopKind::LockStore => {
+                        let port = if lock_via_ll {
+                            Fu::LlPort
+                        } else {
+                            Fu::StorePort
+                        };
+                        let st = self.reserve_issue2(port, earliest);
+                        let _ = self.hier.access(AccessClass::Lock, addr, true);
+                        (st, st + 1)
+                    }
+                };
+
+                if let Some(d) = u.dst {
+                    self.reg_ready[d.index()] = complete;
+                }
+                if kind == UopKind::Branch {
+                    branch_complete = complete;
+                }
+
+                let commit = self.commit_time(complete);
+                self.rob.push_back(commit);
+                self.iq.push(Reverse(issue));
+                if is_load_like {
+                    self.lq.push(Reverse(commit));
+                } else if is_store_like {
+                    self.sq.push(Reverse(commit));
+                }
             }
 
-            // Source readiness.
-            let mut ready = 0u64;
-            if let Some(s) = u.uop.src1 {
-                ready = ready.max(self.reg_ready[s.index()]);
-            }
-            if let Some(s) = u.uop.src2 {
-                ready = ready.max(self.reg_ready[s.index()]);
-            }
-            let earliest = (disp + self.cfg.dispatch_latency).max(ready);
-
-            // Schedule on a functional unit / cache port.
-            let (issue, complete) = match kind {
-                UopKind::IntAlu | UopKind::SelectMeta | UopKind::BoundsCheck | UopKind::Nop => {
-                    let s = self.reserve_issue(Fu::IntAlu, earliest, 1);
-                    (s, s + self.cfg.lat_int_alu)
+            // Branch prediction: a mispredict redirects the frontend after
+            // the branch resolves; a correctly-predicted taken branch still
+            // ends the current fetch group.
+            if ev.ctrl != CtrlKind::None {
+                let fallthrough = ev.pc + u64::from(ev.len);
+                let correct = self
+                    .bpred
+                    .observe(ev.pc, ev.ctrl, ev.taken, ev.target, fallthrough);
+                if !correct {
+                    self.next_fetch_earliest = branch_complete + self.cfg.redirect_penalty;
+                } else if ev.taken {
+                    self.fe_next_cycle();
+                    self.last_fetch_block = u64::MAX;
                 }
-                UopKind::IntMul => {
-                    let s = self.reserve_issue(Fu::MulDiv, earliest, 1);
-                    (s, s + self.cfg.lat_int_mul)
-                }
-                UopKind::IntDiv => {
-                    let s = self.reserve_issue(Fu::MulDiv, earliest, self.cfg.lat_int_div);
-                    (s, s + self.cfg.lat_int_div)
-                }
-                UopKind::FpAlu => {
-                    let s = self.reserve_issue(Fu::FpAlu, earliest, 1);
-                    (s, s + self.cfg.lat_fp_alu)
-                }
-                UopKind::FpMul => {
-                    let s = self.reserve_issue(Fu::FpMul, earliest, 1);
-                    (s, s + self.cfg.lat_fp_mul)
-                }
-                UopKind::FpDiv => {
-                    let s = self.reserve_issue(Fu::FpDiv, earliest, self.cfg.lat_fp_div);
-                    (s, s + self.cfg.lat_fp_div)
-                }
-                UopKind::Branch => {
-                    let s = self.reserve_issue(Fu::Branch, earliest, 1);
-                    (s, s + 1)
-                }
-                UopKind::Load | UopKind::ShadowLoad => {
-                    let s = self.reserve_issue(Fu::LoadPort, earliest, 1);
-                    let class = if kind == UopKind::ShadowLoad {
-                        AccessClass::Shadow
-                    } else {
-                        AccessClass::Data
-                    };
-                    let addr = u.addr.expect("load µop without address");
-                    let lat = self.hier.access(class, addr, false);
-                    (s, s + self.cfg.lat_agu + lat)
-                }
-                UopKind::Store | UopKind::ShadowStore => {
-                    let s = self.reserve_issue(Fu::StorePort, earliest, 1);
-                    let class = if kind == UopKind::ShadowStore {
-                        AccessClass::Shadow
-                    } else {
-                        AccessClass::Data
-                    };
-                    let addr = u.addr.expect("store µop without address");
-                    let _ = self.hier.access(class, addr, true);
-                    // Stores complete once address+data are staged; the
-                    // write drains from the SQ after commit.
-                    (s, s + 1)
-                }
-                UopKind::Check | UopKind::CheckCombined | UopKind::LockLoad => {
-                    let port = if lock_via_ll {
-                        Fu::LlPort
-                    } else {
-                        Fu::LoadPort
-                    };
-                    let s = self.reserve_issue2(port, earliest);
-                    let addr = u.addr.expect("lock µop without address");
-                    let lat = self.hier.access(AccessClass::Lock, addr, false);
-                    (s, s + self.cfg.lat_agu + lat)
-                }
-                UopKind::LockStore => {
-                    let port = if lock_via_ll {
-                        Fu::LlPort
-                    } else {
-                        Fu::StorePort
-                    };
-                    let s = self.reserve_issue2(port, earliest);
-                    let addr = u.addr.expect("lock µop without address");
-                    let _ = self.hier.access(AccessClass::Lock, addr, true);
-                    (s, s + 1)
-                }
-            };
-
-            if let Some(d) = u.uop.dst {
-                self.reg_ready[d.index()] = complete;
-            }
-            if kind == UopKind::Branch {
-                branch_complete = complete;
-            }
-
-            let commit = self.commit_time(complete);
-            self.rob.push_back(commit);
-            self.iq.push(Reverse(issue));
-            if is_load_like {
-                self.lq.push(Reverse(commit));
-            } else if is_store_like {
-                self.sq.push(Reverse(commit));
-            }
-        }
-
-        // Branch prediction: a mispredict redirects the frontend after the
-        // branch resolves; a correctly-predicted taken branch still ends
-        // the current fetch group.
-        if inst.ctrl != CtrlKind::None {
-            let last = inst.uops.as_slice().last().expect("control inst has µops");
-            let (taken, target) = (last.taken, last.target);
-            let fallthrough = inst.pc + u64::from(inst.len);
-            let correct = self
-                .bpred
-                .observe(inst.pc, inst.ctrl, taken, target, fallthrough);
-            if !correct {
-                self.next_fetch_earliest = branch_complete + self.cfg.redirect_penalty;
-            } else if taken {
-                self.fe_next_cycle();
-                self.last_fetch_block = u64::MAX;
             }
         }
     }

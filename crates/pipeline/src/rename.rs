@@ -160,22 +160,33 @@ impl Rename {
         }
     }
 
-    /// Renames one µop: a µop that writes a metadata register allocates a
-    /// fresh metadata physical register for its destination.
-    pub fn rename_uop(&mut self, uop: &Uop) {
+    /// Renames one µop by its destination operand (all renaming needs):
+    /// a µop that writes a metadata register allocates a fresh metadata
+    /// physical register for it. This is the entry point of the batched
+    /// consume loop, which streams destinations out of the
+    /// [`UopBatch`](crate::batch::UopBatch) SoA arrays.
+    pub fn rename_dst(&mut self, dst: Option<LReg>) {
         self.stats.renamed_uops += 1;
-        if let Some(d) = uop.dst {
+        if let Some(d) = dst {
             if d.is_metadata() && !matches!(d, LReg::StackKey | LReg::StackLock) {
                 self.alloc_meta(d);
             }
         }
     }
 
+    /// Renames one µop — a convenience over [`Rename::rename_dst`] for
+    /// callers holding full [`Uop`]s (tests, diagnostics).
+    pub fn rename_uop(&mut self, uop: &Uop) {
+        self.rename_dst(uop.dst);
+    }
+
     /// Processes a full cracked instruction: µop renaming plus the
-    /// rename-stage metadata effect.
+    /// rename-stage metadata effect — a convenience composition of
+    /// [`Rename::rename_dst`] + [`Rename::apply_meta`], the two primitive
+    /// entry points the timing core's consume loop drives directly.
     pub fn process(&mut self, inst: &CrackedInst) {
         for u in inst.uops.iter() {
-            self.rename_uop(&u.uop);
+            self.rename_dst(u.uop.dst);
         }
         self.apply_meta(&inst.meta);
     }

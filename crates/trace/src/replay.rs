@@ -21,7 +21,7 @@ use watchdog_isa::crack_cache::CrackCache;
 use watchdog_isa::insn::Inst;
 use watchdog_isa::Program;
 use watchdog_mem::HierarchyConfig;
-use watchdog_pipeline::{CoreConfig, TimingCore};
+use watchdog_pipeline::{CoreConfig, FeedStats, TimingCore, UopBatch};
 
 use crate::format::{program_fingerprint, Trace, TraceError};
 use crate::record::{F_BRANCH, F_FOLDABLE, F_FOLDED, F_PTR, F_SEQ, F_TAKEN};
@@ -39,6 +39,13 @@ pub struct ReplayConfig {
     pub hierarchy: HierarchyConfig,
     /// Serve static crack expansions from the per-PC cache.
     pub crack_cache: bool,
+    /// Fill [`UopBatch`] windows straight from the decoded events and
+    /// drain them with
+    /// [`TimingCore::consume_batch`](watchdog_pipeline::TimingCore::consume_batch)
+    /// (no per-instruction `CrackedInst` assembly at all). On by default;
+    /// the per-instruction path produces a field-identical report and only
+    /// remains as the comparison baseline.
+    pub batch: bool,
 }
 
 impl Default for ReplayConfig {
@@ -47,6 +54,7 @@ impl Default for ReplayConfig {
             core: CoreConfig::sandy_bridge(),
             hierarchy: HierarchyConfig::default(),
             crack_cache: true,
+            batch: true,
         }
     }
 }
@@ -69,8 +77,20 @@ impl ReplayConfig {
             core: cfg.core,
             hierarchy: cfg.hierarchy,
             crack_cache: cfg.crack_cache,
+            batch: cfg.batch,
         }
     }
+}
+
+/// Replay-side feed diagnostics returned by [`replay_with_stats`]:
+/// how the µop stream reached the timing core. Deliberately outside the
+/// [`RunReport`], which must stay field-identical across feeds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplayStats {
+    /// Batch-feed counters of the timing core.
+    pub feed: FeedStats,
+    /// Lock-probe memo short circuits taken by the hierarchy.
+    pub ll_memo_hits: u64,
 }
 
 /// End-to-end equivalence check, shared by the CI `trace selftest`, the
@@ -97,12 +117,24 @@ pub fn verify_replay(program: &Program, sim: &SimConfig) -> Result<(), String> {
         .map_err(|e| label(&format!("record failed: {e}")))?;
     let trace = Trace::from_bytes(&trace.to_bytes())
         .map_err(|e| label(&format!("serialization round-trip failed: {e}")))?;
-    let rep = replay(program, &trace, &ReplayConfig::from_sim(sim))
-        .map_err(|e| label(&format!("replay failed: {e}")))?;
+    let mut cfg = ReplayConfig::from_sim(sim);
+    let rep = replay(program, &trace, &cfg).map_err(|e| label(&format!("replay failed: {e}")))?;
     let (a, b) = (format!("{live:?}"), format!("{rep:?}"));
     if a != b {
         return Err(label(&format!(
             "replay diverges from live\nlive:   {a}\nreplay: {b}"
+        )));
+    }
+    // The two replay feeds — batched SoA fill and per-instruction
+    // assembly — must agree with each other too, so the batch path is
+    // covered by every caller of this recipe (CI selftest included).
+    cfg.batch = !cfg.batch;
+    let alt = replay(program, &trace, &cfg)
+        .map_err(|e| label(&format!("alternate-feed replay failed: {e}")))?;
+    let c = format!("{alt:?}");
+    if b != c {
+        return Err(label(&format!(
+            "batched and per-instruction replay feeds diverge\none: {b}\nother: {c}"
         )));
     }
     Ok(())
@@ -122,6 +154,20 @@ pub fn replay(
     trace: &Trace,
     cfg: &ReplayConfig,
 ) -> Result<RunReport, TraceError> {
+    replay_with_stats(program, trace, cfg).map(|(report, _)| report)
+}
+
+/// [`replay()`] plus the feed diagnostics (batch occupancy, lock-probe
+/// memo hits) that never appear in the report itself.
+///
+/// # Errors
+///
+/// Exactly as [`replay()`].
+pub fn replay_with_stats(
+    program: &Program,
+    trace: &Trace,
+    cfg: &ReplayConfig,
+) -> Result<(RunReport, ReplayStats), TraceError> {
     if trace.program != program.name() || trace.fingerprint != program_fingerprint(program) {
         return Err(TraceError::ProgramMismatch {
             trace: trace.program.clone(),
@@ -139,6 +185,7 @@ pub fn replay(
         .then(|| CrackCache::new(crack_cfg, program.len()));
     let mut core = TimingCore::new(cfg.core, hier);
     let mut cur = CrackedInst::empty();
+    let mut ubatch = UopBatch::new();
     let mut addrs: Vec<u64> = Vec::with_capacity(16);
 
     let events = &trace.events[..];
@@ -214,14 +261,31 @@ pub fn replay(
             mem_addrs: &addrs,
             branch,
         };
-        assemble_cracked(&mut cur, stat, &facts);
-        core.consume(&cur);
+        if cfg.batch {
+            // Fill the SoA batch straight from the decoded event — the
+            // same `push_expansion` the live machine's batched step uses,
+            // with no scratch `CrackedInst` and no architectural
+            // interleaving.
+            ubatch.push_expansion(stat, &facts);
+            if ubatch.len() >= UopBatch::TARGET_INSTS {
+                core.consume_batch(&ubatch);
+                ubatch.clear();
+            }
+        } else {
+            assemble_cracked(&mut cur, stat, &facts);
+            core.consume(&cur);
+        }
     }
     if pos != events.len() {
         return Err(TraceError::Corrupt("trailing bytes in event stream"));
     }
+    core.consume_batch(&ubatch);
 
-    Ok(RunReport {
+    let stats = ReplayStats {
+        feed: core.feed_stats(),
+        ll_memo_hits: core.hierarchy().ll_memo_hits(),
+    };
+    let report = RunReport {
         program: trace.program.clone(),
         mode: mode.label(),
         machine: trace.machine,
@@ -230,5 +294,6 @@ pub fn replay(
         violation: trace.outcome.violation(),
         timing: Some(core.finish()),
         crack_cache: cache.map(|c| c.stats()),
-    })
+    };
+    Ok((report, stats))
 }

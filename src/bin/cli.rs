@@ -312,8 +312,10 @@ fn cmd_trace_info(args: &[String]) {
 
 /// Record→replay→equivalence smoke: one benchmark plus a band of
 /// fuzz-generated programs, each replayed (through a serialization round
-/// trip) and compared field-for-field against the live timed simulation.
-/// Exit code 0 = every comparison identical.
+/// trip, with both the batched and the per-instruction feed) and compared
+/// field-for-field against the live timed simulation. Cases are sharded
+/// across `--jobs`/`WATCHDOG_JOBS` workers. Exit code 0 = every
+/// comparison identical.
 fn cmd_trace_selftest(args: &[String]) {
     let bench_name = flag_value(args, "--bench").unwrap_or_else(|| "mcf".into());
     let scale = scale_arg(args, Scale::Test);
@@ -323,36 +325,47 @@ fn cmd_trace_selftest(args: &[String]) {
             std::process::exit(2);
         })
     });
-    let mut failures = 0usize;
-    // One shared recipe (`verify_replay`): live timed run vs.
-    // record→serialize→deserialize→replay, compared field-for-field — the
-    // same helper the workspace equivalence tests assert with, so the CI
-    // smoke and tier-1 can never check different properties.
-    let mut check = |program: &Program, mode: Mode| {
-        if let Err(e) = verify_replay(program, &SimConfig::timed(mode)) {
-            eprintln!("{e}");
-            failures += 1;
-        }
-    };
+    // One shared recipe (`verify_replay`): live timed run (batched feed)
+    // vs. record→serialize→deserialize→replay under both feeds, compared
+    // field-for-field — the same helper the workspace equivalence tests
+    // assert with, so the CI smoke and tier-1 can never check different
+    // properties.
     let program = build_bench(&bench_name, scale);
-    let mut cases = 0usize;
-    for mode in [Mode::watchdog_conservative(), Mode::watchdog()] {
-        check(&program, mode);
-        cases += 1;
-    }
-    let cfg = watchdog::gen::GenConfig::default();
-    for seed in 0..seeds {
-        let g = watchdog::gen::generate(seed, &cfg);
-        check(&g.program, Mode::watchdog_conservative());
-        cases += 1;
-    }
-    if failures == 0 {
+    let gen_cfg = watchdog::gen::GenConfig::default();
+    let cases: Vec<(Program, Mode)> = [Mode::watchdog_conservative(), Mode::watchdog()]
+        .into_iter()
+        .map(|m| (program.clone(), m))
+        .chain((0..seeds).map(|seed| {
+            (
+                watchdog::gen::generate(seed, &gen_cfg).program,
+                Mode::watchdog_conservative(),
+            )
+        }))
+        .collect();
+    let jobs = jobs_from_args();
+    let failures: Vec<String> = watchdog::bench::parallel_map(cases.len(), jobs, |i| {
+        let (program, mode) = &cases[i];
+        verify_replay(program, &SimConfig::timed(*mode)).err()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    if failures.is_empty() {
         println!(
-            "trace selftest: PASS — {cases} record→replay comparisons identical \
-             ({bench_name} under cons+isa at {scale:?}, {seeds} fuzz seeds under cons)"
+            "trace selftest: PASS — {} record→replay comparisons identical, batched + per-inst \
+             feeds ({bench_name} under cons+isa at {scale:?}, {seeds} fuzz seeds under cons, \
+             {jobs} worker thread(s))",
+            cases.len()
         );
     } else {
-        println!("trace selftest: FAIL — {failures}/{cases} comparisons diverged");
+        for f in &failures {
+            eprintln!("{f}");
+        }
+        println!(
+            "trace selftest: FAIL — {}/{} comparisons diverged",
+            failures.len(),
+            cases.len()
+        );
         std::process::exit(1);
     }
 }

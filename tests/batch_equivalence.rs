@@ -1,0 +1,167 @@
+//! The batched µop-event pipeline's acceptance anchor at workspace scale:
+//! feeding the timing core through [`UopBatch`] windows (the default) must
+//! produce **field-identical** `RunReport`s — cycles, per-tag µop counts,
+//! hierarchy/bpred/rename/stall counters, crack-cache counters, heap,
+//! footprint, violation — to the per-instruction `consume` feed, on every
+//! suite cell and across a band of fuzz-generated programs (violating
+//! payloads included). The replay side is held to the same standard:
+//! direct SoA fill from decoded trace events versus per-instruction
+//! assembly.
+//!
+//! Reports are compared through their `Debug` rendering, which prints
+//! every field of every nested statistic — the strongest practical
+//! byte-identity check (the same discipline as `trace_equivalence.rs`).
+
+use watchdog::bench::parallel_map;
+use watchdog::gen::{generate, GenConfig};
+use watchdog::prelude::*;
+use watchdog::trace::{record, replay, ReplayConfig};
+
+fn jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Live timed simulation, batched vs per-instruction feed. Returns the
+/// divergence description, or `None` when the reports are identical.
+fn check_live(program: &Program, mode: Mode) -> Option<String> {
+    let batched_cfg = SimConfig::timed(mode);
+    let mut per_inst_cfg = batched_cfg.clone();
+    per_inst_cfg.batch = false;
+    assert!(batched_cfg.batch, "batching is the default feed");
+    let run = |cfg: SimConfig| Simulator::new(cfg).run(program);
+    let (a, b) = match (run(batched_cfg), run(per_inst_cfg)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            return Some(format!(
+                "{}/{}: run failed: {e}",
+                program.name(),
+                mode.label()
+            ))
+        }
+    };
+    let (a, b) = (format!("{a:?}"), format!("{b:?}"));
+    (a != b).then(|| {
+        format!(
+            "{}/{}: batched feed diverges from per-inst\nbatched:  {a}\nper-inst: {b}",
+            program.name(),
+            mode.label()
+        )
+    })
+}
+
+/// Trace replay, batched (direct SoA fill) vs per-instruction assembly.
+fn check_replay(program: &Program, mode: Mode) -> Option<String> {
+    let sim = SimConfig::timed(mode);
+    let trace = match record(program, mode, sim.max_insts) {
+        Ok(t) => t,
+        Err(e) => {
+            return Some(format!(
+                "{}/{}: record failed: {e}",
+                program.name(),
+                mode.label()
+            ))
+        }
+    };
+    let mut cfg = ReplayConfig::from_sim(&sim);
+    let run = |cfg: &ReplayConfig| replay(program, &trace, cfg);
+    let a = run(&cfg);
+    cfg.batch = false;
+    let b = run(&cfg);
+    let (a, b) = match (a, b) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            return Some(format!(
+                "{}/{}: replay failed: {e}",
+                program.name(),
+                mode.label()
+            ))
+        }
+    };
+    let (a, b) = (format!("{a:?}"), format!("{b:?}"));
+    (a != b).then(|| {
+        format!(
+            "{}/{}: batched replay diverges from per-inst replay\nbatched:  {a}\nper-inst: {b}",
+            program.name(),
+            mode.label()
+        )
+    })
+}
+
+/// Every (benchmark × mode) cell of the suite grid is feed-invariant,
+/// on the live path and on the replay path.
+#[test]
+fn every_suite_cell_is_feed_invariant() {
+    let modes = [
+        Mode::Baseline,
+        Mode::LocationBased,
+        Mode::watchdog_conservative(),
+        Mode::watchdog(),
+    ];
+    let specs = all_benchmarks();
+    let programs: Vec<Program> = specs.iter().map(|s| s.build(Scale::Test)).collect();
+    let grid: Vec<(usize, usize)> = (0..specs.len())
+        .flat_map(|s| (0..modes.len()).map(move |m| (s, m)))
+        .collect();
+    let failures: Vec<String> = parallel_map(grid.len(), jobs(), |k| {
+        let (si, mi) = grid[k];
+        let mut out = Vec::new();
+        out.extend(check_live(&programs[si], modes[mi]));
+        // Replay-side invariance on the checked modes (the trace format
+        // round-trips the same cells in trace_equivalence.rs; here the
+        // axis under test is the feed).
+        if modes[mi] != Mode::LocationBased {
+            out.extend(check_replay(&programs[si], modes[mi]));
+        }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(
+        failures.is_empty(),
+        "{} suite cell(s) diverged:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// 100 fuzz seeds — violating payloads included, so batches that end at a
+/// detected violation are covered — are feed-invariant under the
+/// conservative mode, with an ISA-assisted prefix.
+#[test]
+fn a_hundred_fuzz_seeds_are_feed_invariant() {
+    let cfg = GenConfig::default();
+    let failures: Vec<String> = parallel_map(100, jobs(), |seed| {
+        let g = generate(seed as u64, &cfg);
+        let mut out = Vec::new();
+        out.extend(check_live(&g.program, Mode::watchdog_conservative()));
+        out.extend(check_live(&g.twin, Mode::watchdog_conservative()));
+        if seed < 25 {
+            out.extend(check_live(&g.program, Mode::watchdog()));
+            out.extend(check_replay(&g.program, Mode::watchdog_conservative()));
+        }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(
+        failures.is_empty(),
+        "{} fuzz cell(s) diverged:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// The sampled regime (§9.1) is feed-invariant too: batch flushes must
+/// align with measurement-window snapshots.
+#[test]
+fn sampled_runs_are_feed_invariant() {
+    let program = benchmark("mcf").expect("registered").build(Scale::Test);
+    let base = SimConfig::sampled(Mode::watchdog_conservative(), Sampling::dense());
+    let batched = Simulator::new(base.clone()).run(&program).unwrap();
+    let mut per_inst_cfg = base;
+    per_inst_cfg.batch = false;
+    let per_inst = Simulator::new(per_inst_cfg).run(&program).unwrap();
+    assert_eq!(format!("{batched:?}"), format!("{per_inst:?}"));
+}

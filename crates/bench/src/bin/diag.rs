@@ -26,14 +26,21 @@ fn main() {
             Some(s) => format!("h={} m={} ({:.1}%)", s.hits, s.misses, s.hit_rate() * 100.0),
             None => "off".into(),
         };
+        // Simulator throughput: how fast the timed model itself runs on
+        // this host (guest instructions retired per host second) and how
+        // many guest cycles each host nanosecond buys.
+        let insts_per_sec = t.insts as f64 / secs.max(1e-9);
+        let cycles_per_host_ns = t.cycles as f64 / (secs.max(1e-9) * 1e9);
         println!(
-            "{:<28} cycles={:<8} uops={:<8} ipc={:.2} stalls rob={} iq={} lq={} sq={} ic={} br={} | l1d m={} ({:.2}%) ll acc={} m={} ({:.2}%, {:.2}/1k insts) shadow={} | crack$ {}",
+            "{:<28} cycles={:<8} uops={:<8} ipc={:.2} stalls rob={} iq={} lq={} sq={} ic={} br={} | l1d m={} ({:.2}%) ll acc={} m={} ({:.2}%, {:.2}/1k insts) shadow={} | crack$ {} | host {:.2} Minsts/s {:.3} cyc/ns",
             mode.label(), t.cycles, t.uops, t.ipc(),
             t.stalls.rob, t.stalls.iq, t.stalls.lq, t.stalls.sq, t.stalls.icache, t.stalls.redirect,
             t.hierarchy.l1d.misses, t.hierarchy.l1d.miss_rate() * 100.0,
             t.hierarchy.ll.accesses, t.hierarchy.ll.misses, t.hierarchy.ll.miss_rate() * 100.0,
             t.hierarchy.ll_mpk(t.insts), t.hierarchy.shadow_accesses,
             cc,
+            insts_per_sec / 1e6,
+            cycles_per_host_ns,
         );
         live.push((mode, r, secs));
     }

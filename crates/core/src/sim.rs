@@ -18,7 +18,7 @@ use watchdog_isa::crack::BoundsUops;
 use watchdog_isa::program::Program;
 use watchdog_mem::HierarchyConfig;
 use watchdog_pipeline::core::Snapshot;
-use watchdog_pipeline::{CoreConfig, TimingCore, UopBatch};
+use watchdog_pipeline::{CoreConfig, HeapSched, SchedModel, ScheduledCore, UopBatch, WheelSched};
 
 use crate::error::SimError;
 use crate::machine::{CheckMode, Machine, MachineConfig, Step};
@@ -231,7 +231,9 @@ pub struct SimConfig {
     pub crack_cache: bool,
     /// Feed the timing core through the batched µop-event pipeline
     /// ([`UopBatch`] windows of [`UopBatch::TARGET_INSTS`] instructions)
-    /// instead of one [`TimingCore::consume`] call per instruction. On by
+    /// instead of one
+    /// [`TimingCore::consume`](watchdog_pipeline::ScheduledCore::consume)
+    /// call per instruction. On by
     /// default; the two feeds produce field-identical reports (asserted by
     /// the batch-equivalence suites), so disabling is only useful to
     /// benchmark the per-instruction path.
@@ -323,6 +325,26 @@ impl Simulator {
     /// memory-safety violations are *not* errors — they are reported in
     /// [`RunReport::violation`].
     pub fn run(&self, program: &Program) -> Result<RunReport, SimError> {
+        self.run_with::<WheelSched>(program)
+    }
+
+    /// [`Simulator::run`] on the heap-scheduled [`ReferenceCore`]
+    /// (`ScheduledCore<HeapSched>`) — the PR 5 timing structures, kept as
+    /// the oracle the wheel-scheduled production core is proven
+    /// report-identical to (equivalence suites, benches). Not for
+    /// production use.
+    ///
+    /// [`ReferenceCore`]: watchdog_pipeline::ReferenceCore
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Simulator::run`].
+    pub fn run_reference(&self, program: &Program) -> Result<RunReport, SimError> {
+        self.run_with::<HeapSched>(program)
+    }
+
+    /// The run loop, generic over the timing core's scheduling model.
+    fn run_with<S: SchedModel>(&self, program: &Program) -> Result<RunReport, SimError> {
         let policy = match self.cfg.mode.pointer_id() {
             Some(PointerId::IsaAssisted) => {
                 PointerPolicy::Profiled(Self::profile(program, self.cfg.max_insts)?)
@@ -351,7 +373,7 @@ impl Simulator {
         let mut core = self
             .cfg
             .timing
-            .then(|| TimingCore::new(self.cfg.core, hier));
+            .then(|| ScheduledCore::<S>::new(self.cfg.core, hier));
         let mut violation = None;
         let mut executed = 0u64;
         // The batched µop-event feed: the machine appends committed
@@ -361,8 +383,8 @@ impl Simulator {
         // timing-transparent), so the flush points below only have to
         // precede snapshots.
         let batching = self.cfg.batch && core.is_some();
-        let mut batch = UopBatch::new();
-        let flush = |core: &mut TimingCore, batch: &mut UopBatch| {
+        let mut batch = UopBatch::with_capacity(UopBatch::TARGET_INSTS);
+        let flush = |core: &mut ScheduledCore<S>, batch: &mut UopBatch| {
             core.consume_batch(batch);
             batch.clear();
         };

@@ -15,7 +15,43 @@
 
 #![forbid(unsafe_code)]
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Command-line options accepted by `harness = false` bench binaries:
+/// positional arguments are substring filters on the full benchmark name
+/// (`group/function`), `--smoke` runs each selected benchmark exactly once
+/// (a compile-and-run check for CI, not a measurement), and any other
+/// dashed flag — notably the `--bench` cargo appends — is ignored, as the
+/// real criterion does.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct Cli {
+    filters: Vec<String>,
+    smoke: bool,
+}
+
+impl Cli {
+    fn parse<I: Iterator<Item = String>>(args: I) -> Cli {
+        let mut cli = Cli::default();
+        for arg in args {
+            if arg == "--smoke" {
+                cli.smoke = true;
+            } else if !arg.starts_with('-') {
+                cli.filters.push(arg);
+            }
+        }
+        cli
+    }
+
+    fn selects(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f))
+    }
+}
+
+fn cli() -> &'static Cli {
+    static CLI: OnceLock<Cli> = OnceLock::new();
+    CLI.get_or_init(|| Cli::parse(std::env::args().skip(1)))
+}
 
 /// Per-iteration throughput annotation (printed, not analysed).
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +65,7 @@ pub enum Throughput {
 /// Target for [`Bencher::iter`] closures.
 pub struct Bencher {
     samples: usize,
+    smoke: bool,
     /// Best observed per-iteration time, filled in by [`Bencher::iter`].
     best_ns: f64,
 }
@@ -36,6 +73,14 @@ pub struct Bencher {
 impl Bencher {
     /// Times `f`, keeping the best of several samples.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            // CI smoke mode: one real iteration, timed but not sampled —
+            // proves the benchmark compiles and runs, at minimal cost.
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.best_ns = t0.elapsed().as_nanos() as f64;
+            return;
+        }
         // Calibrate: grow the batch until one batch takes >= 1ms.
         let mut batch = 1u64;
         loop {
@@ -127,8 +172,12 @@ impl BenchmarkGroup {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, tp: Option<Throughput>, mut f: F) {
+    if !cli().selects(name) {
+        return;
+    }
     let mut b = Bencher {
         samples,
+        smoke: cli().smoke,
         best_ns: f64::NAN,
     };
     f(&mut b);
@@ -191,5 +240,21 @@ mod tests {
     #[test]
     fn group_macro_expands() {
         smoke_group();
+    }
+
+    #[test]
+    fn cli_parses_filters_and_smoke_and_ignores_cargo_flags() {
+        let cli = Cli::parse(
+            ["--bench", "timing_wheel", "--smoke", "consume_batch", "-q"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert!(cli.smoke);
+        assert_eq!(cli.filters, ["timing_wheel", "consume_batch"]);
+        assert!(cli.selects("timing_wheel/mcf_wheel"));
+        assert!(cli.selects("consume_batch/perl_batched"));
+        assert!(!cli.selects("cache/l1_hit"));
+        // No filters selects everything.
+        assert!(Cli::parse(std::iter::empty()).selects("anything/at_all"));
     }
 }

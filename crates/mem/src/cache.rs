@@ -2,6 +2,13 @@
 //!
 //! Timing in the hierarchy is hit/miss-driven; these caches track tags and
 //! recency only (simulating data contents is the job of [`crate::vm`]).
+//!
+//! The lookup path is structured for the host, not the guest: tags,
+//! recency stamps and validity live in separate arrays (the 8 tags of an
+//! 8-way set share one host cache line), and the way match is a
+//! fixed-trip, branch-free mask accumulation — the only data-dependent
+//! branch per lookup is the final hit/miss decision. The LRU victim scan
+//! runs on the miss path only.
 
 /// Geometry of one cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,10 +27,11 @@ impl CacheConfig {
     /// # Panics
     ///
     /// Panics unless `size`, `ways` and `block` are powers of two and
-    /// consistent (at least one set).
+    /// consistent (at least one set, at most 16 ways).
     pub fn new(size: u64, ways: u64, block: u64) -> Self {
         assert!(size.is_power_of_two() && ways.is_power_of_two() && block.is_power_of_two());
         assert!(size >= ways * block, "cache must have at least one set");
+        assert!(ways <= 16, "at most 16 ways (validity masks are u16)");
         CacheConfig { size, ways, block }
     }
 
@@ -55,13 +63,6 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    lru: u64,
-}
-
 /// A set-associative, write-allocate cache with true-LRU replacement.
 #[derive(Debug)]
 pub struct Cache {
@@ -73,7 +74,12 @@ pub struct Cache {
     set_mask: u64,
     tag_shift: u32,
     ways: usize,
-    lines: Vec<Line>,
+    // Line state, struct-of-arrays (indexed `set * ways + way`): one tag
+    // load per way on the match path, recency touched only on hit/install,
+    // validity one mask word per set.
+    tags: Box<[u64]>,
+    lru: Box<[u64]>,
+    valid: Box<[u16]>,
     clock: u64,
     stats: CacheStats,
 }
@@ -90,7 +96,9 @@ impl Cache {
             set_mask: cfg.sets() - 1,
             tag_shift: block_shift + set_bits,
             ways: cfg.ways as usize,
-            lines: vec![Line::default(); n],
+            tags: vec![0; n].into_boxed_slice(),
+            lru: vec![0; n].into_boxed_slice(),
+            valid: vec![0; cfg.sets() as usize].into_boxed_slice(),
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -102,14 +110,26 @@ impl Cache {
     }
 
     #[inline]
-    fn set_range(&self, addr: u64) -> (usize, usize) {
-        let set = ((addr >> self.block_shift) & self.set_mask) as usize;
-        (set * self.ways, set * self.ways + self.ways)
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr >> self.block_shift) & self.set_mask) as usize
     }
 
     #[inline]
     fn tag(&self, addr: u64) -> u64 {
         addr >> self.tag_shift
+    }
+
+    /// Valid ways of `set` whose tag equals `tag`, as a way bitmask.
+    /// Branch-free: the trip count is the (perfectly predicted)
+    /// associativity, the body is compare-and-accumulate.
+    #[inline]
+    fn match_mask(&self, set: usize, tag: u64) -> u16 {
+        let lo = set * self.ways;
+        let mut mask = 0u16;
+        for w in 0..self.ways {
+            mask |= u16::from(self.tags[lo + w] == tag) << w;
+        }
+        mask & self.valid[set]
     }
 
     /// Demand access: returns `true` on hit. On miss the block is installed
@@ -118,15 +138,14 @@ impl Cache {
         self.stats.accesses += 1;
         self.clock += 1;
         let tag = self.tag(addr);
-        let (lo, hi) = self.set_range(addr);
-        for i in lo..hi {
-            if self.lines[i].valid && self.lines[i].tag == tag {
-                self.lines[i].lru = self.clock;
-                return true;
-            }
+        let set = self.set_of(addr);
+        let mask = self.match_mask(set, tag);
+        if mask != 0 {
+            self.lru[set * self.ways + mask.trailing_zeros() as usize] = self.clock;
+            return true;
         }
         self.stats.misses += 1;
-        self.install(lo, hi, tag);
+        self.install(set, tag);
         false
     }
 
@@ -146,35 +165,42 @@ impl Cache {
 
     /// Non-allocating lookup (no stats, no LRU update).
     pub fn probe(&self, addr: u64) -> bool {
-        let tag = self.tag(addr);
-        let (lo, hi) = self.set_range(addr);
-        self.lines[lo..hi].iter().any(|l| l.valid && l.tag == tag)
+        self.match_mask(self.set_of(addr), self.tag(addr)) != 0
     }
 
     /// Installs a block without counting a demand access (prefetch fill).
     pub fn prefetch_fill(&mut self, addr: u64) {
-        if self.probe(addr) {
+        let tag = self.tag(addr);
+        let set = self.set_of(addr);
+        if self.match_mask(set, tag) != 0 {
             return;
         }
         self.clock += 1;
         self.stats.prefetch_fills += 1;
-        let tag = self.tag(addr);
-        let (lo, hi) = self.set_range(addr);
-        self.install(lo, hi, tag);
+        self.install(set, tag);
     }
 
-    fn install(&mut self, lo: usize, hi: usize, tag: u64) {
-        let victim = self.lines[lo..hi]
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
-            .map(|(i, _)| lo + i)
-            .expect("cache set is never empty");
-        self.lines[victim] = Line {
-            tag,
-            valid: true,
-            lru: self.clock,
+    fn install(&mut self, set: usize, tag: u64) {
+        let lo = set * self.ways;
+        let vmask = self.valid[set];
+        let victim = if vmask != u16::MAX >> (16 - self.ways) {
+            // An invalid way exists: lowest-index first, as the AoS
+            // implementation's `min_by_key` with key 0 chose.
+            (!vmask).trailing_zeros() as usize
+        } else {
+            let mut best = 0;
+            let mut best_lru = self.lru[lo];
+            for w in 1..self.ways {
+                let t = self.lru[lo + w];
+                let better = t < best_lru;
+                best = if better { w } else { best };
+                best_lru = if better { t } else { best_lru };
+            }
+            best
         };
+        self.tags[lo + victim] = tag;
+        self.lru[lo + victim] = self.clock;
+        self.valid[set] = vmask | (1 << victim);
     }
 
     /// Counter snapshot.
@@ -255,5 +281,21 @@ mod tests {
         c.access(0x0);
         assert_eq!(c.stats().miss_rate(), 0.5);
         assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn invalid_ways_fill_lowest_index_first() {
+        // 1 set, 4 ways: cold fills must occupy ways 0,1,2,3 in order
+        // (matching the AoS reference), then eviction follows true LRU.
+        let mut c = Cache::new(CacheConfig::new(256, 4, 64));
+        for i in 0..4u64 {
+            c.access(i * 64);
+        }
+        for i in 0..4u64 {
+            assert!(c.probe(i * 64), "block {i} resident after cold fills");
+        }
+        c.access(0); // refresh block 0
+        c.access(4 * 64); // evicts block 1 (LRU)
+        assert!(c.probe(0) && !c.probe(64) && c.probe(4 * 64));
     }
 }

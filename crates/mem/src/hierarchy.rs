@@ -407,7 +407,7 @@ impl Hierarchy {
                     // with tiny test geometries) would out-stamp it, so
                     // the memo is only armed when none did.
                     let mut set_clobbered = false;
-                    for pf in self.l1_pf.on_miss(line) {
+                    for &pf in self.l1_pf.on_miss(line) {
                         let a = pf << self.l1d_block_shift;
                         self.l1d.prefetch_fill(a);
                         let pf_set = (pf & self.l1d_set_mask) as usize;
@@ -433,7 +433,7 @@ impl Hierarchy {
         let mut lat = self.cfg.l2_lat;
         if !self.l2.access(addr) {
             let block = addr / self.cfg.l2.block;
-            for pf in self.l2_pf.on_miss(block) {
+            for &pf in self.l2_pf.on_miss(block) {
                 let a = pf * self.cfg.l2.block;
                 self.l2.prefetch_fill(a);
                 self.l3.prefetch_fill(a);
@@ -631,7 +631,7 @@ mod tests {
             if !ll.access(addr) {
                 want += cfg.l2_lat;
                 if !l2.access(addr) {
-                    for p in pf.on_miss(addr / cfg.l2.block) {
+                    for &p in pf.on_miss(addr / cfg.l2.block) {
                         l2.prefetch_fill(p * cfg.l2.block);
                         l3.prefetch_fill(p * cfg.l2.block);
                     }
@@ -698,7 +698,7 @@ mod tests {
             if !l1d.access(addr) {
                 want += cfg.l2_lat;
                 if !l2.access(addr) {
-                    for p in l2_pf.on_miss(addr / cfg.l2.block) {
+                    for &p in l2_pf.on_miss(addr / cfg.l2.block) {
                         l2.prefetch_fill(p * cfg.l2.block);
                         l3.prefetch_fill(p * cfg.l2.block);
                     }
@@ -707,7 +707,7 @@ mod tests {
                         want += cfg.mem_lat;
                     }
                 }
-                for p in l1_pf.on_miss(addr / cfg.l1d.block) {
+                for &p in l1_pf.on_miss(addr / cfg.l1d.block) {
                     l1d.prefetch_fill(p * cfg.l1d.block);
                     l2.prefetch_fill(p * cfg.l1d.block);
                     l3.prefetch_fill(p * cfg.l1d.block);

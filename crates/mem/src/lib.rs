@@ -28,4 +28,5 @@ pub mod vm;
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use hierarchy::{AccessClass, AccessReq, Hierarchy, HierarchyConfig, HierarchyStats};
 pub use shadow::{MetaRecord, ShadowSpace};
+pub use tlb::{ScanTlb, Tlb};
 pub use vm::{Footprint, GuestMem};

@@ -7,12 +7,18 @@
 //! `degree` blocks in stride order.
 
 /// A multi-stream block prefetcher.
+///
+/// Everything is sized at construction: the stream table and the reused
+/// prefetch output buffer (`degree` entries). [`StreamPrefetcher::on_miss`]
+/// hands back a slice of that buffer, so the miss path — hot under
+/// cache-hostile workloads — performs no heap allocation.
 #[derive(Debug)]
 pub struct StreamPrefetcher {
     streams: Vec<Stream>,
     max_streams: usize,
     degree: u64,
     issued: u64,
+    out: Vec<u64>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -28,19 +34,24 @@ impl StreamPrefetcher {
     /// `degree` blocks ahead.
     pub fn new(max_streams: usize, degree: u64) -> Self {
         StreamPrefetcher {
-            streams: Vec::new(),
+            streams: Vec::with_capacity(max_streams),
             max_streams,
             degree,
             issued: 0,
+            out: Vec::with_capacity(degree as usize),
         }
     }
 
     /// Observes a demand miss on `block` (a block *index*, not a byte
-    /// address) and returns the block indices to prefetch.
-    pub fn on_miss(&mut self, block: u64) -> Vec<u64> {
+    /// address) and returns the block indices to prefetch. The slice
+    /// borrows the prefetcher's scratch buffer and is valid until the next
+    /// `on_miss` call.
+    pub fn on_miss(&mut self, block: u64) -> &[u64] {
         self.issued += 1;
         let clock = self.issued;
+        self.out.clear();
         // Try to extend an existing stream.
+        let mut extended = false;
         for s in &mut self.streams {
             let stride = block as i64 - s.last_block as i64;
             if stride != 0 && stride.abs() <= 2 && (s.confidence == 0 || stride == s.stride) {
@@ -51,34 +62,37 @@ impl StreamPrefetcher {
                     s.confidence += 1;
                 }
                 if s.confidence >= 2 {
-                    return (1..=self.degree)
-                        .filter_map(|i| {
-                            let b = block as i64 + stride * i as i64;
-                            u64::try_from(b).ok()
-                        })
-                        .collect();
+                    for i in 1..=self.degree {
+                        let b = block as i64 + stride * i as i64;
+                        if let Ok(b) = u64::try_from(b) {
+                            self.out.push(b);
+                        }
+                    }
                 }
-                return Vec::new();
+                extended = true;
+                break;
             }
         }
-        // Allocate a new stream.
-        if self.streams.len() == self.max_streams {
-            let victim = self
-                .streams
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, s)| s.lru)
-                .map(|(i, _)| i)
-                .expect("non-empty");
-            self.streams.swap_remove(victim);
+        if !extended {
+            // Allocate a new stream.
+            if self.streams.len() == self.max_streams {
+                let victim = self
+                    .streams
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.lru)
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                self.streams.swap_remove(victim);
+            }
+            self.streams.push(Stream {
+                last_block: block,
+                stride: 0,
+                confidence: 0,
+                lru: clock,
+            });
         }
-        self.streams.push(Stream {
-            last_block: block,
-            stride: 0,
-            confidence: 0,
-            lru: clock,
-        });
-        Vec::new()
+        &self.out
     }
 }
 

@@ -137,6 +137,20 @@ impl UopBatch {
         Self::default()
     }
 
+    /// An empty batch preallocated for `insts` instructions of worst-case
+    /// µop expansion ([`MAX_UOPS`](watchdog_isa::uop::MAX_UOPS) plus the
+    /// location-check insertion), so steady-state fills never grow the
+    /// arrays — part of the timed loop's zero-allocation discipline.
+    pub fn with_capacity(insts: usize) -> Self {
+        let uops = insts * (watchdog_isa::uop::MAX_UOPS + 1);
+        UopBatch {
+            inst: Vec::with_capacity(insts),
+            uop: Vec::with_capacity(uops),
+            mem: Vec::with_capacity(uops),
+            addr: Vec::with_capacity(uops),
+        }
+    }
+
     /// Drops all staged instructions (capacity is retained).
     pub fn clear(&mut self) {
         self.inst.clear();

@@ -66,7 +66,7 @@ impl Predictor {
             base: [1; BASE_ENTRIES], // weakly not-taken
             tagged: [[TaggedEntry::default(); TAGGED_ENTRIES]; 2],
             ghr: 0,
-            ras: Vec::new(),
+            ras: Vec::with_capacity(ras_entries),
             ras_cap: ras_entries,
             stats: BpredStats::default(),
         }

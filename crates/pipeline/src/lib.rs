@@ -20,6 +20,10 @@
 //!   interval simulation) reproduces the IPC, port-contention and
 //!   window-pressure effects that Figures 7–11 measure, at a fraction of
 //!   the cost of a cycle-by-cycle pipeline.
+//! * [`wheel`] — the calendar-queue scheduling structures behind the hot
+//!   loop: release-time rings, a circular timing wheel, rotating-cursor FU
+//!   pools, and the [`wheel::SchedModel`] trait that keeps the PR 5
+//!   heap/scan structures alive as a bit-for-bit reference oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,9 +33,11 @@ pub mod bpred;
 pub mod config;
 pub mod core;
 pub mod rename;
+pub mod wheel;
 
-pub use crate::core::{TimingCore, TimingReport};
+pub use crate::core::{Fu, ReferenceCore, ScheduledCore, TimingCore, TimingReport, NUM_FUS};
 pub use batch::{FeedStats, MemOp, UopBatch};
 pub use bpred::Predictor;
 pub use config::CoreConfig;
 pub use rename::{Rename, RenameConfig, RenameStats};
+pub use wheel::{HeapSched, SchedModel, WheelSched};

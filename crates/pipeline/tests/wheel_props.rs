@@ -1,0 +1,122 @@
+//! Property tests pinning the calendar-queue structures to their PR 5
+//! heap/scan references on adversarial operation streams: wheel
+//! wrap-around at the horizon boundary, overflow beyond it, drain jumps
+//! past everything, and release times near `u64::MAX`.
+
+use proptest::prelude::*;
+use watchdog_pipeline::wheel::{
+    CalendarWheel, CursorPools, FifoQueue, FuPools, HeapQueue, ReleaseRing, ScanPools, WindowQueue,
+    WHEEL_SLOTS,
+};
+use watchdog_pipeline::NUM_FUS;
+
+/// Drives one operation stream through a queue and its reference under
+/// the [`WindowQueue`] contract (pushes `>=` the largest drain bound,
+/// occupancy capped by popping first), comparing every observable.
+///
+/// `sel % 3` picks the operation; `a` parameterizes it. `skews` maps the
+/// push parameter to an offset above the current bound — the caller
+/// chooses skews that stress wrap-around (±1 around [`WHEEL_SLOTS`]) or
+/// overflow (far beyond it).
+fn lockstep<Q: WindowQueue, R: WindowQueue>(
+    start: u64,
+    cap: usize,
+    ops: &[(u8, u64)],
+    skews: &[u64],
+    monotone: bool,
+) -> Result<(), TestCaseError> {
+    let mut q = Q::with_capacity(cap);
+    let mut r = R::with_capacity(cap);
+    let mut bound = start;
+    let mut last_push = start;
+    q.drain_le(bound);
+    r.drain_le(bound);
+    for (i, &(sel, a)) in ops.iter().enumerate() {
+        match sel % 3 {
+            0 => {
+                if q.len() >= cap {
+                    prop_assert_eq!(q.pop_min(), r.pop_min(), "forced pop at op {}", i);
+                }
+                let mut t = bound.saturating_add(skews[(a % skews.len() as u64) as usize]);
+                if monotone {
+                    // The ROB/LQ/SQ regime: commit times never decrease.
+                    t = t.max(last_push);
+                }
+                last_push = t;
+                q.push(t);
+                r.push(t);
+            }
+            1 => {
+                prop_assert_eq!(q.pop_min(), r.pop_min(), "pop at op {}", i);
+            }
+            _ => {
+                bound = bound.saturating_add(a % (2 * WHEEL_SLOTS as u64));
+                q.drain_le(bound);
+                r.drain_le(bound);
+            }
+        }
+        prop_assert_eq!(q.len(), r.len(), "len after op {}", i);
+    }
+    while q.len() > 0 {
+        prop_assert_eq!(q.pop_min(), r.pop_min(), "final drain");
+    }
+    prop_assert_eq!(r.pop_min(), None);
+    Ok(())
+}
+
+proptest! {
+    /// The calendar wheel matches the binary heap on unordered streams
+    /// whose skews straddle the horizon boundary (in-slot, last-slot,
+    /// first-wrapped-slot, deep overflow).
+    #[test]
+    fn wheel_matches_heap_across_wrap_and_overflow(
+        start in prop_oneof![Just(0u64), 0u64..10_000, Just(u64::MAX - 9000)],
+        cap in 1usize..54,
+        ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..300),
+    ) {
+        let w = WHEEL_SLOTS as u64;
+        let skews = [0, 1, 2, 63, 64, w - 1, w, w + 1, 3 * w, 10 * w];
+        lockstep::<CalendarWheel, HeapQueue>(start, cap, &ops, &skews, false)?;
+    }
+
+    /// The release ring matches both PR 5 references (deque and heap) on
+    /// monotone streams — the only streams the ROB/LQ/SQ produce.
+    #[test]
+    fn ring_matches_fifo_and_heap_on_monotone_streams(
+        start in prop_oneof![Just(0u64), Just(u64::MAX - 5000)],
+        cap in 1usize..64,
+        ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..300),
+    ) {
+        let skews = [0, 1, 2, 3, 17];
+        lockstep::<ReleaseRing, FifoQueue>(start, cap, &ops, &skews, true)?;
+        lockstep::<ReleaseRing, HeapQueue>(start, cap, &ops, &skews, true)?;
+    }
+
+    /// Rotating-cursor pools return the same start times as the
+    /// lowest-index scan for any reservation stream, leaving identical
+    /// next-free multisets behind.
+    #[test]
+    fn cursor_pools_match_scan_pools(
+        sizes in proptest::collection::vec(1usize..7, NUM_FUS..NUM_FUS + 1),
+        ops in proptest::collection::vec(
+            (0usize..NUM_FUS, 0u64..2000, 1u64..30), 1..400),
+    ) {
+        let sizes: [usize; NUM_FUS] = sizes.try_into().unwrap();
+        let mut cursor = CursorPools::new(sizes);
+        let mut scan = ScanPools::new(sizes);
+        for (i, &(class, earliest, busy)) in ops.iter().enumerate() {
+            prop_assert_eq!(
+                cursor.reserve(class, earliest, busy),
+                scan.reserve(class, earliest, busy),
+                "reservation {} diverged", i
+            );
+        }
+        for class in 0..NUM_FUS {
+            prop_assert_eq!(
+                cursor.reserve_counts(class).iter().sum::<u64>(),
+                scan.reserve_counts(class).iter().sum::<u64>(),
+                "class {} total utilization", class
+            );
+        }
+    }
+}

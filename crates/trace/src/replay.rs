@@ -21,7 +21,9 @@ use watchdog_isa::crack_cache::CrackCache;
 use watchdog_isa::insn::Inst;
 use watchdog_isa::Program;
 use watchdog_mem::HierarchyConfig;
-use watchdog_pipeline::{CoreConfig, FeedStats, TimingCore, UopBatch};
+use watchdog_pipeline::{
+    CoreConfig, FeedStats, HeapSched, SchedModel, ScheduledCore, UopBatch, WheelSched,
+};
 
 use crate::format::{program_fingerprint, Trace, TraceError};
 use crate::record::{F_BRANCH, F_FOLDABLE, F_FOLDED, F_PTR, F_SEQ, F_TAKEN};
@@ -41,7 +43,7 @@ pub struct ReplayConfig {
     pub crack_cache: bool,
     /// Fill [`UopBatch`] windows straight from the decoded events and
     /// drain them with
-    /// [`TimingCore::consume_batch`](watchdog_pipeline::TimingCore::consume_batch)
+    /// [`TimingCore::consume_batch`](watchdog_pipeline::ScheduledCore::consume_batch)
     /// (no per-instruction `CrackedInst` assembly at all). On by default;
     /// the per-instruction path produces a field-identical report and only
     /// remains as the comparison baseline.
@@ -168,6 +170,31 @@ pub fn replay_with_stats(
     trace: &Trace,
     cfg: &ReplayConfig,
 ) -> Result<(RunReport, ReplayStats), TraceError> {
+    replay_impl::<WheelSched>(program, trace, cfg)
+}
+
+/// [`replay()`] on the heap-scheduled reference core
+/// ([`ReferenceCore`](watchdog_pipeline::ReferenceCore)) — the oracle the
+/// wheel-scheduled replay is proven report-identical to. Not for
+/// production use.
+///
+/// # Errors
+///
+/// Exactly as [`replay()`].
+pub fn replay_reference(
+    program: &Program,
+    trace: &Trace,
+    cfg: &ReplayConfig,
+) -> Result<RunReport, TraceError> {
+    replay_impl::<HeapSched>(program, trace, cfg).map(|(report, _)| report)
+}
+
+/// The replay loop, generic over the timing core's scheduling model.
+fn replay_impl<S: SchedModel>(
+    program: &Program,
+    trace: &Trace,
+    cfg: &ReplayConfig,
+) -> Result<(RunReport, ReplayStats), TraceError> {
     if trace.program != program.name() || trace.fingerprint != program_fingerprint(program) {
         return Err(TraceError::ProgramMismatch {
             trace: trace.program.clone(),
@@ -183,10 +210,10 @@ pub fn replay_with_stats(
     let mut cache = cfg
         .crack_cache
         .then(|| CrackCache::new(crack_cfg, program.len()));
-    let mut core = TimingCore::new(cfg.core, hier);
+    let mut core = ScheduledCore::<S>::new(cfg.core, hier);
     let mut cur = CrackedInst::empty();
-    let mut ubatch = UopBatch::new();
-    let mut addrs: Vec<u64> = Vec::with_capacity(16);
+    let mut ubatch = UopBatch::with_capacity(UopBatch::TARGET_INSTS);
+    let mut addrs: Vec<u64> = Vec::with_capacity(watchdog_isa::uop::MAX_UOPS + 1);
 
     let events = &trace.events[..];
     let mut pos = 0usize;

@@ -1,0 +1,346 @@
+//! The `watchdog-cli campaign` front end: flag parsing with exhaustive
+//! error listings (the `scale_from_args` discipline), the help text, and
+//! the exit-code policy.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use watchdog_workloads::Scale;
+
+use crate::cell::CampaignSpec;
+use crate::coordinator::{run_campaign, CampaignConfig};
+use crate::fault::FaultPlan;
+
+/// Help text for `watchdog-cli campaign --help`.
+pub const CAMPAIGN_HELP: &str = "\
+watchdog-cli campaign — crash-isolated multi-process simulation campaign
+
+usage: watchdog-cli campaign [flags]
+
+The coordinator spawns worker processes (re-exec'd `watchdog-cli worker`),
+feeds them fuzz seeds or (benchmark x mode) cells, and appends every
+result to a crash-safe ledger. Workers that panic, exit, hang or emit
+corrupt frames are killed and respawned; their cells are retried a
+bounded number of times. The completed ledger is byte-identical to a
+serial single-process run's.
+
+flags:
+  --seeds N          fuzz campaign over N seeds (default 1000)
+  --seed-start N     first seed (default 0)
+  --suite            run the (benchmark x mode) suite grid instead of fuzz
+  --scale S          suite input scale: test, small, ref (default small)
+  --jobs N           worker processes (default WATCHDOG_JOBS, then cores)
+  --ledger PATH      ledger file (default campaign.wdlg)
+  --resume           replay the ledger; run only the missing cells
+  --timeout-secs N   per-cell heartbeat timeout (default 30)
+  --retries N        retries per cell after a worker failure (default 2)
+  --fault SPEC       inject worker faults, e.g. panic@3,hang@9! (testing)
+  --quiet            suppress the periodic progress line
+
+exit status: 0 all cells passed; 1 failures recorded or campaign error;
+2 bad usage.
+";
+
+/// Help text for `watchdog-cli worker --help`.
+pub const WORKER_HELP: &str = "\
+watchdog-cli worker — campaign worker process (internal)
+
+Speaks length-prefixed frames over stdin/stdout; spawned by
+`watchdog-cli campaign`. Not intended for interactive use. Honors the
+WATCHDOG_FAULT environment variable for fault-injection testing
+(kind@cell[!], kinds: panic, exit, hang, corrupt, truncate).
+";
+
+/// Parsed `campaign` subcommand flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignCli {
+    /// Fuzz-seed count (`--seeds`).
+    pub seeds: u64,
+    /// First fuzz seed (`--seed-start`).
+    pub seed_start: u64,
+    /// Run the suite grid instead of fuzzing (`--suite`).
+    pub suite: bool,
+    /// Suite scale (`--scale`).
+    pub scale: Scale,
+    /// Worker-process count (`--jobs`, then `WATCHDOG_JOBS`, then cores).
+    pub jobs: usize,
+    /// Ledger path (`--ledger`).
+    pub ledger: PathBuf,
+    /// Resume from the ledger (`--resume`).
+    pub resume: bool,
+    /// Heartbeat timeout in seconds (`--timeout-secs`).
+    pub timeout_secs: u64,
+    /// Retry budget per cell (`--retries`).
+    pub retries: u32,
+    /// Fault-injection spec (`--fault`).
+    pub fault: Option<String>,
+    /// Suppress progress output (`--quiet`).
+    pub quiet: bool,
+}
+
+const VALID_FLAGS: &str = "--seeds, --seed-start, --suite, --scale, --jobs, --ledger, \
+                           --resume, --timeout-secs, --retries, --fault, --quiet";
+
+/// Parses `campaign` flags from `args` (the words after the subcommand).
+///
+/// # Errors
+///
+/// A message naming the bad flag or value and listing the valid
+/// alternatives.
+pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCli, String> {
+    let mut cli = CampaignCli {
+        seeds: 1000,
+        seed_start: 0,
+        suite: false,
+        scale: Scale::Small,
+        jobs: default_jobs(),
+        ledger: PathBuf::from("campaign.wdlg"),
+        resume: false,
+        timeout_secs: 30,
+        retries: 2,
+        fault: None,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--suite" => cli.suite = true,
+            "--resume" => cli.resume = true,
+            "--quiet" => cli.quiet = true,
+            "--seeds" => cli.seeds = uint_value(&mut it, "--seeds")?,
+            "--seed-start" => cli.seed_start = uint_value(&mut it, "--seed-start")?,
+            "--timeout-secs" => {
+                cli.timeout_secs = uint_value(&mut it, "--timeout-secs")?;
+                if cli.timeout_secs == 0 {
+                    return Err("--timeout-secs must be positive".into());
+                }
+            }
+            "--retries" => {
+                cli.retries = u32::try_from(uint_value(&mut it, "--retries")?)
+                    .map_err(|_| "--retries value is out of range".to_string())?;
+            }
+            "--jobs" => {
+                let n = uint_value(&mut it, "--jobs")?;
+                if n == 0 {
+                    return Err("--jobs requires a positive integer".into());
+                }
+                cli.jobs =
+                    usize::try_from(n).map_err(|_| "--jobs value is out of range".to_string())?;
+            }
+            "--ledger" => {
+                cli.ledger = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--ledger requires a value (a file path)".to_string())?,
+                );
+            }
+            "--scale" => {
+                let v = it.next().ok_or_else(|| {
+                    "--scale requires a value: valid values are test, small, ref \
+                         (or reference)"
+                        .to_string()
+                })?;
+                cli.scale = match v.as_str() {
+                    "test" => Scale::Test,
+                    "small" => Scale::Small,
+                    "ref" | "reference" => Scale::Reference,
+                    other => {
+                        return Err(format!(
+                            "unknown scale {other:?}: valid values are test, small, ref \
+                             (or reference)"
+                        ))
+                    }
+                };
+            }
+            "--fault" => {
+                let v = it.next().ok_or_else(|| {
+                    "--fault requires a value (e.g. panic@3 or exit@0,hang@9!)".to_string()
+                })?;
+                // Validate now so the error surfaces at the coordinator,
+                // not inside every worker.
+                FaultPlan::parse(v)?;
+                cli.fault = Some(v.clone());
+            }
+            other => {
+                return Err(format!(
+                    "unknown campaign flag {other:?}: valid flags are {VALID_FLAGS}"
+                ))
+            }
+        }
+    }
+    Ok(cli)
+}
+
+fn uint_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<u64, String> {
+    let v = it
+        .next()
+        .ok_or_else(|| format!("{flag} requires a value (an unsigned integer)"))?;
+    v.parse::<u64>()
+        .map_err(|_| format!("{flag} requires an unsigned integer, got {v:?}"))
+}
+
+/// `--jobs` default: `WATCHDOG_JOBS`, then available cores.
+fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("WATCHDOG_JOBS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Entry point for `watchdog-cli campaign`: parses `args`, runs the
+/// campaign with `worker_exe` as the child binary, prints the summary,
+/// and returns the process exit code (0 all-pass, 1 failures or error,
+/// 2 usage).
+pub fn campaign_main(args: &[String], worker_exe: PathBuf) -> i32 {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{CAMPAIGN_HELP}");
+        return 0;
+    }
+    let cli = match parse_campaign_args(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let spec = if cli.suite {
+        CampaignSpec::suite(cli.scale)
+    } else {
+        let count = match usize::try_from(cli.seeds) {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("error: --seeds value is out of range");
+                return 2;
+            }
+        };
+        CampaignSpec::fuzz(cli.seed_start, count)
+    };
+
+    let mut cfg = CampaignConfig::new(worker_exe);
+    cfg.jobs = cli.jobs;
+    cfg.timeout = Duration::from_secs(cli.timeout_secs);
+    cfg.max_retries = cli.retries;
+    cfg.fault = cli.fault.clone();
+    cfg.progress = !cli.quiet;
+
+    println!(
+        "campaign: {} across {} worker(s), ledger {}",
+        spec.describe(),
+        cfg.jobs,
+        cli.ledger.display()
+    );
+    match run_campaign(&spec, &cfg, &cli.ledger, cli.resume) {
+        Ok(stats) => {
+            let secs = (stats.elapsed_ms as f64 / 1000.0).max(1e-9);
+            println!("  cells     : {}", stats.cells);
+            println!("  resumed   : {}", stats.resumed);
+            println!("  ran       : {}", stats.completed);
+            println!("  retries   : {}", stats.retries);
+            println!("  respawns  : {}", stats.respawns);
+            println!(
+                "  failures  : {} ({} unique)",
+                stats.failures, stats.unique_failures
+            );
+            println!(
+                "  result    : {} in {:.1}s ({:.1} cells/s)",
+                if stats.failures == 0 { "PASS" } else { "FAIL" },
+                secs,
+                f64::from(stats.completed) / secs
+            );
+            i32::from(stats.failures != 0)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<CampaignCli, String> {
+        let args: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        parse_campaign_args(&args)
+    }
+
+    #[test]
+    fn defaults_are_the_documented_ones() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.seeds, 1000);
+        assert_eq!(cli.seed_start, 0);
+        assert!(!cli.suite);
+        assert_eq!(cli.scale, Scale::Small);
+        assert_eq!(cli.ledger, PathBuf::from("campaign.wdlg"));
+        assert!(!cli.resume);
+        assert_eq!(cli.timeout_secs, 30);
+        assert_eq!(cli.retries, 2);
+        assert!(cli.fault.is_none());
+        assert!(!cli.quiet);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let cli = parse(&[
+            "--seeds",
+            "25",
+            "--seed-start",
+            "100",
+            "--jobs",
+            "3",
+            "--ledger",
+            "/tmp/x.wdlg",
+            "--resume",
+            "--timeout-secs",
+            "5",
+            "--retries",
+            "1",
+            "--fault",
+            "panic@3",
+            "--quiet",
+        ])
+        .unwrap();
+        assert_eq!(cli.seeds, 25);
+        assert_eq!(cli.seed_start, 100);
+        assert_eq!(cli.jobs, 3);
+        assert_eq!(cli.ledger, PathBuf::from("/tmp/x.wdlg"));
+        assert!(cli.resume);
+        assert_eq!(cli.timeout_secs, 5);
+        assert_eq!(cli.retries, 1);
+        assert_eq!(cli.fault.as_deref(), Some("panic@3"));
+        assert!(cli.quiet);
+        let cli = parse(&["--suite", "--scale", "test"]).unwrap();
+        assert!(cli.suite);
+        assert_eq!(cli.scale, Scale::Test);
+    }
+
+    #[test]
+    fn unknown_flags_list_the_valid_ones() {
+        let e = parse(&["--seedz", "10"]).unwrap_err();
+        assert!(e.contains("--seeds,"), "{e}");
+        assert!(e.contains("--resume"), "{e}");
+        assert!(e.contains("--ledger"), "{e}");
+    }
+
+    #[test]
+    fn value_errors_follow_the_scale_from_args_style() {
+        let e = parse(&["--scale", "huge"]).unwrap_err();
+        assert!(e.contains("valid values are test, small, ref"), "{e}");
+        let e = parse(&["--scale"]).unwrap_err();
+        assert!(e.contains("requires a value"), "{e}");
+        let e = parse(&["--seeds", "many"]).unwrap_err();
+        assert!(e.contains("unsigned integer"), "{e}");
+        let e = parse(&["--jobs", "0"]).unwrap_err();
+        assert!(e.contains("positive"), "{e}");
+        let e = parse(&["--fault", "boom@1"]).unwrap_err();
+        assert!(e.contains("panic, exit, hang, corrupt, truncate"), "{e}");
+        let e = parse(&["--ledger"]).unwrap_err();
+        assert!(e.contains("file path"), "{e}");
+    }
+}

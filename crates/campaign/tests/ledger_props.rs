@@ -1,0 +1,174 @@
+//! Property tests on ledger parsing: arbitrary record streams round
+//! trip; arbitrary truncation drops exactly the torn record; payload
+//! corruption never mis-parses; duplicate and interleaved-writer records
+//! resolve first-write-wins.
+
+use proptest::prelude::*;
+use watchdog_campaign::cell::CellOutcome;
+use watchdog_campaign::ledger::{
+    canonical_bytes, dedup, parse_ledger, CellRecord, LedgerHeader, LEDGER_VERSION,
+};
+
+fn header(cells: u32) -> LedgerHeader {
+    LedgerHeader {
+        version: LEDGER_VERSION,
+        spec_hash: 0x5eed_5eed_5eed_5eed,
+        probe_fingerprint: 0xf1f1_f1f1_f1f1_f1f1,
+        cells,
+    }
+}
+
+/// Builds a record from generator-drawn raw fields.
+fn record(cell: u32, pass: bool, a: u64, b: u64) -> CellRecord {
+    let outcome = if pass {
+        CellOutcome::Pass {
+            insts: a,
+            digest: b,
+        }
+    } else {
+        CellOutcome::Fail {
+            kind: (a % 256) as u8,
+            pc: b,
+            detail: format!("injected detail {a:x}/{b:x}"),
+        }
+    };
+    CellRecord { cell, outcome }
+}
+
+fn serialize(h: &LedgerHeader, recs: &[CellRecord]) -> Vec<u8> {
+    let mut buf = h.to_bytes();
+    for r in recs {
+        buf.extend_from_slice(&r.to_bytes());
+    }
+    buf
+}
+
+/// Raw record draw: (cell, pass?, two payload words).
+fn raw_records() -> impl Strategy<Value = Vec<(u32, bool, u64, u64)>> {
+    proptest::collection::vec((0u32..64, any::<bool>(), any::<u64>(), any::<u64>()), 0..24)
+}
+
+proptest! {
+    /// Serialization round trips byte-for-byte and record-for-record.
+    #[test]
+    fn streams_round_trip(raw in raw_records()) {
+        let recs: Vec<CellRecord> =
+            raw.iter().map(|&(c, p, a, b)| record(c, p, a, b)).collect();
+        let bytes = serialize(&header(64), &recs);
+        let parsed = parse_ledger(&bytes).unwrap();
+        prop_assert_eq!(&parsed.records, &recs);
+        prop_assert!(!parsed.torn);
+        prop_assert_eq!(parsed.valid_len, bytes.len() as u64);
+    }
+
+    /// Truncating the stream at ANY byte past the header yields exactly
+    /// the whole-record prefix: the torn final record is detected and
+    /// dropped, never mis-parsed into a wrong record.
+    #[test]
+    fn truncated_tails_recover_the_whole_record_prefix(
+        raw in raw_records(),
+        cut_pick in any::<u64>(),
+    ) {
+        let recs: Vec<CellRecord> =
+            raw.iter().map(|&(c, p, a, b)| record(c, p, a, b)).collect();
+        let h = header(64);
+        let bytes = serialize(&h, &recs);
+        let header_len = h.to_bytes().len();
+        let mut boundaries = vec![header_len];
+        for r in &recs {
+            boundaries.push(boundaries.last().unwrap() + r.to_bytes().len());
+        }
+        let cut = header_len + (cut_pick as usize) % (bytes.len() - header_len + 1);
+        let parsed = parse_ledger(&bytes[..cut]).unwrap();
+        let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+        prop_assert_eq!(&parsed.records, &recs[..whole]);
+        prop_assert_eq!(parsed.valid_len as usize, boundaries[whole]);
+        prop_assert_eq!(parsed.torn, cut != boundaries[whole]);
+    }
+
+    /// Flipping any payload byte of any record makes parsing stop at the
+    /// last intact record — corrupted data is dropped, not delivered.
+    #[test]
+    fn payload_corruption_is_never_misparsed(
+        raw in proptest::collection::vec((0u32..64, any::<bool>(), any::<u64>(), any::<u64>()), 1..16),
+        victim_pick in any::<u64>(),
+        byte_pick in any::<u64>(),
+        flip in 1u64..256,
+    ) {
+        let recs: Vec<CellRecord> =
+            raw.iter().map(|&(c, p, a, b)| record(c, p, a, b)).collect();
+        let h = header(64);
+        let mut bytes = serialize(&h, &recs);
+        let header_len = h.to_bytes().len();
+        let mut boundaries = vec![header_len];
+        for r in &recs {
+            boundaries.push(boundaries.last().unwrap() + r.to_bytes().len());
+        }
+        let victim = (victim_pick as usize) % recs.len();
+        // Payload region: skip the marker byte and the length varint,
+        // stop before the checksum varint.
+        let mut payload = Vec::new();
+        watchdog_trace::wire::put_uvarint(&mut payload, u64::from(recs[victim].cell));
+        recs[victim].outcome.put(&mut payload);
+        let mut lenbuf = Vec::new();
+        watchdog_trace::wire::put_uvarint(&mut lenbuf, payload.len() as u64);
+        let payload_off = 1 + lenbuf.len();
+        let target = boundaries[victim] + payload_off + (byte_pick as usize) % payload.len();
+        bytes[target] ^= flip as u8;
+        let parsed = parse_ledger(&bytes).unwrap();
+        prop_assert!(parsed.records.len() <= victim,
+            "corrupt record {victim} must not survive (got {} records)", parsed.records.len());
+        prop_assert_eq!(&parsed.records, &recs[..parsed.records.len()]);
+        prop_assert!(parsed.torn);
+    }
+
+    /// Duplicate cells — whatever the interleaving — resolve to the
+    /// first durable record, and canonical bytes are order-independent.
+    #[test]
+    fn duplicates_and_interleavings_resolve_first_write_wins(
+        raw in proptest::collection::vec((0u32..8, any::<bool>(), any::<u64>(), any::<u64>()), 1..24),
+    ) {
+        let recs: Vec<CellRecord> =
+            raw.iter().map(|&(c, p, a, b)| record(c, p, a, b)).collect();
+        let h = header(8);
+        let parsed = parse_ledger(&serialize(&h, &recs)).unwrap();
+        let done = dedup(&parsed.records);
+        // First-write-wins against a reference fold.
+        let mut expect = std::collections::BTreeMap::new();
+        for r in &recs {
+            expect.entry(r.cell).or_insert_with(|| r.outcome.clone());
+        }
+        prop_assert_eq!(&done, &expect);
+        // Canonical form ignores arrival order entirely.
+        let mut rev = recs.clone();
+        rev.reverse();
+        let done_rev = {
+            let p = parse_ledger(&serialize(&h, &rev)).unwrap();
+            dedup(&p.records)
+        };
+        let mut expect_rev = std::collections::BTreeMap::new();
+        for r in &rev {
+            expect_rev.entry(r.cell).or_insert_with(|| r.outcome.clone());
+        }
+        prop_assert_eq!(&done_rev, &expect_rev);
+        prop_assert!(!canonical_bytes(&h, &done).is_empty());
+    }
+}
+
+/// A canonical ledger re-parses to itself (fixpoint), so comparing
+/// canonical bytes is a sound equality on campaigns.
+#[test]
+fn canonicalization_is_a_fixpoint() {
+    let recs: Vec<CellRecord> = (0..12u32)
+        .rev()
+        .map(|c| record(c, c % 3 != 0, u64::from(c) * 77, u64::from(c) ^ 0xbeef))
+        .collect();
+    let h = header(12);
+    let canon = canonical_bytes(
+        &h,
+        &dedup(&parse_ledger(&serialize(&h, &recs)).unwrap().records),
+    );
+    let reparsed = parse_ledger(&canon).unwrap();
+    let again = canonical_bytes(&reparsed.header, &dedup(&reparsed.records));
+    assert_eq!(canon, again);
+}

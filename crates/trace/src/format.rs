@@ -380,7 +380,11 @@ fn ptr_from_code(b: u8) -> Result<PointerId, TraceError> {
     }
 }
 
-fn put_mode(buf: &mut Vec<u8>, mode: Mode) {
+/// Appends the compact byte encoding of a [`Mode`] (tag byte plus
+/// tag-dependent parameter bytes). Shared with the campaign layer, which
+/// embeds modes in job cells and ledger records under the same encoding
+/// discipline as the trace header.
+pub fn put_mode(buf: &mut Vec<u8>, mode: Mode) {
     match mode {
         Mode::Baseline => buf.push(0),
         Mode::LocationBased => buf.push(1),
@@ -404,7 +408,13 @@ fn put_mode(buf: &mut Vec<u8>, mode: Mode) {
     }
 }
 
-fn get_mode(buf: &[u8], pos: &mut usize) -> Result<Mode, TraceError> {
+/// Reads a [`Mode`] encoded by [`put_mode`] at `*pos`, advancing it.
+///
+/// # Errors
+///
+/// [`TraceError::Truncated`] when the buffer ends mid-encoding;
+/// [`TraceError::Corrupt`] on an unknown tag or parameter byte.
+pub fn get_mode(buf: &[u8], pos: &mut usize) -> Result<Mode, TraceError> {
     match next_byte(buf, pos)? {
         0 => Ok(Mode::Baseline),
         1 => Ok(Mode::LocationBased),

@@ -12,6 +12,9 @@
 //! watchdog-cli trace replay mcf --trace mcf.wdtr --verify
 //! watchdog-cli trace info --trace mcf.wdtr
 //! watchdog-cli trace selftest --seeds 25    # record→replay equivalence smoke
+//! watchdog-cli campaign --seeds 100000      # crash-isolated multi-process fuzz
+//! watchdog-cli campaign --resume            # continue an interrupted campaign
+//! watchdog-cli worker                       # internal: campaign child process
 //! ```
 
 use watchdog::bench::{fuzz_main, jobs_from_args, run_juliet_with_jobs, summarize_juliet};
@@ -63,7 +66,9 @@ fn usage() -> ! {
          watchdog-cli trace record <bench> [--mode <mode>] [--scale <scale>] [-o FILE]\n  \
          watchdog-cli trace replay <bench> --trace FILE [--scale <scale>] [--verify]\n  \
          watchdog-cli trace info --trace FILE\n  \
-         watchdog-cli trace selftest [--bench <bench>] [--scale <scale>] [--seeds N]"
+         watchdog-cli trace selftest [--bench <bench>] [--scale <scale>] [--seeds N]\n  \
+         watchdog-cli campaign [flags]         (see `watchdog-cli campaign --help`)\n  \
+         watchdog-cli worker                   (internal; spawned by campaign)"
     );
     std::process::exit(2);
 }
@@ -408,6 +413,23 @@ fn cmd_fuzz(args: &[String]) {
     }
 }
 
+fn cmd_campaign(args: &[String]) {
+    // Workers are this same binary, re-exec'd as `watchdog-cli worker`.
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("cannot locate own executable to spawn workers: {e}");
+        std::process::exit(1);
+    });
+    std::process::exit(watchdog::campaign::campaign_main(args, exe));
+}
+
+fn cmd_worker(args: &[String]) {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", watchdog::campaign::cli::WORKER_HELP);
+        return;
+    }
+    std::process::exit(watchdog::campaign::worker_entry());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -417,6 +439,8 @@ fn main() {
         Some("juliet") => cmd_juliet(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
+        Some("worker") => cmd_worker(&args[1..]),
         _ => usage(),
     }
 }

@@ -19,8 +19,10 @@
 //! SPEC-lookalike workloads plus the Juliet-style security suite
 //! ([`workloads`]), a seeded program generator with a differential
 //! detection oracle ([`gen`]), commit-stream capture with trace-driven
-//! timing replay for one-pass configuration sweeps ([`trace`]), and the
-//! parallel suite/fuzz/sweep runners (the `bench` re-export).
+//! timing replay for one-pass configuration sweeps ([`trace`]), the
+//! parallel suite/fuzz/sweep runners (the `bench` re-export), and the
+//! crash-isolated multi-process campaign service with its resumable,
+//! crash-safe results ledger ([`campaign`]).
 //!
 //! # Quickstart
 //!
@@ -55,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub use watchdog_bench as bench;
+pub use watchdog_campaign as campaign;
 pub use watchdog_core as core;
 pub use watchdog_gen as gen;
 pub use watchdog_isa as isa;

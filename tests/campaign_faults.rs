@@ -1,0 +1,156 @@
+//! Fault-injection matrix for the campaign service: workers that panic,
+//! hard-exit, hang past the heartbeat timeout, or emit corrupt/truncated
+//! frames — at the first, a middle, and the last cell — must never
+//! change the final ledger. Every campaign here runs real re-exec'd
+//! worker processes and is compared **byte-for-byte** against the
+//! in-process serial reference.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use watchdog::campaign::cell::KIND_RETRIES_EXHAUSTED;
+use watchdog::campaign::{
+    run_campaign, serial_ledger_bytes, CampaignConfig, CampaignSpec, CellOutcome,
+};
+
+const CELLS: usize = 10;
+
+fn worker_exe() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_watchdog-cli"))
+}
+
+fn cfg(fault: &str, timeout: Duration) -> CampaignConfig {
+    let mut cfg = CampaignConfig::new(worker_exe());
+    cfg.jobs = 2;
+    cfg.timeout = timeout;
+    cfg.fault = Some(fault.to_string());
+    cfg
+}
+
+fn ledger_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wdlg-faults-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{tag}.wdlg"))
+}
+
+/// One fault-injected campaign; returns (final file bytes, stats).
+fn run_with_fault(
+    tag: &str,
+    fault: &str,
+    timeout: Duration,
+) -> (Vec<u8>, watchdog::campaign::CampaignStats) {
+    let spec = CampaignSpec::fuzz(0, CELLS);
+    let path = ledger_path(tag);
+    let stats = run_campaign(&spec, &cfg(fault, timeout), &path, false)
+        .unwrap_or_else(|e| panic!("campaign {tag} ({fault}): {e}"));
+    let bytes = std::fs::read(&path).expect("ledger readable");
+    std::fs::remove_file(&path).ok();
+    (bytes, stats)
+}
+
+/// The full matrix: every fault kind at the first, a middle, and the
+/// last cell. Single-shot faults fire on attempt 0 only, so one retry
+/// recovers each cell and the final ledger must be byte-identical to the
+/// undisturbed serial run.
+#[test]
+fn every_fault_kind_at_first_middle_last_leaves_the_ledger_untouched() {
+    let serial = serial_ledger_bytes(&CampaignSpec::fuzz(0, CELLS));
+    for kind in ["panic", "exit", "hang", "corrupt", "truncate"] {
+        for cell in [0, CELLS / 2, CELLS - 1] {
+            // Hung workers are only released by the heartbeat timeout, so
+            // those cases run with a short one; crash-style faults keep a
+            // generous timeout to stay robust on slow machines.
+            let timeout = if kind == "hang" {
+                Duration::from_secs(2)
+            } else {
+                Duration::from_secs(60)
+            };
+            let fault = format!("{kind}@{cell}");
+            let (bytes, stats) = run_with_fault(&format!("{kind}-{cell}"), &fault, timeout);
+            assert_eq!(
+                bytes, serial,
+                "{fault}: final ledger must be byte-identical to the serial run"
+            );
+            assert_eq!(stats.failures, 0, "{fault}: no recorded failures");
+            assert!(
+                stats.retries >= 1,
+                "{fault}: the faulted cell must have been retried"
+            );
+            assert!(
+                stats.retries <= 3,
+                "{fault}: retries must stay bounded, got {}",
+                stats.retries
+            );
+        }
+    }
+}
+
+/// Several simultaneous fault points in one campaign still converge to
+/// the serial ledger.
+#[test]
+fn stacked_faults_in_one_campaign_still_converge() {
+    let serial = serial_ledger_bytes(&CampaignSpec::fuzz(0, CELLS));
+    let (bytes, stats) = run_with_fault(
+        "stacked",
+        "panic@0,exit@3,corrupt@5,truncate@9",
+        Duration::from_secs(60),
+    );
+    assert_eq!(bytes, serial);
+    assert_eq!(stats.failures, 0);
+    assert!(stats.retries >= 4, "all four faulted cells retried");
+    assert!(stats.respawns >= 1, "crashed workers were respawned");
+}
+
+/// A fault that fires on **every** attempt exhausts the retry budget:
+/// the cell is recorded as retries-exhausted rather than looping
+/// forever, and every other cell still completes normally.
+#[test]
+fn persistent_fault_exhausts_retries_and_is_recorded() {
+    let spec = CampaignSpec::fuzz(0, CELLS);
+    let path = ledger_path("persistent");
+    let mut c = cfg("exit@4!", Duration::from_secs(60));
+    c.max_retries = 2;
+    let stats = run_campaign(&spec, &c, &path, false).expect("campaign completes");
+    assert_eq!(stats.failures, 1, "exactly the poisoned cell fails");
+    assert_eq!(stats.retries, 2, "retry budget spent exactly");
+
+    let canon = watchdog::campaign::read_canonical(&path).expect("ledger parses");
+    let parsed = watchdog::campaign::ledger::parse_ledger(&canon).expect("canonical parses");
+    assert_eq!(parsed.records.len(), CELLS);
+    let bad = &parsed.records[4];
+    assert_eq!(bad.cell, 4);
+    match &bad.outcome {
+        CellOutcome::Fail { kind, .. } => assert_eq!(*kind, KIND_RETRIES_EXHAUSTED),
+        other => panic!("cell 4 must be recorded retries-exhausted, got {other:?}"),
+    }
+    // All other cells match the serial reference outcome exactly.
+    let serial_records = watchdog::campaign::run_campaign_serial(&spec);
+    for (i, rec) in parsed.records.iter().enumerate() {
+        if i != 4 {
+            assert_eq!(rec, &serial_records[i], "cell {i} unaffected");
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// A worker hang is reaped by the heartbeat timeout, the worker is
+/// respawned, and the campaign still finishes with the serial ledger.
+/// With a single worker slot the respawn is mandatory — there is no
+/// other worker to drain the queue.
+#[test]
+fn hang_reaping_respawns_the_worker() {
+    let spec = CampaignSpec::fuzz(0, CELLS);
+    let serial = serial_ledger_bytes(&spec);
+    let path = ledger_path("hang-mid");
+    let mut c = cfg("hang@2", Duration::from_secs(2));
+    c.jobs = 1;
+    let stats = run_campaign(&spec, &c, &path, false).expect("campaign completes");
+    let bytes = std::fs::read(&path).expect("ledger readable");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(bytes, serial);
+    assert!(
+        stats.respawns >= 1,
+        "the hung worker was killed and respawned"
+    );
+    assert!(stats.retries >= 1, "the hung cell was retried");
+}

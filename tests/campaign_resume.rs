@@ -1,0 +1,225 @@
+//! Resume semantics: a campaign killed at any ledger prefix — record
+//! boundaries or arbitrary byte-level cuts (proptest-shim generated) —
+//! resumes to a final ledger byte-identical to the uninterrupted one,
+//! and a ledger from a different campaign, build, or format version is
+//! refused outright.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+
+use proptest::{seed_from_name, TestRng};
+use watchdog::campaign::ledger::{parse_ledger, LedgerWriter, LEDGER_VERSION};
+use watchdog::campaign::{
+    run_campaign, serial_ledger_bytes, CampaignConfig, CampaignError, CampaignSpec, LedgerError,
+    LedgerHeader,
+};
+
+const CELLS: usize = 12;
+
+fn worker_exe() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_watchdog-cli"))
+}
+
+fn cfg() -> CampaignConfig {
+    let mut cfg = CampaignConfig::new(worker_exe());
+    cfg.jobs = 2;
+    cfg.timeout = Duration::from_secs(60);
+    cfg
+}
+
+fn temp_ledger(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wdlg-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{tag}.wdlg"))
+}
+
+fn header_for(spec: &CampaignSpec) -> LedgerHeader {
+    LedgerHeader {
+        version: LEDGER_VERSION,
+        spec_hash: spec.spec_hash(),
+        probe_fingerprint: spec.probe_fingerprint(),
+        cells: spec.cells.len() as u32,
+    }
+}
+
+/// Writes `prefix` to a fresh ledger file, resumes a real multi-process
+/// campaign from it, and asserts the final file equals the uninterrupted
+/// serial ledger. Returns the resumed-cell count the campaign reported.
+fn resume_from_prefix(tag: &str, prefix: &[u8], serial: &[u8], spec: &CampaignSpec) -> u32 {
+    let path = temp_ledger(tag);
+    std::fs::write(&path, prefix).expect("write prefix");
+    let stats = run_campaign(spec, &cfg(), &path, true)
+        .unwrap_or_else(|e| panic!("resume from {}-byte prefix: {e}", prefix.len()));
+    let bytes = std::fs::read(&path).expect("ledger readable");
+    assert_eq!(
+        bytes,
+        serial,
+        "resume from a {}-byte prefix must converge to the serial ledger",
+        prefix.len()
+    );
+    assert!(u64::from(stats.resumed + stats.completed) >= spec.cells.len() as u64);
+    std::fs::remove_file(&path).ok();
+    stats.resumed
+}
+
+/// Kill points at every record boundary: 0 records, half, all-but-one,
+/// all (resume is a no-op that still rewrites canonically).
+#[test]
+fn record_boundary_cuts_resume_to_the_serial_ledger() {
+    let spec = CampaignSpec::fuzz(0, CELLS);
+    let serial = serial_ledger_bytes(&spec);
+    let parsed = parse_ledger(&serial).unwrap();
+    let header_len = header_for(&spec).to_bytes().len();
+    let mut boundaries = vec![header_len];
+    for r in &parsed.records {
+        boundaries.push(boundaries.last().unwrap() + r.to_bytes().len());
+    }
+    for keep in [0, CELLS / 2, CELLS - 1, CELLS] {
+        let cut = boundaries[keep];
+        let resumed =
+            resume_from_prefix(&format!("boundary-{keep}"), &serial[..cut], &serial, &spec);
+        assert_eq!(resumed as usize, keep, "exactly the kept records resume");
+    }
+}
+
+/// Byte-level kill points drawn from the proptest shim's deterministic
+/// RNG: a cut mid-record leaves a torn final record, which resume must
+/// truncate and re-run — never mis-parse.
+#[test]
+fn random_byte_cuts_resume_to_the_serial_ledger() {
+    let spec = CampaignSpec::fuzz(0, CELLS);
+    let serial = serial_ledger_bytes(&spec);
+    let header_len = header_for(&spec).to_bytes().len();
+    let mut rng = TestRng::new(seed_from_name(
+        "random_byte_cuts_resume_to_the_serial_ledger",
+    ));
+    for i in 0..6 {
+        let cut = header_len + rng.below((serial.len() - header_len) as u64 + 1) as usize;
+        resume_from_prefix(&format!("byte-{i}"), &serial[..cut], &serial, &spec);
+    }
+}
+
+/// A ledger written by a different campaign (different seed list) is
+/// refused with a spec-hash mismatch, not silently merged.
+#[test]
+fn foreign_spec_hash_is_refused() {
+    let other = CampaignSpec::fuzz(1, CELLS); // shifted seed range
+    let serial_other = serial_ledger_bytes(&other);
+    let path = temp_ledger("foreign-spec");
+    std::fs::write(&path, &serial_other).expect("write");
+    let spec = CampaignSpec::fuzz(0, CELLS);
+    match run_campaign(&spec, &cfg(), &path, true) {
+        Err(CampaignError::Ledger(LedgerError::Mismatch { field, .. })) => {
+            assert_eq!(field, "spec hash")
+        }
+        other => panic!("expected spec-hash refusal, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// A ledger whose program fingerprint disagrees — same cell list, but
+/// written by a different generator or workload build — is refused.
+#[test]
+fn mismatched_program_fingerprint_is_refused() {
+    let spec = CampaignSpec::fuzz(0, CELLS);
+    let mut h = header_for(&spec);
+    h.probe_fingerprint ^= 0xdead_beef;
+    let path = temp_ledger("foreign-fingerprint");
+    drop(LedgerWriter::create(&path, h).expect("create"));
+    match run_campaign(&spec, &cfg(), &path, true) {
+        Err(CampaignError::Ledger(LedgerError::Mismatch { field, .. })) => {
+            assert_eq!(field, "program fingerprint")
+        }
+        other => panic!("expected fingerprint refusal, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// A ledger with the right spec hash but wrong cell count (a corrupted
+/// or hand-edited header) is refused on the cell-count field.
+#[test]
+fn mismatched_cell_count_is_refused() {
+    let spec = CampaignSpec::fuzz(0, CELLS);
+    let mut h = header_for(&spec);
+    h.cells += 1;
+    let path = temp_ledger("foreign-count");
+    drop(LedgerWriter::create(&path, h).expect("create"));
+    match run_campaign(&spec, &cfg(), &path, true) {
+        Err(CampaignError::Ledger(LedgerError::Mismatch { field, .. })) => {
+            assert_eq!(field, "cell count")
+        }
+        other => panic!("expected cell-count refusal, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// An unknown format version is refused before any record is read.
+#[test]
+fn foreign_format_version_is_refused() {
+    let spec = CampaignSpec::fuzz(0, CELLS);
+    let mut bytes = header_for(&spec).to_bytes();
+    bytes[4] = 2; // single-byte version varint
+    let path = temp_ledger("foreign-version");
+    std::fs::write(&path, &bytes).expect("write");
+    match run_campaign(&spec, &cfg(), &path, true) {
+        Err(CampaignError::Ledger(LedgerError::BadVersion(2))) => {}
+        other => panic!("expected version refusal, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// The headline acceptance scenario, end to end through the CLI: a
+/// 1000-seed fuzz campaign with one injected worker crash is killed
+/// mid-run (the whole coordinator process), resumed with `--resume`, and
+/// the final ledger is byte-identical to the serial single-process run.
+#[test]
+fn thousand_seed_campaign_survives_kill_and_resume() {
+    const SEEDS: usize = 1000;
+    let spec = CampaignSpec::fuzz(0, SEEDS);
+    let serial = serial_ledger_bytes(&spec);
+    let path = temp_ledger("acceptance");
+    let path_s = path.to_str().expect("utf-8 temp path");
+
+    // First coordinator: injected worker crash at cell 137, killed
+    // mid-campaign from outside (SIGKILL — no cleanup, the crash-safety
+    // worst case).
+    let mut child = Command::new(worker_exe())
+        .args([
+            "campaign", "--seeds", "1000", "--jobs", "2", "--ledger", path_s, "--quiet", "--fault",
+            "exit@137",
+        ])
+        .spawn()
+        .expect("coordinator spawns");
+    std::thread::sleep(Duration::from_millis(1500));
+    child.kill().expect("kill coordinator");
+    child.wait().expect("reap coordinator");
+
+    // The interrupted ledger must already parse (modulo a torn tail).
+    let interrupted = std::fs::read(&path).expect("ledger exists");
+    let parsed = parse_ledger(&interrupted).expect("interrupted ledger parses");
+    let progress = parsed.records.len();
+
+    // Second coordinator: --resume finishes the job.
+    let out = Command::new(worker_exe())
+        .args([
+            "campaign", "--seeds", "1000", "--jobs", "2", "--ledger", path_s, "--quiet", "--resume",
+        ])
+        .output()
+        .expect("resume runs");
+    assert!(
+        out.status.success(),
+        "resume failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("result    : PASS"), "{stdout}");
+
+    let final_bytes = std::fs::read(&path).expect("final ledger");
+    assert_eq!(
+        final_bytes, serial,
+        "kill+resume ledger must be byte-identical to the serial run \
+         (interrupted at {progress}/{SEEDS} records)"
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -150,6 +150,82 @@ fn trace_record_info_replay_round_trip() {
 }
 
 #[test]
+fn campaign_and_worker_help_texts_print() {
+    let out = stdout_of(&["campaign", "--help"]);
+    for flag in [
+        "--seeds",
+        "--jobs",
+        "--ledger",
+        "--resume",
+        "--fault",
+        "--timeout-secs",
+    ] {
+        assert!(out.contains(flag), "{flag} missing from help:\n{out}");
+    }
+    let out = stdout_of(&["worker", "--help"]);
+    assert!(out.contains("WATCHDOG_FAULT"), "{out}");
+    assert!(out.contains("stdin/stdout"), "{out}");
+}
+
+#[test]
+fn campaign_flag_errors_list_the_valid_alternatives_and_exit_2() {
+    let cases: &[(&[&str], &str)] = &[
+        (&["campaign", "--seedz", "5"], "valid flags are"),
+        (&["campaign", "--scale", "huge"], "test, small, ref"),
+        (&["campaign", "--seeds", "many"], "unsigned integer"),
+        (&["campaign", "--jobs", "0"], "positive"),
+        (
+            &["campaign", "--fault", "boom@1"],
+            "panic, exit, hang, corrupt, truncate",
+        ),
+        (&["campaign", "--ledger"], "requires a value"),
+    ];
+    for (args, needle) in cases {
+        let out = cli(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "{args:?}: {needle:?} not in:\n{err}");
+    }
+}
+
+#[test]
+fn micro_campaign_runs_and_resumes() {
+    let dir = std::env::temp_dir().join(format!("wdlg-cli-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("micro.wdlg");
+    let path = path.to_str().expect("utf-8 temp path");
+
+    let out = stdout_of(&[
+        "campaign", "--seeds", "4", "--jobs", "2", "--ledger", path, "--quiet",
+    ]);
+    assert!(out.contains("result    : PASS"), "{out}");
+    assert!(out.contains("ran       : 4"), "{out}");
+
+    // Resuming a completed campaign schedules nothing and still passes.
+    let out = stdout_of(&[
+        "campaign", "--seeds", "4", "--jobs", "2", "--ledger", path, "--quiet", "--resume",
+    ]);
+    assert!(out.contains("resumed   : 4"), "{out}");
+    assert!(out.contains("ran       : 0"), "{out}");
+    assert!(out.contains("result    : PASS"), "{out}");
+
+    // A worker fed a clean EOF on stdin exits 0 (the shutdown path the
+    // coordinator uses when it closes the pipe).
+    let worker = Command::new(env!("CARGO_BIN_EXE_watchdog-cli"))
+        .arg("worker")
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::piped())
+        .output()
+        .expect("worker spawns");
+    assert!(
+        worker.status.success(),
+        "worker EOF exit: {:?}",
+        worker.status
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn trace_selftest_smoke_passes() {
     let out = stdout_of(&[
         "trace", "selftest", "--bench", "gzip", "--scale", "test", "--seeds", "3",

@@ -3,10 +3,27 @@
 //! events/inst, replay-vs-live speedup) and batched-feed statistics
 //! (batch occupancy, batches/1k insts, per-inst vs batched consume
 //! speedup, lock-probe memo hits) under selected modes.
+//!
+//! Every live-run figure is read back out of the [`MetricsRegistry`]
+//! built by `export_metrics` — the same registry `watchdog-cli run
+//! --json` serializes — so the human diagnostics and the machine
+//! export cannot drift apart.
 use std::time::Instant;
-use watchdog_core::prelude::*;
+use watchdog_core::{export_metrics, prelude::*};
+use watchdog_telemetry::MetricsRegistry;
 use watchdog_trace::{record, replay, replay_with_stats, ReplayConfig};
 use watchdog_workloads::{benchmark, Scale};
+
+/// Counter lookup that treats an absent metric as zero (e.g. `crack.*`
+/// under the baseline mode).
+fn c(reg: &MetricsRegistry, name: &str) -> u64 {
+    reg.counter_value(name).unwrap_or(0)
+}
+
+/// Gauge lookup, zero when absent.
+fn g(reg: &MetricsRegistry, name: &str) -> f64 {
+    reg.gauge_value(name).unwrap_or(0.0)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -18,29 +35,43 @@ fn main() {
         Mode::watchdog_conservative(),
         Mode::watchdog(),
     ] {
-        let t0 = Instant::now();
-        let r = Simulator::new(SimConfig::timed(mode)).run(&p).unwrap();
-        let secs = t0.elapsed().as_secs_f64();
-        let t = r.timing.as_ref().unwrap();
-        let cc = match r.crack_cache {
-            Some(s) => format!("h={} m={} ({:.1}%)", s.hits, s.misses, s.hit_rate() * 100.0),
-            None => "off".into(),
+        let (r, tele) = Simulator::new(SimConfig::timed(mode))
+            .run_instrumented(&p)
+            .unwrap();
+        let secs = tele.host_ns as f64 / 1e9;
+        let reg = export_metrics(&r, Some(&tele));
+        let cc = if reg.counter_value("crack.hits").is_some() {
+            format!(
+                "h={} m={} ({:.1}%)",
+                c(&reg, "crack.hits"),
+                c(&reg, "crack.misses"),
+                g(&reg, "crack.hit_rate") * 100.0
+            )
+        } else {
+            "off".into()
         };
         // Simulator throughput: how fast the timed model itself runs on
         // this host (guest instructions retired per host second) and how
         // many guest cycles each host nanosecond buys.
-        let insts_per_sec = t.insts as f64 / secs.max(1e-9);
-        let cycles_per_host_ns = t.cycles as f64 / (secs.max(1e-9) * 1e9);
+        let insts_per_sec = c(&reg, "timing.insts") as f64 / secs.max(1e-9);
         println!(
-            "{:<28} cycles={:<8} uops={:<8} ipc={:.2} stalls rob={} iq={} lq={} sq={} ic={} br={} | l1d m={} ({:.2}%) ll acc={} m={} ({:.2}%, {:.2}/1k insts) shadow={} | crack$ {} | host {:.2} Minsts/s {:.3} cyc/ns",
-            mode.label(), t.cycles, t.uops, t.ipc(),
-            t.stalls.rob, t.stalls.iq, t.stalls.lq, t.stalls.sq, t.stalls.icache, t.stalls.redirect,
-            t.hierarchy.l1d.misses, t.hierarchy.l1d.miss_rate() * 100.0,
-            t.hierarchy.ll.accesses, t.hierarchy.ll.misses, t.hierarchy.ll.miss_rate() * 100.0,
-            t.hierarchy.ll_mpk(t.insts), t.hierarchy.shadow_accesses,
+            "{:<28} cycles={:<8} uops={:<8} ipc={:.2} stalls rob={} iq={} lq={} sq={} ic={} br={} | l1d m={} ({:.2}%) ll acc={} m={} ({:.2}%, {:.2}/1k insts) shadow={} memo={} | crack$ {} | feed occ={:.1} | host {:.2} Minsts/s {:.3} cyc/ns",
+            mode.label(),
+            c(&reg, "timing.cycles"),
+            c(&reg, "timing.uops"),
+            g(&reg, "timing.ipc"),
+            c(&reg, "stall.rob"), c(&reg, "stall.iq"), c(&reg, "stall.lq"),
+            c(&reg, "stall.sq"), c(&reg, "stall.icache"), c(&reg, "stall.redirect"),
+            c(&reg, "mem.l1d.misses"), g(&reg, "mem.l1d.miss_rate") * 100.0,
+            c(&reg, "mem.ll.accesses"), c(&reg, "mem.ll.misses"),
+            g(&reg, "mem.ll.miss_rate") * 100.0,
+            g(&reg, "mem.ll.mpk"),
+            c(&reg, "mem.access.shadow"),
+            c(&reg, "mem.ll.memo_hits"),
             cc,
+            g(&reg, "feed.occupancy.mean"),
             insts_per_sec / 1e6,
-            cycles_per_host_ns,
+            g(&reg, "host.cycles_per_ns"),
         );
         live.push((mode, r, secs));
     }

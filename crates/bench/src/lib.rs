@@ -1066,3 +1066,4 @@ mod tests {
     }
 }
 pub mod figs;
+pub mod perf;

@@ -1,0 +1,190 @@
+//! Machine-readable perf snapshots: the shared case list behind
+//! `watchdog-cli perf` and the criterion `timing_wheel` /
+//! `consume_batch` groups.
+//!
+//! Both consumers measure the same thing — the calendar-queue timing
+//! core draining a pre-assembled committed µop stream — so the stream
+//! assembly and the feed loops live here once. The criterion benches
+//! wrap them in statistical sampling for interactive use; [`run_perf`]
+//! wraps them in a cheap best-of-N loop and emits
+//! [`BenchRecord`]s under the `watchdog-bench-v1` schema, which is what
+//! CI archives as `BENCH_<rev>.json`.
+
+use std::time::Instant;
+use watchdog_core::machine::{Machine, MachineConfig, Step};
+use watchdog_isa::crack::CrackedInst;
+use watchdog_mem::HierarchyConfig;
+use watchdog_pipeline::{
+    CoreConfig, SchedModel, ScheduledCore, TelemetryConfig, TimingCore, UopBatch,
+};
+use watchdog_telemetry::{BenchRecord, BenchSnapshot};
+use watchdog_workloads::{benchmark, Scale};
+
+/// The workloads every perf snapshot measures: `mcf` is the paper's
+/// pointer-chaser, `perl` the allocation/call-heavy contrast.
+pub const PERF_WORKLOADS: [&str; 2] = ["mcf", "perl"];
+
+/// Runs the functional machine once and returns the committed cracked
+/// stream — the input every timing-core case drains.
+pub fn committed_stream(name: &str, scale: Scale) -> Vec<CrackedInst> {
+    let program = benchmark(name).expect("registered benchmark").build(scale);
+    let mut machine = Machine::new(&program, MachineConfig::watchdog());
+    let mut stream = Vec::new();
+    while let Step::Executed(ci) = machine.step().expect("benchmark executes") {
+        stream.push(ci.expect("µop-emitting machine").clone());
+    }
+    stream
+}
+
+/// Drains `stream` through a fresh `ScheduledCore<S>` with the batched
+/// feed, optionally with the self-profiler attached (the telemetry
+/// overhead gauge), returning final cycles.
+pub fn feed_stream<S: SchedModel>(
+    stream: &[CrackedInst],
+    telemetry: Option<TelemetryConfig>,
+) -> u64 {
+    let mut core = ScheduledCore::<S>::new(CoreConfig::sandy_bridge(), HierarchyConfig::default());
+    if let Some(cfg) = telemetry {
+        core.enable_telemetry(cfg);
+    }
+    let mut batch = UopBatch::with_capacity(UopBatch::TARGET_INSTS);
+    for ci in stream {
+        batch.push_cracked(ci);
+        if batch.len() >= UopBatch::TARGET_INSTS {
+            core.consume_batch(&batch);
+            batch.clear();
+        }
+    }
+    core.consume_batch(&batch);
+    core.finish().cycles
+}
+
+/// Drains `stream` through the per-instruction consume shim (the
+/// `consume_batch/{name}_per_inst` reference point).
+pub fn consume_per_inst(stream: &[CrackedInst]) -> u64 {
+    let mut core = TimingCore::new(CoreConfig::sandy_bridge(), HierarchyConfig::default());
+    for ci in stream {
+        core.consume(ci);
+    }
+    core.finish().cycles
+}
+
+/// Best-of-`samples` wall-clock measurement of one case.
+fn measure(name: &str, elems: u64, samples: u64, mut f: impl FnMut() -> u64) -> BenchRecord {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples.max(1) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let ns = t0.elapsed().as_nanos() as f64;
+        // Per-iteration cost: each sample is one full drain of the stream.
+        if ns < best {
+            best = ns;
+        }
+    }
+    BenchRecord {
+        name: name.into(),
+        ns_per_iter: best,
+        melem_per_s: BenchRecord::rate(elems, best),
+        iterations: samples.max(1),
+    }
+}
+
+/// Measures every perf case whose `group/case` path contains `filter`
+/// (all cases when `filter` is `None`), invoking `progress` per finished
+/// record. The case list mirrors the criterion `timing_wheel` and
+/// `consume_batch` groups, plus a telemetry-enabled wheel variant so the
+/// profiler's overhead is part of every snapshot.
+pub fn run_perf(
+    samples: u64,
+    filter: Option<&str>,
+    mut progress: impl FnMut(&BenchRecord),
+) -> Vec<BenchRecord> {
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let selected = |name: &str| filter.is_none_or(|f| name.contains(f));
+    for name in PERF_WORKLOADS {
+        let stream = committed_stream(name, Scale::Test);
+        let elems = stream.len() as u64;
+        // (case path, elements per iteration, runner); the throughput
+        // denominator is guest instructions, matching the bench groups.
+        type Runner<'a> = Box<dyn FnMut() -> u64 + 'a>;
+        let cases: Vec<(String, Runner<'_>)> = vec![
+            (
+                format!("timing_wheel/{name}_wheel"),
+                Box::new(|| feed_stream::<watchdog_pipeline::WheelSched>(&stream, None)),
+            ),
+            (
+                format!("timing_wheel/{name}_wheel_telemetry"),
+                Box::new(|| {
+                    feed_stream::<watchdog_pipeline::WheelSched>(
+                        &stream,
+                        Some(TelemetryConfig::default()),
+                    )
+                }),
+            ),
+            (
+                format!("timing_wheel/{name}_heap_reference"),
+                Box::new(|| feed_stream::<watchdog_pipeline::HeapSched>(&stream, None)),
+            ),
+            (
+                format!("consume_batch/{name}_per_inst"),
+                Box::new(|| consume_per_inst(&stream)),
+            ),
+            (
+                format!("consume_batch/{name}_batched"),
+                Box::new(|| feed_stream::<watchdog_pipeline::WheelSched>(&stream, None)),
+            ),
+        ];
+        for (case, mut run) in cases {
+            if !selected(&case) {
+                continue;
+            }
+            let rec = measure(&case, elems, samples, &mut run);
+            progress(&rec);
+            records.push(rec);
+        }
+    }
+    records
+}
+
+/// [`run_perf`] packaged as a validated snapshot ready to be written to
+/// `BENCH_<rev>.json`.
+pub fn perf_snapshot(
+    rev: &str,
+    samples: u64,
+    filter: Option<&str>,
+    progress: impl FnMut(&BenchRecord),
+) -> BenchSnapshot {
+    BenchSnapshot {
+        rev: rev.into(),
+        records: run_perf(samples, filter, progress),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wheel_and_batched_feeds_agree_with_per_inst() {
+        let stream = committed_stream("mcf", Scale::Test);
+        assert!(!stream.is_empty());
+        let wheel = feed_stream::<watchdog_pipeline::WheelSched>(&stream, None);
+        let wheel_tele =
+            feed_stream::<watchdog_pipeline::WheelSched>(&stream, Some(TelemetryConfig::default()));
+        let per_inst = consume_per_inst(&stream);
+        assert_eq!(wheel, per_inst, "batched and per-inst feeds agree");
+        assert_eq!(wheel, wheel_tele, "telemetry never changes timing");
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_the_shared_schema() {
+        let snap = perf_snapshot("testrev", 1, Some("mcf_wheel"), |_| {});
+        assert!(snap.record("timing_wheel/mcf_wheel").is_some());
+        assert!(snap.record("timing_wheel/mcf_wheel_telemetry").is_some());
+        let parsed = BenchSnapshot::from_json(&snap.to_json()).expect("self-validates");
+        assert_eq!(parsed, snap);
+        for r in &parsed.records {
+            assert!(r.ns_per_iter > 0.0 && r.melem_per_s > 0.0, "{r:?}");
+        }
+    }
+}

@@ -35,6 +35,8 @@ flags:
   --timeout-secs N   per-cell heartbeat timeout (default 30)
   --retries N        retries per cell after a worker failure (default 2)
   --fault SPEC       inject worker faults, e.g. panic@3,hang@9! (testing)
+  --events PATH      write a JSONL event stream (spawns, reaps, retries,
+                     per-cell fsync times, throughput) to PATH
   --quiet            suppress the periodic progress line
 
 exit status: 0 all cells passed; 1 failures recorded or campaign error;
@@ -74,12 +76,14 @@ pub struct CampaignCli {
     pub retries: u32,
     /// Fault-injection spec (`--fault`).
     pub fault: Option<String>,
+    /// JSONL event-stream path (`--events`).
+    pub events: Option<PathBuf>,
     /// Suppress progress output (`--quiet`).
     pub quiet: bool,
 }
 
 const VALID_FLAGS: &str = "--seeds, --seed-start, --suite, --scale, --jobs, --ledger, \
-                           --resume, --timeout-secs, --retries, --fault, --quiet";
+                           --resume, --timeout-secs, --retries, --fault, --events, --quiet";
 
 /// Parses `campaign` flags from `args` (the words after the subcommand).
 ///
@@ -99,6 +103,7 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCli, String> {
         timeout_secs: 30,
         retries: 2,
         fault: None,
+        events: None,
         quiet: false,
     };
     let mut it = args.iter();
@@ -159,6 +164,12 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCli, String> {
                 // not inside every worker.
                 FaultPlan::parse(v)?;
                 cli.fault = Some(v.clone());
+            }
+            "--events" => {
+                cli.events =
+                    Some(PathBuf::from(it.next().ok_or_else(|| {
+                        "--events requires a value (a file path)".to_string()
+                    })?));
             }
             other => {
                 return Err(format!(
@@ -226,6 +237,7 @@ pub fn campaign_main(args: &[String], worker_exe: PathBuf) -> i32 {
     cfg.timeout = Duration::from_secs(cli.timeout_secs);
     cfg.max_retries = cli.retries;
     cfg.fault = cli.fault.clone();
+    cfg.events = cli.events.clone();
     cfg.progress = !cli.quiet;
 
     println!(
@@ -282,6 +294,7 @@ mod tests {
         assert_eq!(cli.timeout_secs, 30);
         assert_eq!(cli.retries, 2);
         assert!(cli.fault.is_none());
+        assert!(cli.events.is_none());
         assert!(!cli.quiet);
     }
 
@@ -303,6 +316,8 @@ mod tests {
             "1",
             "--fault",
             "panic@3",
+            "--events",
+            "/tmp/x.jsonl",
             "--quiet",
         ])
         .unwrap();
@@ -314,6 +329,7 @@ mod tests {
         assert_eq!(cli.timeout_secs, 5);
         assert_eq!(cli.retries, 1);
         assert_eq!(cli.fault.as_deref(), Some("panic@3"));
+        assert_eq!(cli.events, Some(PathBuf::from("/tmp/x.jsonl")));
         assert!(cli.quiet);
         let cli = parse(&["--suite", "--scale", "test"]).unwrap();
         assert!(cli.suite);

@@ -22,11 +22,13 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use crate::cell::{execute_cell, CampaignSpec, CellOutcome, KIND_RETRIES_EXHAUSTED};
+use crate::events::{f_int, f_num, f_str, EventLog, EVENTS_SCHEMA};
 use crate::fault::FAULT_ENV;
 use crate::frame::{read_frame, write_frame, CoordMsg, FrameError, WorkerMsg, PROTO_VERSION};
 use crate::ledger::{
     canonical_bytes, CellRecord, LedgerError, LedgerHeader, LedgerWriter, LEDGER_VERSION,
 };
+use crate::worker::WORKER_TELEMETRY_ENV;
 
 /// Campaign-level configuration (everything except the cell list).
 #[derive(Debug, Clone)]
@@ -50,6 +52,9 @@ pub struct CampaignConfig {
     pub fault: Option<String>,
     /// Emit a progress line to stderr every ~2 s.
     pub progress: bool,
+    /// JSONL event-stream path (`--events`): the campaign's flight
+    /// recorder. `None` disables it at zero cost.
+    pub events: Option<PathBuf>,
 }
 
 impl CampaignConfig {
@@ -65,6 +70,7 @@ impl CampaignConfig {
             backoff: Duration::from_millis(50),
             fault: None,
             progress: false,
+            events: None,
         }
     }
 }
@@ -209,6 +215,20 @@ pub fn run_campaign(
         elapsed_ms: 0,
     };
 
+    let mut events = match &cfg.events {
+        Some(path) => EventLog::create(path)?,
+        None => EventLog::disabled(),
+    };
+    events.emit(
+        "campaign_start",
+        vec![
+            f_str("schema", EVENTS_SCHEMA),
+            f_int("cells", u64::from(cells)),
+            f_int("resumed", u64::from(resumed)),
+            f_int("jobs", cfg.jobs.max(1) as u64),
+        ],
+    );
+
     let jobs = cfg.jobs.max(1);
     let (tx, rx) = mpsc::channel::<(usize, u64, SlotEvent)>();
     let mut slots: Vec<Slot> = (0..jobs)
@@ -248,8 +268,20 @@ pub fn run_campaign(
                 if cfg.progress {
                     eprintln!("campaign: worker {i} timed out; reaping");
                 }
+                events.emit(
+                    "reap",
+                    vec![f_int("worker", i as u64), f_str("reason", "timeout")],
+                );
                 kill_slot(slot);
-                requeue(slot, &mut pending, &mut stats, cfg, &mut writer, &mut done)?;
+                requeue(
+                    slot,
+                    &mut pending,
+                    &mut stats,
+                    cfg,
+                    &mut writer,
+                    &mut done,
+                    &mut events,
+                )?;
             }
         }
 
@@ -265,8 +297,19 @@ pub fn run_campaign(
                 }
                 match spawn_worker(cfg, i, slot, &tx) {
                     Ok(()) => {
+                        events.emit(
+                            "spawn",
+                            vec![f_int("worker", i as u64), f_int("gen", slot.gen)],
+                        );
                         if slot.gen > 1 {
                             stats.respawns += 1;
+                            events.emit(
+                                "respawn",
+                                vec![
+                                    f_int("worker", i as u64),
+                                    f_int("respawns", u64::from(slot.respawns)),
+                                ],
+                            );
                         }
                     }
                     Err(e) => {
@@ -289,7 +332,7 @@ pub fn run_campaign(
         }
 
         // Dispatch to ready, idle workers.
-        for slot in slots.iter_mut() {
+        for (i, slot) in slots.iter_mut().enumerate() {
             if pending.is_empty() {
                 break;
             }
@@ -309,11 +352,23 @@ pub fn run_campaign(
                 .unwrap_or(false);
             if ok {
                 slot.busy = Some((cell, attempt, Instant::now() + cfg.timeout));
+                events.emit(
+                    "dispatch",
+                    vec![
+                        f_int("worker", i as u64),
+                        f_int("cell", u64::from(cell)),
+                        f_int("attempt", u64::from(attempt)),
+                    ],
+                );
             } else {
                 // The pipe is dead: requeue the same attempt (the worker
                 // never saw it) and let the reaper/respawner handle the
                 // corpse.
                 pending.push_front((cell, attempt));
+                events.emit(
+                    "reap",
+                    vec![f_int("worker", i as u64), f_str("reason", "pipe-closed")],
+                );
                 kill_slot(slot);
             }
         }
@@ -334,12 +389,37 @@ pub fn run_campaign(
                                 )));
                             }
                             slot.ready = true;
+                            events.emit(
+                                "hello",
+                                vec![
+                                    f_int("worker", i as u64),
+                                    f_num(
+                                        "latency_ms",
+                                        slot.spawned_at.elapsed().as_secs_f64() * 1e3,
+                                    ),
+                                ],
+                            );
                         }
                         SlotEvent::Msg(WorkerMsg::Done { cell, outcome }) => {
                             match slot.busy {
-                                Some((busy_cell, _, _)) if busy_cell == cell => {
+                                Some((busy_cell, attempt, _)) if busy_cell == cell => {
                                     slot.busy = None;
-                                    record(cell, outcome, &mut writer, &mut done, &mut stats)?;
+                                    let ok = outcome.failure_key().is_none();
+                                    let fsync =
+                                        record(cell, outcome, &mut writer, &mut done, &mut stats)?;
+                                    events.emit(
+                                        "done",
+                                        vec![
+                                            f_int("worker", i as u64),
+                                            f_int("cell", u64::from(cell)),
+                                            f_int("attempt", u64::from(attempt)),
+                                            (
+                                                "ok".to_string(),
+                                                watchdog_telemetry::JsonValue::Bool(ok),
+                                            ),
+                                            f_num("fsync_ms", fsync.as_secs_f64() * 1e3),
+                                        ],
+                                    );
                                 }
                                 _ => {
                                     // A result for a cell this worker
@@ -351,6 +431,13 @@ pub fn run_campaign(
                                              it doesn't hold; reaping"
                                         );
                                     }
+                                    events.emit(
+                                        "reap",
+                                        vec![
+                                            f_int("worker", i as u64),
+                                            f_str("reason", "misattributed-done"),
+                                        ],
+                                    );
                                     kill_slot(slot);
                                     requeue(
                                         slot,
@@ -359,6 +446,7 @@ pub fn run_campaign(
                                         cfg,
                                         &mut writer,
                                         &mut done,
+                                        &mut events,
                                     )?;
                                 }
                             }
@@ -367,12 +455,36 @@ pub fn run_campaign(
                             if cfg.progress {
                                 eprintln!("campaign: worker {i}: {why}; reaping");
                             }
+                            events.emit(
+                                "reap",
+                                vec![f_int("worker", i as u64), f_str("reason", "bad-frame")],
+                            );
                             kill_slot(slot);
-                            requeue(slot, &mut pending, &mut stats, cfg, &mut writer, &mut done)?;
+                            requeue(
+                                slot,
+                                &mut pending,
+                                &mut stats,
+                                cfg,
+                                &mut writer,
+                                &mut done,
+                                &mut events,
+                            )?;
                         }
                         SlotEvent::Eof => {
+                            events.emit(
+                                "reap",
+                                vec![f_int("worker", i as u64), f_str("reason", "eof")],
+                            );
                             kill_slot(slot);
-                            requeue(slot, &mut pending, &mut stats, cfg, &mut writer, &mut done)?;
+                            requeue(
+                                slot,
+                                &mut pending,
+                                &mut stats,
+                                cfg,
+                                &mut writer,
+                                &mut done,
+                                &mut events,
+                            )?;
                         }
                     }
                 }
@@ -384,9 +496,23 @@ pub fn run_campaign(
             }
         }
 
-        if cfg.progress && last_progress.elapsed() >= progress_every {
+        if (cfg.progress || events.enabled()) && last_progress.elapsed() >= progress_every {
             last_progress = Instant::now();
-            progress_line(&stats, done.len() as u32, &slots, start);
+            let alive = slots.iter().filter(|s| s.child.is_some()).count();
+            let rate = f64::from(stats.completed) / start.elapsed().as_secs_f64().max(1e-9);
+            events.emit(
+                "progress",
+                vec![
+                    f_int("done", done.len() as u64),
+                    f_int("cells", u64::from(cells)),
+                    f_num("cells_per_s", rate),
+                    f_int("workers_alive", alive as u64),
+                    f_int("retries", u64::from(stats.retries)),
+                ],
+            );
+            if cfg.progress {
+                progress_line(&stats, done.len() as u32, &slots, start);
+            }
         }
     };
 
@@ -425,6 +551,21 @@ pub fn run_campaign(
     finish_stats(&mut stats, &done);
     writer.finalize_canonical(&done)?;
     stats.elapsed_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+    events.emit(
+        "campaign_end",
+        vec![
+            f_int("completed", u64::from(stats.completed)),
+            f_int("retries", u64::from(stats.retries)),
+            f_int("respawns", u64::from(stats.respawns)),
+            f_int("failures", u64::from(stats.failures)),
+            f_int("unique_failures", u64::from(stats.unique_failures)),
+            f_int("elapsed_ms", stats.elapsed_ms),
+            f_num(
+                "cells_per_s",
+                f64::from(stats.completed) / (stats.elapsed_ms as f64 / 1e3).max(1e-9),
+            ),
+        ],
+    );
     if cfg.progress {
         eprintln!(
             "campaign: done — {}/{} cells ({} resumed), {} retries, {} respawns, {} failure(s) \
@@ -461,6 +602,13 @@ fn spawn_worker(
         None => {
             cmd.env_remove(FAULT_ENV);
         }
+    }
+    // When the coordinator records a flight log, workers report their
+    // own shutdown summary (cells, execute time) on stderr alongside it.
+    if cfg.events.is_some() {
+        cmd.env(WORKER_TELEMETRY_ENV, "1");
+    } else {
+        cmd.env_remove(WORKER_TELEMETRY_ENV);
     }
     let mut child = cmd.spawn()?;
     let stdin = child.stdin.take().expect("piped stdin");
@@ -523,11 +671,19 @@ fn requeue(
     cfg: &CampaignConfig,
     writer: &mut LedgerWriter,
     done: &mut BTreeMap<u32, CellOutcome>,
+    events: &mut EventLog,
 ) -> Result<(), CampaignError> {
     if let Some((cell, attempt, _)) = slot.busy.take() {
         if attempt < cfg.max_retries {
             stats.retries += 1;
             pending.push_back((cell, attempt + 1));
+            events.emit(
+                "retry",
+                vec![
+                    f_int("cell", u64::from(cell)),
+                    f_int("attempt", u64::from(attempt + 1)),
+                ],
+            );
         } else {
             let outcome = CellOutcome::Fail {
                 kind: KIND_RETRIES_EXHAUSTED,
@@ -535,29 +691,39 @@ fn requeue(
                 detail: format!("retries exhausted after {} attempts", attempt + 1),
             };
             record(cell, outcome, writer, done, stats)?;
+            events.emit(
+                "retries_exhausted",
+                vec![
+                    f_int("cell", u64::from(cell)),
+                    f_int("attempts", u64::from(attempt + 1)),
+                ],
+            );
         }
     }
     Ok(())
 }
 
-/// Makes one cell's outcome durable and counted.
+/// Makes one cell's outcome durable and counted. Returns how long the
+/// fsync'd ledger append took (the `fsync_ms` field of `done` events).
 fn record(
     cell: u32,
     outcome: CellOutcome,
     writer: &mut LedgerWriter,
     done: &mut BTreeMap<u32, CellOutcome>,
     stats: &mut CampaignStats,
-) -> Result<(), CampaignError> {
+) -> Result<Duration, CampaignError> {
     if done.contains_key(&cell) {
-        return Ok(()); // late duplicate from a raced retry
+        return Ok(Duration::ZERO); // late duplicate from a raced retry
     }
+    let t0 = Instant::now();
     writer.append(&CellRecord {
         cell,
         outcome: outcome.clone(),
     })?;
+    let fsync = t0.elapsed();
     done.insert(cell, outcome);
     stats.completed += 1;
-    Ok(())
+    Ok(fsync)
 }
 
 /// Fills the failure counters from the final outcome map.

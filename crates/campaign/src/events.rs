@@ -1,0 +1,156 @@
+//! Machine-readable campaign event stream: one JSON object per line
+//! (JSONL), written by the coordinator as the campaign runs.
+//!
+//! The ledger is the campaign's *result* — canonical, byte-identical to
+//! a serial run. The event stream is its *flight recorder*: worker
+//! spawns and reaps, Hello latency, dispatches, per-cell completions
+//! with the ledger fsync time, retries, respawns and periodic
+//! throughput. Lines are flushed as they are written, so a crashed or
+//! killed campaign still leaves a readable record up to the moment it
+//! died.
+//!
+//! Every line carries `t_ms` (milliseconds since the campaign started)
+//! and `event`; the first line is always `campaign_start` with the
+//! [`EVENTS_SCHEMA`] tag. The fault-injection suite asserts that each
+//! injected `WATCHDOG_FAULT` shows up here as its reap/retry/respawn
+//! trail.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::time::Instant;
+
+use watchdog_telemetry::JsonValue;
+
+/// Schema tag carried by the `campaign_start` event.
+pub const EVENTS_SCHEMA: &str = "watchdog-campaign-events-v1";
+
+/// A JSONL event sink; a disabled log swallows events for free so call
+/// sites stay unconditional.
+#[derive(Debug)]
+pub struct EventLog {
+    out: Option<BufWriter<File>>,
+    start: Instant,
+}
+
+impl EventLog {
+    /// A log that drops everything (no `--events` flag).
+    pub fn disabled() -> EventLog {
+        EventLog {
+            out: None,
+            start: Instant::now(),
+        }
+    }
+
+    /// Creates (truncating) the JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// The underlying file-creation error.
+    pub fn create(path: &Path) -> io::Result<EventLog> {
+        Ok(EventLog {
+            out: Some(BufWriter::new(File::create(path)?)),
+            start: Instant::now(),
+        })
+    }
+
+    /// Whether events are actually being written.
+    pub fn enabled(&self) -> bool {
+        self.out.is_some()
+    }
+
+    /// Appends one event line: `t_ms`, `event`, then `fields` in the
+    /// given order. Write failures are deliberately swallowed — the
+    /// flight recorder must never abort the campaign it records.
+    pub fn emit(&mut self, event: &str, fields: Vec<(String, JsonValue)>) {
+        let Some(out) = self.out.as_mut() else { return };
+        let mut obj = Vec::with_capacity(fields.len() + 2);
+        obj.push((
+            "t_ms".to_string(),
+            JsonValue::Num(self.start.elapsed().as_secs_f64() * 1e3),
+        ));
+        obj.push(("event".to_string(), JsonValue::str(event)));
+        obj.extend(fields);
+        let line = JsonValue::Obj(obj).render();
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+/// Field constructor for counters and ids.
+pub fn f_int(name: &str, v: u64) -> (String, JsonValue) {
+    (name.to_string(), JsonValue::Int(v))
+}
+
+/// Field constructor for measurements (latency, rates).
+pub fn f_num(name: &str, v: f64) -> (String, JsonValue) {
+    (name.to_string(), JsonValue::Num(v))
+}
+
+/// Field constructor for labels.
+pub fn f_str(name: &str, v: impl Into<String>) -> (String, JsonValue) {
+    (name.to_string(), JsonValue::Str(v.into()))
+}
+
+/// Parses a JSONL document back into one [`JsonValue`] per non-empty
+/// line — the read side the fault-injection suite and CI smoke use.
+///
+/// # Errors
+///
+/// The first line that fails to parse, with its 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<JsonValue>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| JsonValue::parse(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_swallows_everything() {
+        let mut log = EventLog::disabled();
+        assert!(!log.enabled());
+        log.emit("spawn", vec![f_int("worker", 0)]);
+    }
+
+    #[test]
+    fn events_render_as_parseable_jsonl() {
+        let dir = std::env::temp_dir().join(format!("wd-events-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let mut log = EventLog::create(&path).unwrap();
+        assert!(log.enabled());
+        log.emit(
+            "campaign_start",
+            vec![f_str("schema", EVENTS_SCHEMA), f_int("cells", 4)],
+        );
+        log.emit(
+            "done",
+            vec![
+                f_int("worker", 1),
+                f_int("cell", 3),
+                f_num("fsync_ms", 0.25),
+            ],
+        );
+        drop(log);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines = parse_jsonl(&text).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0].get("event").and_then(JsonValue::as_str),
+            Some("campaign_start")
+        );
+        assert_eq!(
+            lines[0].get("schema").and_then(JsonValue::as_str),
+            Some(EVENTS_SCHEMA)
+        );
+        assert_eq!(lines[1].get("cell").and_then(JsonValue::as_u64), Some(3));
+        assert!(lines[1].get("t_ms").and_then(JsonValue::as_f64).is_some());
+        assert!(parse_jsonl("{\"a\": }").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -30,6 +30,11 @@
 //!   cells; the completed ledger is compacted into canonical (cell-id)
 //!   order, making it **byte-identical** to the ledger of an
 //!   undisturbed serial run ([`serial_ledger_bytes`]).
+//! * `--events PATH` streams a JSONL **flight record** (the [`events`]
+//!   module): worker spawns and reaps with reasons, Hello latency,
+//!   dispatches, per-cell completions with the ledger fsync time,
+//!   retries, respawns and periodic throughput — flushed per line, so a
+//!   killed campaign still leaves a readable record.
 //!
 //! Every failure path is exercised deterministically in CI by the
 //! [`fault`] module: the `WATCHDOG_FAULT` environment knob (a parsed
@@ -55,6 +60,7 @@
 pub mod cell;
 pub mod cli;
 pub mod coordinator;
+pub mod events;
 pub mod fault;
 pub mod frame;
 pub mod ledger;
@@ -66,6 +72,7 @@ pub use coordinator::{
     run_campaign, run_campaign_serial, serial_ledger_bytes, CampaignConfig, CampaignError,
     CampaignStats,
 };
+pub use events::{parse_jsonl, EventLog, EVENTS_SCHEMA};
 pub use fault::{FaultKind, FaultPlan, FAULT_ENV};
 pub use ledger::{read_canonical, CellRecord, LedgerError, LedgerHeader};
 pub use worker::worker_entry;

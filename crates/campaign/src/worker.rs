@@ -14,10 +14,26 @@
 //! failure surface the coordinator must survive.
 
 use std::io::{self, Read, Write};
+use std::time::Instant;
 
 use crate::cell::execute_cell;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::frame::{read_frame, write_frame, CoordMsg, FrameError, WorkerMsg, PROTO_VERSION};
+
+/// Set (to any value) to make a worker print a one-line telemetry
+/// summary — cells executed, time spent executing — to stderr on clean
+/// shutdown. The coordinator sets it for its children whenever a
+/// `--events` flight log is being recorded.
+pub const WORKER_TELEMETRY_ENV: &str = "WATCHDOG_WORKER_TELEMETRY";
+
+/// What one worker incarnation did, accumulated by [`worker_loop`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct WorkerStats {
+    /// Cells executed to a `Done` frame (injected faults don't count).
+    pub cells: u64,
+    /// Host nanoseconds spent inside `execute_cell`.
+    pub exec_ns: u64,
+}
 
 /// Runs the worker loop over stdin/stdout; returns the process exit
 /// code. Wire this directly to `watchdog-cli worker`.
@@ -31,7 +47,16 @@ pub fn worker_entry() -> i32 {
     };
     let stdin = io::stdin();
     let stdout = io::stdout();
-    match worker_loop(&mut stdin.lock(), &mut stdout.lock(), &plan) {
+    let mut stats = WorkerStats::default();
+    let result = worker_loop(&mut stdin.lock(), &mut stdout.lock(), &plan, &mut stats);
+    if std::env::var_os(WORKER_TELEMETRY_ENV).is_some() {
+        eprintln!(
+            "watchdog-cli worker: {} cell(s) executed in {:.1} ms",
+            stats.cells,
+            stats.exec_ns as f64 / 1e6
+        );
+    }
+    match result {
         Ok(code) => code,
         Err(e) => {
             eprintln!("watchdog-cli worker: {e}");
@@ -46,6 +71,7 @@ pub(crate) fn worker_loop(
     input: &mut impl Read,
     output: &mut impl Write,
     plan: &FaultPlan,
+    stats: &mut WorkerStats,
 ) -> Result<i32, FrameError> {
     write_frame(
         output,
@@ -75,7 +101,10 @@ pub(crate) fn worker_loop(
             inject(kind, cell, output)?;
             continue;
         }
+        let t0 = Instant::now();
         let outcome = execute_cell(&spec);
+        stats.exec_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        stats.cells += 1;
         write_frame(output, &WorkerMsg::Done { cell, outcome }.encode()).map_err(FrameError::Io)?;
     }
 }
@@ -143,13 +172,14 @@ mod tests {
     use crate::cell::{CellOutcome, CellSpec};
     use std::io::Cursor;
 
-    fn drive(msgs: &[CoordMsg], plan: &FaultPlan) -> (i32, Vec<WorkerMsg>) {
+    fn drive(msgs: &[CoordMsg], plan: &FaultPlan) -> (i32, Vec<WorkerMsg>, WorkerStats) {
         let mut input = Vec::new();
         for m in msgs {
             write_frame(&mut input, &m.encode()).unwrap();
         }
         let mut output = Vec::new();
-        let code = worker_loop(&mut Cursor::new(input), &mut output, plan).unwrap();
+        let mut stats = WorkerStats::default();
+        let code = worker_loop(&mut Cursor::new(input), &mut output, plan, &mut stats).unwrap();
         let mut replies = Vec::new();
         let mut r = Cursor::new(output);
         loop {
@@ -159,7 +189,7 @@ mod tests {
                 Err(e) => panic!("reply stream: {e}"),
             }
         }
-        (code, replies)
+        (code, replies, stats)
     }
 
     #[test]
@@ -177,9 +207,10 @@ mod tests {
             },
             CoordMsg::Shutdown,
         ];
-        let (code, replies) = drive(&msgs, &FaultPlan::default());
+        let (code, replies, stats) = drive(&msgs, &FaultPlan::default());
         assert_eq!(code, 0);
         assert_eq!(replies.len(), 3);
+        assert_eq!(stats.cells, 2, "two cells executed");
         assert!(matches!(
             replies[0],
             WorkerMsg::Hello {
@@ -192,9 +223,10 @@ mod tests {
 
     #[test]
     fn clean_eof_without_shutdown_is_a_clean_exit() {
-        let (code, replies) = drive(&[], &FaultPlan::default());
+        let (code, replies, stats) = drive(&[], &FaultPlan::default());
         assert_eq!(code, 0);
         assert_eq!(replies.len(), 1, "just the hello");
+        assert_eq!(stats, WorkerStats::default());
     }
 
     #[test]
@@ -222,8 +254,10 @@ mod tests {
         )
         .unwrap();
         let mut output = Vec::new();
-        let code = worker_loop(&mut Cursor::new(input), &mut output, &plan).unwrap();
+        let mut stats = WorkerStats::default();
+        let code = worker_loop(&mut Cursor::new(input), &mut output, &plan, &mut stats).unwrap();
         assert_eq!(code, 0);
+        assert_eq!(stats.cells, 1, "the faulted dispatch doesn't count");
         let mut r = Cursor::new(output);
         // Hello is fine.
         let hello = read_frame(&mut r).unwrap();
@@ -251,7 +285,7 @@ mod tests {
             },
             CoordMsg::Shutdown,
         ];
-        let (code, replies) = drive(&msgs, &plan);
+        let (code, replies, _) = drive(&msgs, &plan);
         assert_eq!(code, 0);
         assert!(matches!(
             replies[1],

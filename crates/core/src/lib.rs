@@ -59,6 +59,7 @@ pub mod pointer_id;
 pub mod report;
 pub mod runtime;
 pub mod sim;
+pub mod telemetry;
 
 pub use error::{SimError, Violation, ViolationKind};
 pub use ident::LockManager;
@@ -67,6 +68,7 @@ pub use pointer_id::{PointerId, PointerPolicy, Profile};
 pub use report::RunReport;
 pub use runtime::HeapAllocator;
 pub use sim::{Mode, Sampling, SimConfig, Simulator};
+pub use telemetry::{export_metrics, run_json, RunTelemetry, RUN_SCHEMA};
 
 /// Convenient glob-import surface.
 pub mod prelude {

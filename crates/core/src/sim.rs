@@ -14,16 +14,21 @@
 //! §5.2 profiling pass (a functional-only run that records which static
 //! instructions ever move valid metadata), then the measured run.
 
+use std::time::Instant;
+
 use watchdog_isa::crack::BoundsUops;
 use watchdog_isa::program::Program;
 use watchdog_mem::HierarchyConfig;
 use watchdog_pipeline::core::Snapshot;
-use watchdog_pipeline::{CoreConfig, HeapSched, SchedModel, ScheduledCore, UopBatch, WheelSched};
+use watchdog_pipeline::{
+    CoreConfig, HeapSched, SchedModel, ScheduledCore, TelemetryConfig, UopBatch, WheelSched,
+};
 
 use crate::error::SimError;
 use crate::machine::{CheckMode, Machine, MachineConfig, Step};
 use crate::pointer_id::{PointerId, PointerPolicy, Profile};
 use crate::report::RunReport;
+use crate::telemetry::RunTelemetry;
 
 /// A simulated configuration of the system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -238,6 +243,11 @@ pub struct SimConfig {
     /// the batch-equivalence suites), so disabling is only useful to
     /// benchmark the per-instruction path.
     pub batch: bool,
+    /// Self-profiler knobs for [`Simulator::run_instrumented`] (`None`
+    /// uses [`TelemetryConfig::default`]). Plain [`Simulator::run`]
+    /// ignores this: telemetry is collected only on instrumented runs,
+    /// and never changes any report field either way.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl SimConfig {
@@ -252,6 +262,7 @@ impl SimConfig {
             sampling: None,
             crack_cache: true,
             batch: true,
+            telemetry: None,
         }
     }
 
@@ -343,8 +354,38 @@ impl Simulator {
         self.run_with::<HeapSched>(program)
     }
 
+    /// [`Simulator::run`] with the self-profiler attached: the timing
+    /// core collects its [`CoreTelemetry`](watchdog_pipeline::CoreTelemetry)
+    /// (per-kind dispatch counters, occupancy histograms, sampled phase
+    /// timers) and the driver loop charges wall-clock section timers,
+    /// all returned beside — never inside — the report. The report is
+    /// byte-identical to an uninstrumented [`Simulator::run`] of the
+    /// same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Simulator::run`].
+    pub fn run_instrumented(
+        &self,
+        program: &Program,
+    ) -> Result<(RunReport, RunTelemetry), SimError> {
+        let mut tele = RunTelemetry::new();
+        let report = self.run_impl::<WheelSched>(program, Some(&mut tele))?;
+        Ok((report, tele))
+    }
+
     /// The run loop, generic over the timing core's scheduling model.
     fn run_with<S: SchedModel>(&self, program: &Program) -> Result<RunReport, SimError> {
+        self.run_impl::<S>(program, None)
+    }
+
+    /// The run loop proper; `tele`, when supplied, collects host-side
+    /// observations without touching any report field.
+    fn run_impl<S: SchedModel>(
+        &self,
+        program: &Program,
+        tele: Option<&mut RunTelemetry>,
+    ) -> Result<RunReport, SimError> {
         let policy = match self.cfg.mode.pointer_id() {
             Some(PointerId::IsaAssisted) => {
                 PointerPolicy::Profiled(Self::profile(program, self.cfg.max_insts)?)
@@ -374,6 +415,18 @@ impl Simulator {
             .cfg
             .timing
             .then(|| ScheduledCore::<S>::new(self.cfg.core, hier));
+        let tele_on = tele.is_some();
+        let t_run = tele_on.then(Instant::now);
+        if let (true, Some(core)) = (tele_on, core.as_mut()) {
+            core.enable_telemetry(self.cfg.telemetry.unwrap_or_default());
+        }
+        // Section-timer accumulators, folded into `tele` once at the end.
+        // Consume laps time every batch flush; fetch/crack laps sample the
+        // steps of one batch-fill in 32 so the per-instruction `Instant`
+        // cost stays off the common path.
+        let (mut consume_ns, mut consume_hits) = (0u64, 0u64);
+        let (mut fetch_crack_ns, mut fetch_crack_hits) = (0u64, 0u64);
+        let (mut fills, mut fill_sampled) = (0u64, false);
         let mut violation = None;
         let mut executed = 0u64;
         // The batched µop-event feed: the machine appends committed
@@ -384,9 +437,14 @@ impl Simulator {
         // precede snapshots.
         let batching = self.cfg.batch && core.is_some();
         let mut batch = UopBatch::with_capacity(UopBatch::TARGET_INSTS);
-        let flush = |core: &mut ScheduledCore<S>, batch: &mut UopBatch| {
+        let mut flush = |core: &mut ScheduledCore<S>, batch: &mut UopBatch| {
+            let t0 = tele_on.then(Instant::now);
             core.consume_batch(batch);
             batch.clear();
+            if let Some(t0) = t0 {
+                consume_ns += t0.elapsed().as_nanos() as u64;
+                consume_hits += 1;
+            }
         };
         // Sampling state: accumulated measured counters and the snapshot at
         // the start of the current sample window (if inside one).
@@ -402,7 +460,19 @@ impl Simulator {
                 machine.set_emit_uops(pos >= s.fast_forward());
             }
             let step = if batching {
-                machine.step_batched(&mut batch)?
+                if tele_on && batch.is_empty() {
+                    fills += 1;
+                    fill_sampled = fills % 32 == 1;
+                }
+                if fill_sampled {
+                    let t0 = Instant::now();
+                    let step = machine.step_batched(&mut batch);
+                    fetch_crack_ns += t0.elapsed().as_nanos() as u64;
+                    fetch_crack_hits += 1;
+                    step?
+                } else {
+                    machine.step_batched(&mut batch)?
+                }
             } else {
                 machine.step()?
             };
@@ -446,6 +516,20 @@ impl Simulator {
         // Close a partially-complete final window.
         if let (Some(start), Some(core)) = (window_start.take(), core.as_ref()) {
             measured.accumulate(&core.snapshot().delta(&start));
+        }
+        // Capture host-side observations before `finish` consumes the core.
+        if let Some(t) = tele {
+            if let Some(core) = core.as_ref() {
+                core.export_telemetry_into(&mut t.core_metrics);
+                t.ll_memo_hits = core.hierarchy().ll_memo_hits();
+            }
+            t.host_ns = t_run.expect("run timer started").elapsed().as_nanos() as u64;
+            let run = t.sections.id("run");
+            t.sections.add_batch(run, t.host_ns, 1);
+            let fc = t.sections.id("run/fetch_crack");
+            t.sections.add_batch(fc, fetch_crack_ns, fetch_crack_hits);
+            let cons = t.sections.id("run/consume");
+            t.sections.add_batch(cons, consume_ns, consume_hits);
         }
         let timing = core.map(|c| {
             let mut t = c.finish();

@@ -15,27 +15,33 @@
 
 #![forbid(unsafe_code)]
 
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Command-line options accepted by `harness = false` bench binaries:
 /// positional arguments are substring filters on the full benchmark name
 /// (`group/function`), `--smoke` runs each selected benchmark exactly once
-/// (a compile-and-run check for CI, not a measurement), and any other
-/// dashed flag — notably the `--bench` cargo appends — is ignored, as the
-/// real criterion does.
+/// (a compile-and-run check for CI, not a measurement), `--json PATH`
+/// additionally writes every measured benchmark as a `watchdog-bench-v1`
+/// snapshot — the same schema `watchdog-cli perf` emits and CI validates —
+/// and any other dashed flag — notably the `--bench` cargo appends — is
+/// ignored, as the real criterion does.
 #[derive(Debug, Default, PartialEq, Eq)]
 struct Cli {
     filters: Vec<String>,
     smoke: bool,
+    json: Option<String>,
 }
 
 impl Cli {
     fn parse<I: Iterator<Item = String>>(args: I) -> Cli {
         let mut cli = Cli::default();
-        for arg in args {
+        let mut args = args;
+        while let Some(arg) = args.next() {
             if arg == "--smoke" {
                 cli.smoke = true;
+            } else if arg == "--json" {
+                cli.json = args.next();
             } else if !arg.starts_with('-') {
                 cli.filters.push(arg);
             }
@@ -68,6 +74,8 @@ pub struct Bencher {
     smoke: bool,
     /// Best observed per-iteration time, filled in by [`Bencher::iter`].
     best_ns: f64,
+    /// Total iterations executed while measuring (calibration included).
+    iters: u64,
 }
 
 impl Bencher {
@@ -79,6 +87,7 @@ impl Bencher {
             let t0 = Instant::now();
             std::hint::black_box(f());
             self.best_ns = t0.elapsed().as_nanos() as f64;
+            self.iters = 1;
             return;
         }
         // Calibrate: grow the batch until one batch takes >= 1ms.
@@ -88,6 +97,7 @@ impl Bencher {
             for _ in 0..batch {
                 std::hint::black_box(f());
             }
+            self.iters += batch;
             let elapsed = t0.elapsed();
             if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
                 self.best_ns = elapsed.as_nanos() as f64 / batch as f64;
@@ -100,6 +110,7 @@ impl Bencher {
             for _ in 0..batch {
                 std::hint::black_box(f());
             }
+            self.iters += batch;
             let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
             if ns < self.best_ns {
                 self.best_ns = ns;
@@ -179,6 +190,7 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, tp: Option<Throug
         samples,
         smoke: cli().smoke,
         best_ns: f64::NAN,
+        iters: 0,
     };
     f(&mut b);
     let rate = match tp {
@@ -189,6 +201,104 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, tp: Option<Throug
         None => String::new(),
     };
     println!("{name:<40} {:>14.1} ns/iter{rate}", b.best_ns);
+    if cli().json.is_some() {
+        // Only element throughput carries into the snapshot's rate column
+        // (the schema defines `melem_per_s` as 0.0 without one).
+        let melem = match tp {
+            Some(Throughput::Elements(n)) if b.best_ns > 0.0 => n as f64 * 1e3 / b.best_ns,
+            _ => 0.0,
+        };
+        let ns = if b.best_ns.is_finite() {
+            b.best_ns
+        } else {
+            0.0
+        };
+        records().lock().expect("bench record lock").push(Record {
+            name: name.to_string(),
+            ns_per_iter: ns,
+            melem_per_s: melem,
+            iterations: b.iters,
+        });
+    }
+}
+
+/// One measured case destined for the `--json` snapshot.
+struct Record {
+    name: String,
+    ns_per_iter: f64,
+    melem_per_s: f64,
+    iterations: u64,
+}
+
+fn records() -> &'static Mutex<Vec<Record>> {
+    static RECORDS: OnceLock<Mutex<Vec<Record>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) —
+/// enough for benchmark names and revision strings, standards-correct for
+/// anything else.
+fn escape_json(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders the collected records as a `watchdog-bench-v1` snapshot —
+/// field-for-field the document `watchdog-cli perf` writes (the shim is
+/// dependency-free, so the rendering is inlined rather than shared; the
+/// workspace's CLI smoke test parses this output with the shared
+/// validator to keep the two producers in lock-step). The revision comes
+/// from `WATCHDOG_BENCH_REV` when CI exports it.
+fn render_snapshot(rev: &str, records: &[Record]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"watchdog-bench-v1\",\n  \"rev\": ");
+    escape_json(rev, &mut out);
+    out.push_str(",\n  \"records\": [");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\n      \"name\": ");
+        escape_json(&r.name, &mut out);
+        out.push_str(&format!(
+            ",\n      \"ns_per_iter\": {},\n      \"melem_per_s\": {},\n      \"iterations\": {}\n    }}",
+            r.ns_per_iter, r.melem_per_s, r.iterations
+        ));
+    }
+    if records.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+/// Writes the `--json` snapshot, if requested. `criterion_main!` calls
+/// this after every group has run; calling it without `--json` is a
+/// no-op.
+pub fn finalize() {
+    let Some(path) = cli().json.as_deref() else {
+        return;
+    };
+    let rev = std::env::var("WATCHDOG_BENCH_REV").unwrap_or_else(|_| "unknown".to_string());
+    let recs = records().lock().expect("bench record lock");
+    let doc = render_snapshot(&rev, &recs);
+    if let Err(e) = std::fs::write(path, &doc) {
+        eprintln!("cannot write bench snapshot {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {} bench record(s) -> {path}", recs.len());
 }
 
 /// Groups benchmark functions under one callable name.
@@ -208,6 +318,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finalize();
         }
     };
 }
@@ -250,11 +361,59 @@ mod tests {
                 .map(String::from),
         );
         assert!(cli.smoke);
+        assert!(cli.json.is_none());
         assert_eq!(cli.filters, ["timing_wheel", "consume_batch"]);
         assert!(cli.selects("timing_wheel/mcf_wheel"));
         assert!(cli.selects("consume_batch/perl_batched"));
         assert!(!cli.selects("cache/l1_hit"));
         // No filters selects everything.
         assert!(Cli::parse(std::iter::empty()).selects("anything/at_all"));
+    }
+
+    #[test]
+    fn cli_parses_json_path() {
+        let cli = Cli::parse(
+            ["--json", "out/BENCH_x.json", "timing_wheel"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(cli.json.as_deref(), Some("out/BENCH_x.json"));
+        assert_eq!(cli.filters, ["timing_wheel"]);
+    }
+
+    #[test]
+    fn rendered_snapshot_passes_the_shared_validator() {
+        // The shim's hand-rolled writer must emit exactly what
+        // `watchdog-telemetry`'s shared parser (used by `watchdog-cli
+        // perf` and CI) validates — this is the no-drift guarantee.
+        let records = vec![
+            Record {
+                name: "timing_wheel/mcf_wheel".into(),
+                ns_per_iter: 1234.5,
+                melem_per_s: 810.0,
+                iterations: 42,
+            },
+            Record {
+                name: "quote\"and\\slash".into(),
+                ns_per_iter: 9.0,
+                melem_per_s: 0.0,
+                iterations: 1,
+            },
+        ];
+        let doc = render_snapshot("abc1234", &records);
+        let snap = watchdog_telemetry::BenchSnapshot::from_json(&doc).expect("validates");
+        assert_eq!(snap.rev, "abc1234");
+        assert_eq!(snap.records.len(), 2);
+        let r = snap.record("timing_wheel/mcf_wheel").unwrap();
+        assert_eq!(r.ns_per_iter, 1234.5);
+        assert_eq!(r.melem_per_s, 810.0);
+        assert_eq!(r.iterations, 42);
+        assert!(snap.record("quote\"and\\slash").is_some());
+        // Empty snapshots are still valid documents.
+        let empty = render_snapshot("unknown", &[]);
+        assert!(watchdog_telemetry::BenchSnapshot::from_json(&empty)
+            .expect("validates")
+            .records
+            .is_empty());
     }
 }

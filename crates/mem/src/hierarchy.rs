@@ -175,6 +175,37 @@ impl HierarchyStats {
             self.ll.misses as f64 * 1000.0 / instructions as f64
         }
     }
+
+    /// Exports every counter under the stable `mem.*` namespace: per-class
+    /// access totals, per-cache demand/miss/prefetch counters with their
+    /// miss-rate gauges, and both TLBs.
+    pub fn export_into(&self, reg: &mut watchdog_telemetry::MetricsRegistry) {
+        use watchdog_telemetry::Unit;
+        reg.counter_at("mem.access.data", Unit::Count, self.data_accesses);
+        reg.counter_at("mem.access.shadow", Unit::Count, self.shadow_accesses);
+        reg.counter_at("mem.access.lock", Unit::Count, self.lock_accesses);
+        reg.counter_at("mem.access.ifetch", Unit::Count, self.ifetch_accesses);
+        for (name, c) in [
+            ("l1i", &self.l1i),
+            ("l1d", &self.l1d),
+            ("ll", &self.ll),
+            ("l2", &self.l2),
+            ("l3", &self.l3),
+        ] {
+            reg.counter_at(&format!("mem.{name}.accesses"), Unit::Count, c.accesses);
+            reg.counter_at(&format!("mem.{name}.misses"), Unit::Count, c.misses);
+            reg.counter_at(
+                &format!("mem.{name}.prefetch_fills"),
+                Unit::Count,
+                c.prefetch_fills,
+            );
+            reg.gauge_at(&format!("mem.{name}.miss_rate"), Unit::Ratio, c.miss_rate());
+        }
+        for (name, (accesses, misses)) in [("dtlb", self.dtlb), ("lltlb", self.lltlb)] {
+            reg.counter_at(&format!("mem.{name}.accesses"), Unit::Count, accesses);
+            reg.counter_at(&format!("mem.{name}.misses"), Unit::Count, misses);
+        }
+    }
 }
 
 /// The simulated memory hierarchy.

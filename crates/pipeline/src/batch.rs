@@ -89,6 +89,22 @@ impl FeedStats {
             self.batches as f64 * 1000.0 / self.insts as f64
         }
     }
+
+    /// Exports the feed counters and the derived occupancy ratios under
+    /// the stable `feed.*` namespace — the single source both the `diag`
+    /// binary and the `--json` export render from.
+    pub fn export_into(&self, reg: &mut watchdog_telemetry::MetricsRegistry) {
+        use watchdog_telemetry::Unit;
+        reg.counter_at("feed.batches", Unit::Count, self.batches);
+        reg.counter_at("feed.insts", Unit::Count, self.insts);
+        reg.counter_at("feed.uops", Unit::Count, self.uops);
+        reg.gauge_at("feed.occupancy.mean", Unit::Count, self.mean_occupancy());
+        reg.gauge_at(
+            "feed.batches_per_kinst",
+            Unit::PerKilo,
+            self.batches_per_kinst(),
+        );
+    }
 }
 
 /// One committed instruction's per-instruction facts in the batch: the

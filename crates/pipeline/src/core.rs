@@ -24,11 +24,16 @@ use watchdog_isa::reg::{LReg, NUM_LREGS};
 use watchdog_isa::uop::{UopKind, UopTag};
 use watchdog_mem::{AccessClass, Hierarchy, HierarchyConfig, HierarchyStats};
 
+use std::time::Instant;
+
+use watchdog_telemetry::{MetricsRegistry, Unit};
+
 use crate::batch::{FeedStats, MemOp, UopBatch};
 
 use crate::bpred::{BpredStats, Predictor};
 use crate::config::CoreConfig;
 use crate::rename::{Rename, RenameConfig, RenameStats};
+use crate::tele::{timed, CoreTelemetry, TelemetryConfig};
 use crate::wheel::{FuPools, HeapSched, SchedModel, WheelSched, WindowQueue};
 
 /// Number of µop accounting tags.
@@ -74,6 +79,38 @@ pub enum Fu {
 
 /// Number of [`Fu`] classes (size of the pool arrays).
 pub const NUM_FUS: usize = 10;
+
+impl Fu {
+    /// Every class, in pool-array order.
+    pub const ALL: [Fu; NUM_FUS] = [
+        Fu::IntAlu,
+        Fu::MulDiv,
+        Fu::FpAlu,
+        Fu::FpMul,
+        Fu::FpDiv,
+        Fu::Branch,
+        Fu::LoadPort,
+        Fu::StorePort,
+        Fu::LlPort,
+        Fu::IssueSlot,
+    ];
+
+    /// Registry-name suffix for the class (telemetry export).
+    pub fn label(self) -> &'static str {
+        match self {
+            Fu::IntAlu => "int_alu",
+            Fu::MulDiv => "mul_div",
+            Fu::FpAlu => "fp_alu",
+            Fu::FpMul => "fp_mul",
+            Fu::FpDiv => "fp_div",
+            Fu::Branch => "branch",
+            Fu::LoadPort => "load_port",
+            Fu::StorePort => "store_port",
+            Fu::LlPort => "ll_port",
+            Fu::IssueSlot => "issue_slot",
+        }
+    }
+}
 
 /// Frontend stall cycles by cause (diagnostic).
 #[derive(Debug, Clone, Copy, Default)]
@@ -227,6 +264,9 @@ pub struct ScheduledCore<S: SchedModel> {
     // Batched-feed machinery (carries no timing state).
     shim: UopBatch,
     feed: FeedStats,
+    // Optional self-profiler (host-side observation only: no timestamp
+    // ever depends on it, so equivalence holds with it on or off).
+    tele: Option<Box<CoreTelemetry>>,
 }
 
 /// The production timing core: calendar-wheel scheduled, allocation-free
@@ -281,8 +321,50 @@ impl<S: SchedModel> ScheduledCore<S> {
             stalls: StallCycles::default(),
             shim: UopBatch::with_capacity(1),
             feed: FeedStats::default(),
+            tele: None,
             cfg,
         }
+    }
+
+    /// Attaches the self-profiler. Call before feeding the core: the
+    /// one-time `Box` here is the profiler's only allocation, keeping
+    /// the consume loop allocation-free with recording on.
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.tele = Some(Box::new(CoreTelemetry::new(cfg)));
+    }
+
+    /// The collected profile, if telemetry was enabled.
+    pub fn telemetry(&self) -> Option<&CoreTelemetry> {
+        self.tele.as_deref()
+    }
+
+    /// Detaches and returns the collected profile (used by drivers that
+    /// export telemetry before [`ScheduledCore::finish`] consumes the
+    /// core).
+    pub fn take_telemetry(&mut self) -> Option<Box<CoreTelemetry>> {
+        self.tele.take()
+    }
+
+    /// Exports everything the core can observe about itself — the
+    /// self-profiler (when enabled), per-unit FU utilization, the
+    /// calendar wheel's overflow high-water mark and the batch-feed
+    /// counters — into `reg` under the `profile.*` / `feed.*`
+    /// namespaces.
+    pub fn export_telemetry_into(&self, reg: &mut MetricsRegistry) {
+        if let Some(t) = &self.tele {
+            t.export_into(reg);
+        }
+        for fu in Fu::ALL {
+            for (unit, &n) in self.fu_reserve_counts(fu).iter().enumerate() {
+                reg.counter_at(&format!("profile.fu.{}.{unit}", fu.label()), Unit::Count, n);
+            }
+        }
+        reg.counter_at(
+            "profile.wheel.overflow_peak",
+            Unit::Count,
+            self.iq.overflow_peak() as u64,
+        );
+        self.feed.export_into(reg);
     }
 
     /// Immutable view of the memory hierarchy (for diagnostics).
@@ -413,6 +495,25 @@ impl<S: SchedModel> ScheduledCore<S> {
         let mems = batch.mems();
         let addrs = batch.addrs();
 
+        // Self-profiler prologue: sample window occupancy at the batch
+        // boundary and decide whether this batch is phase-timed. One
+        // predictable branch when telemetry is off.
+        let tele_on = self.tele.is_some();
+        let sampled = if tele_on {
+            let (rob, iq) = (self.rob.len() as u64, self.iq.len() as u64);
+            let (lq, sq) = (self.lq.len() as u64, self.sq.len() as u64);
+            let t = self.tele.as_deref_mut().expect("telemetry enabled");
+            t.rob_occupancy.observe(rob);
+            t.iq_occupancy.observe(iq);
+            t.lq_occupancy.observe(lq);
+            t.sq_occupancy.observe(sq);
+            t.begin_batch()
+        } else {
+            false
+        };
+        let t_batch = sampled.then(Instant::now);
+        let (mut wheel_ns, mut hier_ns, mut commit_ns) = (0u64, 0u64, 0u64);
+
         let lock_via_ll = self.hier.lock_cache_enabled();
         for (i, ev) in insts.iter().enumerate() {
             self.insts += 1;
@@ -427,7 +528,9 @@ impl<S: SchedModel> ScheduledCore<S> {
             let block = ev.pc / 64;
             if block != self.last_fetch_block {
                 self.last_fetch_block = block;
-                let lat = self.hier.access(AccessClass::Ifetch, ev.pc, false);
+                let lat = timed(sampled, &mut hier_ns, || {
+                    self.hier.access(AccessClass::Ifetch, ev.pc, false)
+                });
                 let l1 = 3;
                 if lat > l1 {
                     // An I-cache miss starves the frontend for the extra
@@ -475,6 +578,9 @@ impl<S: SchedModel> ScheduledCore<S> {
                 }
                 self.fe_slots += 1;
                 let mut disp = self.fe_cycle;
+
+                // Wheel-drain phase: every window-occupancy check below.
+                let t_wd = sampled.then(Instant::now);
 
                 // ROB occupancy: entries leave at commit (monotone), so
                 // a full window just waits for the head.
@@ -536,6 +642,9 @@ impl<S: SchedModel> ScheduledCore<S> {
                         }
                     }
                 }
+                if let Some(t0) = t_wd {
+                    wheel_ns += t0.elapsed().as_nanos() as u64;
+                }
 
                 // Source readiness.
                 let mut ready = 0u64;
@@ -582,7 +691,9 @@ impl<S: SchedModel> ScheduledCore<S> {
                         let MemOp::Read(class) = mem else {
                             unreachable!("load µops are classified as reads")
                         };
-                        let lat = self.hier.access(class, addr, false);
+                        let lat = timed(sampled, &mut hier_ns, || {
+                            self.hier.access(class, addr, false)
+                        });
                         (st, st + self.cfg.lat_agu + lat)
                     }
                     UopKind::Store | UopKind::ShadowStore => {
@@ -590,7 +701,9 @@ impl<S: SchedModel> ScheduledCore<S> {
                         let MemOp::Write(class) = mem else {
                             unreachable!("store µops are classified as writes")
                         };
-                        let _ = self.hier.access(class, addr, true);
+                        let _ = timed(sampled, &mut hier_ns, || {
+                            self.hier.access(class, addr, true)
+                        });
                         // Stores complete once address+data are staged;
                         // the write drains from the SQ after commit.
                         (st, st + 1)
@@ -602,7 +715,9 @@ impl<S: SchedModel> ScheduledCore<S> {
                             Fu::LoadPort
                         };
                         let st = self.reserve_issue2(port, earliest);
-                        let lat = self.hier.access(AccessClass::Lock, addr, false);
+                        let lat = timed(sampled, &mut hier_ns, || {
+                            self.hier.access(AccessClass::Lock, addr, false)
+                        });
                         (st, st + self.cfg.lat_agu + lat)
                     }
                     UopKind::LockStore => {
@@ -612,10 +727,17 @@ impl<S: SchedModel> ScheduledCore<S> {
                             Fu::StorePort
                         };
                         let st = self.reserve_issue2(port, earliest);
-                        let _ = self.hier.access(AccessClass::Lock, addr, true);
+                        let _ = timed(sampled, &mut hier_ns, || {
+                            self.hier.access(AccessClass::Lock, addr, true)
+                        });
                         (st, st + 1)
                     }
                 };
+
+                if sampled {
+                    let t = self.tele.as_deref_mut().expect("telemetry enabled");
+                    t.wheel_lead.observe(issue - disp);
+                }
 
                 if let Some(d) = u.dst {
                     self.reg_ready[d.index()] = complete;
@@ -624,6 +746,8 @@ impl<S: SchedModel> ScheduledCore<S> {
                     branch_complete = complete;
                 }
 
+                // Commit phase: slot assignment + window pushes.
+                let t_c = sampled.then(Instant::now);
                 let commit = self.commit_time(complete);
                 self.rob.push(commit);
                 self.iq.push(issue);
@@ -631,6 +755,9 @@ impl<S: SchedModel> ScheduledCore<S> {
                     self.lq.push(commit);
                 } else if is_store_like {
                     self.sq.push(commit);
+                }
+                if let Some(t0) = t_c {
+                    commit_ns += t0.elapsed().as_nanos() as u64;
                 }
             }
 
@@ -648,6 +775,26 @@ impl<S: SchedModel> ScheduledCore<S> {
                     self.fe_next_cycle();
                     self.last_fetch_block = u64::MAX;
                 }
+            }
+        }
+
+        // Self-profiler epilogue: per-kind dispatch counters as one
+        // cache-hot pass over the batch's µop descriptors, plus the phase
+        // totals when this batch was timed.
+        if tele_on {
+            let total = t_batch.map(|t0| t0.elapsed().as_nanos() as u64);
+            let t = self.tele.as_deref_mut().expect("telemetry enabled");
+            t.insts += n as u64;
+            t.uops += uops.len() as u64;
+            for u in uops {
+                t.dispatch_by_kind[u.kind as usize] += 1;
+            }
+            if let Some(total_ns) = total {
+                t.phases.batches_sampled += 1;
+                t.phases.total_ns += total_ns;
+                t.phases.wheel_drain_ns += wheel_ns;
+                t.phases.hierarchy_ns += hier_ns;
+                t.phases.commit_ns += commit_ns;
             }
         }
     }

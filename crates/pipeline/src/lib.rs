@@ -24,6 +24,10 @@
 //!   loop: release-time rings, a circular timing wheel, rotating-cursor FU
 //!   pools, and the [`wheel::SchedModel`] trait that keeps the PR 5
 //!   heap/scan structures alive as a bit-for-bit reference oracle.
+//! * [`tele`] — the core's optional self-profiler: per-kind dispatch
+//!   counters, window-occupancy and wheel-lead histograms, and sampled
+//!   phase timers, recorded out-of-band so no report field ever depends
+//!   on whether telemetry is attached.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +37,7 @@ pub mod bpred;
 pub mod config;
 pub mod core;
 pub mod rename;
+pub mod tele;
 pub mod wheel;
 
 pub use crate::core::{Fu, ReferenceCore, ScheduledCore, TimingCore, TimingReport, NUM_FUS};
@@ -40,4 +45,5 @@ pub use batch::{FeedStats, MemOp, UopBatch};
 pub use bpred::Predictor;
 pub use config::CoreConfig;
 pub use rename::{Rename, RenameConfig, RenameStats};
+pub use tele::{CoreTelemetry, PhaseProfile, TelemetryConfig, NUM_UOP_KINDS, UOP_KIND_NAMES};
 pub use wheel::{HeapSched, SchedModel, WheelSched};

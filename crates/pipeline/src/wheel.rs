@@ -77,6 +77,15 @@ pub trait WindowQueue: fmt::Debug {
 
     /// Removes every entry with release time `<= bound`.
     fn drain_le(&mut self, bound: u64);
+
+    /// High-water mark of entries that ever waited beyond the
+    /// structure's fast horizon (the calendar wheel's overflow list);
+    /// `0` for structures without a slow path. A telemetry observable:
+    /// a non-zero peak means some issue skew exceeded the
+    /// [`WHEEL_SLOTS`]-cycle horizon.
+    fn overflow_peak(&self) -> usize {
+        0
+    }
 }
 
 /// Fixed-capacity ring buffer over a **monotone** release-time stream
@@ -175,6 +184,7 @@ pub struct CalendarWheel {
     base: u64,
     in_horizon: usize,
     overflow: Vec<u64>,
+    overflow_peak: usize,
 }
 
 impl CalendarWheel {
@@ -255,6 +265,7 @@ impl WindowQueue for CalendarWheel {
             base: 0,
             in_horizon: 0,
             overflow: Vec::with_capacity(cap),
+            overflow_peak: 0,
         }
     }
 
@@ -268,6 +279,7 @@ impl WindowQueue for CalendarWheel {
             self.insert_horizon(t);
         } else {
             self.overflow.push(t);
+            self.overflow_peak = self.overflow_peak.max(self.overflow.len());
         }
     }
 
@@ -352,6 +364,10 @@ impl WindowQueue for CalendarWheel {
                 }
             }
         }
+    }
+
+    fn overflow_peak(&self) -> usize {
+        self.overflow_peak
     }
 }
 
@@ -632,6 +648,22 @@ mod tests {
         assert_eq!(w.pop_min(), Some(5000));
         assert_eq!(w.pop_min(), Some(20_000));
         assert_eq!(w.pop_min(), None);
+    }
+
+    #[test]
+    fn overflow_peak_tracks_the_slow_path_high_water() {
+        let mut w = CalendarWheel::with_capacity(8);
+        assert_eq!(w.overflow_peak(), 0);
+        w.push(10);
+        assert_eq!(w.overflow_peak(), 0, "horizon pushes never touch overflow");
+        w.push(10_000);
+        w.push(20_000);
+        assert_eq!(w.overflow_peak(), 2);
+        // Draining migrates entries out, but the peak is a high-water mark.
+        w.drain_le(9_000);
+        assert_eq!(w.overflow_peak(), 2);
+        let f = FifoQueue::with_capacity(8);
+        assert_eq!(f.overflow_peak(), 0, "rings have no slow path");
     }
 
     #[test]

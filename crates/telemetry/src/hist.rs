@@ -1,0 +1,248 @@
+//! Fixed-footprint power-of-two histogram.
+//!
+//! Sixty-five inline buckets — one for zero, one per `ilog2` class of a
+//! `u64` — so a histogram is a flat value type with no heap storage at
+//! all: observing is a shift, an increment and three scalar updates.
+//! That makes it safe to record from inside the allocation-disciplined
+//! timing hot loop, and cheap enough to keep one per profiled quantity
+//! (window occupancies, wheel-slot leads, FU utilization).
+
+use crate::json::JsonValue;
+
+/// Number of buckets: value `0`, then one bucket per power-of-two class
+/// `[2^k, 2^(k+1))` for `k` in `0..64`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// Power-of-two histogram with exact count/sum/min/max sidecars.
+///
+/// Bucket resolution is coarse (factor of two), which is exactly what
+/// occupancy and latency *distributions* need; the exact moments come
+/// from the sidecars. Percentiles are therefore upper bounds of the
+/// bucket in which the requested rank falls.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a value: `0` for zero, `1 + ilog2(v)` otherwise.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            1 + v.ilog2() as usize
+        }
+    }
+
+    /// Inclusive upper bound of a bucket (the value reported for ranks
+    /// falling inside it).
+    fn bucket_high(idx: usize) -> u64 {
+        if idx == 0 {
+            0
+        } else if idx >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << idx) - 1
+        }
+    }
+
+    /// Records one sample. Allocation-free.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Clears all buckets and sidecars.
+    pub fn reset(&mut self) {
+        *self = Histogram::new();
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded samples (wrapping, which no simulated
+    /// quantity approaches).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact mean, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample, `0` when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, `0` when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Upper bound of the bucket containing the `p`-th percentile rank
+    /// (`0 < p <= 100`); `0` when empty. Exact for the min/max ends,
+    /// within a factor of two elsewhere — the resolution this histogram
+    /// trades for its fixed footprint.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_high(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, sample count)`
+    /// pairs, lowest first.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_high(i), n))
+    }
+
+    /// JSON summary: `{count, sum, min, max, mean, p50, p99}` — the
+    /// shape the `--json` export and the perf snapshots embed.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("count".into(), JsonValue::Int(self.count)),
+            ("sum".into(), JsonValue::Int(self.sum)),
+            ("min".into(), JsonValue::Int(self.min())),
+            ("max".into(), JsonValue::Int(self.max)),
+            ("mean".into(), JsonValue::Num(self.mean())),
+            ("p50".into(), JsonValue::Int(self.percentile(50.0))),
+            ("p99".into(), JsonValue::Int(self.percentile(99.0))),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_classes_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn moments_are_exact() {
+        let mut h = Histogram::new();
+        for v in [5, 1, 9, 3] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 18);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 9);
+        assert!((h.mean() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_bound_the_true_rank_within_a_bucket() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        // p100 is the exact max; lower percentiles are bucket upper
+        // bounds, never below the true value's bucket.
+        assert_eq!(h.percentile(100.0), 100);
+        let p50 = h.percentile(50.0);
+        assert!((50..=63).contains(&p50), "p50={p50}");
+        assert_eq!(h.percentile(1.0), 1);
+    }
+
+    #[test]
+    fn merge_equals_interleaved_observation() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in 0..50u64 {
+            a.observe(v * 3);
+            both.observe(v * 3);
+        }
+        for v in 0..70u64 {
+            b.observe(v * 7 + 1);
+            both.observe(v * 7 + 1);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.sum(), both.sum());
+        assert_eq!(a.max(), both.max());
+        assert_eq!(
+            a.nonzero_buckets().collect::<Vec<_>>(),
+            both.nonzero_buckets().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

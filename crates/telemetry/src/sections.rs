@@ -1,0 +1,232 @@
+//! Hierarchical wall-clock section timers.
+//!
+//! A [`SectionTimers`] is a fixed table of named accumulators declared
+//! up front — `run/fetch_crack`, `run/consume/wheel_drain`, … — where
+//! `/`-separated names give the rendering its hierarchy. Declaring the
+//! table fixes the allocation; accumulating into a section is two array
+//! adds, cheap enough for the sampling self-profiler to charge
+//! individual phases of the timing core's hot loop.
+//!
+//! Timers measure *host* time ([`Instant`]) and are therefore
+//! deliberately outside the `RunReport`: two equivalent runs have
+//! identical reports but never identical section times.
+
+use std::time::{Duration, Instant};
+
+use crate::json::JsonValue;
+use crate::{MetricsRegistry, Unit};
+
+/// Handle to one declared section (an index into the fixed table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionId(usize);
+
+/// Fixed table of named nanosecond accumulators.
+#[derive(Debug, Clone)]
+pub struct SectionTimers {
+    names: Vec<&'static str>,
+    ns: Vec<u64>,
+    hits: Vec<u64>,
+}
+
+impl SectionTimers {
+    /// Declares the section table. Names are `/`-separated paths; a
+    /// section's time is *self* time (parents do not need to enclose
+    /// children arithmetically, though renderers show them nested).
+    pub fn new(names: &[&'static str]) -> Self {
+        SectionTimers {
+            names: names.to_vec(),
+            ns: vec![0; names.len()],
+            hits: vec![0; names.len()],
+        }
+    }
+
+    /// Handle for a declared section.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` was not declared — always a plumbing bug.
+    pub fn id(&self, name: &str) -> SectionId {
+        SectionId(
+            self.names
+                .iter()
+                .position(|n| *n == name)
+                .unwrap_or_else(|| panic!("section {name:?} not declared")),
+        )
+    }
+
+    /// Charges an elapsed duration to a section. Allocation-free.
+    #[inline]
+    pub fn add(&mut self, id: SectionId, elapsed: Duration) {
+        self.add_ns(id, elapsed.as_nanos() as u64);
+    }
+
+    /// Charges raw nanoseconds to a section. Allocation-free.
+    #[inline]
+    pub fn add_ns(&mut self, id: SectionId, ns: u64) {
+        self.ns[id.0] += ns;
+        self.hits[id.0] += 1;
+    }
+
+    /// Charges pre-accumulated nanoseconds covering `hits` laps — for
+    /// callers that batch their `Instant` arithmetic in local
+    /// accumulators (the instrumented run loop) and fold in once.
+    #[inline]
+    pub fn add_batch(&mut self, id: SectionId, ns: u64, hits: u64) {
+        self.ns[id.0] += ns;
+        self.hits[id.0] += hits;
+    }
+
+    /// Charges the time since `t0` and returns a fresh `Instant` —
+    /// the "lap" idiom for timing consecutive phases.
+    #[inline]
+    pub fn lap(&mut self, id: SectionId, t0: Instant) -> Instant {
+        let now = Instant::now();
+        self.add(id, now - t0);
+        now
+    }
+
+    /// Accumulated nanoseconds for a declared section name.
+    pub fn ns(&self, name: &str) -> u64 {
+        self.ns[self.id(name).0]
+    }
+
+    /// Number of times a section was charged.
+    pub fn hits(&self, name: &str) -> u64 {
+        self.hits[self.id(name).0]
+    }
+
+    /// Folds another table (same declaration) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two tables declare different sections.
+    pub fn merge(&mut self, other: &SectionTimers) {
+        assert_eq!(self.names, other.names, "merging differently-shaped timers");
+        for i in 0..self.ns.len() {
+            self.ns[i] += other.ns[i];
+            self.hits[i] += other.hits[i];
+        }
+    }
+
+    /// Exports every section as `section.<path>.ns` counters (with a
+    /// `.hits` sibling) into a registry.
+    pub fn export_into(&self, reg: &mut MetricsRegistry) {
+        for (i, name) in self.names.iter().enumerate() {
+            let path = name.replace('/', ".");
+            reg.counter_at(&format!("section.{path}.ns"), Unit::Nanos, self.ns[i]);
+            reg.counter_at(&format!("section.{path}.hits"), Unit::Count, self.hits[i]);
+        }
+    }
+
+    /// JSON object `{path: {ns, hits}}` in declaration order.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(
+            self.names
+                .iter()
+                .enumerate()
+                .map(|(i, name)| {
+                    (
+                        name.to_string(),
+                        JsonValue::Obj(vec![
+                            ("ns".into(), JsonValue::Int(self.ns[i])),
+                            ("hits".into(), JsonValue::Int(self.hits[i])),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Human rendering: indentation from path depth, percentages against
+    /// the root total (sum of depth-0 sections).
+    pub fn render_human(&self) -> String {
+        use std::fmt::Write as _;
+        let total: u64 = self
+            .names
+            .iter()
+            .zip(&self.ns)
+            .filter(|(n, _)| !n.contains('/'))
+            .map(|(_, ns)| *ns)
+            .sum();
+        let mut out = String::new();
+        for (i, name) in self.names.iter().enumerate() {
+            let depth = name.matches('/').count();
+            let leaf = name.rsplit('/').next().unwrap_or(name);
+            let pct = if total > 0 {
+                self.ns[i] as f64 * 100.0 / total as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:indent$}{:<24} {:>12.3} ms {:>6.1}%  ({} laps)",
+                "",
+                leaf,
+                self.ns[i] as f64 / 1e6,
+                pct,
+                self.hits[i],
+                indent = depth * 2
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SectionTimers {
+        SectionTimers::new(&["run", "run/fetch", "run/consume", "run/consume/drain"])
+    }
+
+    #[test]
+    fn accumulation_and_lookup() {
+        let mut t = table();
+        let fetch = t.id("run/fetch");
+        t.add_ns(fetch, 100);
+        t.add_ns(fetch, 50);
+        assert_eq!(t.ns("run/fetch"), 150);
+        assert_eq!(t.hits("run/fetch"), 2);
+        assert_eq!(t.ns("run/consume"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn undeclared_section_panics() {
+        table().id("run/nope");
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = table();
+        let mut b = table();
+        a.add_ns(a.id("run"), 10);
+        b.add_ns(b.id("run"), 5);
+        b.add_ns(b.id("run/consume/drain"), 7);
+        a.merge(&b);
+        assert_eq!(a.ns("run"), 15);
+        assert_eq!(a.ns("run/consume/drain"), 7);
+        assert_eq!(a.hits("run"), 2);
+    }
+
+    #[test]
+    fn export_uses_dotted_paths() {
+        let mut t = table();
+        t.add_ns(t.id("run/consume/drain"), 42);
+        let mut reg = MetricsRegistry::new();
+        t.export_into(&mut reg);
+        assert_eq!(reg.counter_value("section.run.consume.drain.ns"), Some(42));
+        assert_eq!(reg.counter_value("section.run.fetch.hits"), Some(0));
+    }
+
+    #[test]
+    fn human_rendering_nests_and_percentages_sum() {
+        let mut t = table();
+        t.add_ns(t.id("run"), 1_000_000);
+        let text = t.render_human();
+        assert!(text.contains("run"));
+        assert!(text.contains("100.0%"));
+        assert!(text.contains("drain"));
+    }
+}

@@ -22,8 +22,10 @@ use watchdog_isa::insn::Inst;
 use watchdog_isa::Program;
 use watchdog_mem::HierarchyConfig;
 use watchdog_pipeline::{
-    CoreConfig, FeedStats, HeapSched, SchedModel, ScheduledCore, UopBatch, WheelSched,
+    CoreConfig, FeedStats, HeapSched, SchedModel, ScheduledCore, TelemetryConfig, UopBatch,
+    WheelSched,
 };
+use watchdog_telemetry::MetricsRegistry;
 
 use crate::format::{program_fingerprint, Trace, TraceError};
 use crate::record::{F_BRANCH, F_FOLDABLE, F_FOLDED, F_PTR, F_SEQ, F_TAKEN};
@@ -170,7 +172,25 @@ pub fn replay_with_stats(
     trace: &Trace,
     cfg: &ReplayConfig,
 ) -> Result<(RunReport, ReplayStats), TraceError> {
-    replay_impl::<WheelSched>(program, trace, cfg)
+    replay_impl::<WheelSched>(program, trace, cfg, None).map(|(report, stats, _)| (report, stats))
+}
+
+/// [`replay()`] with the timing core's self-profiler attached: the core
+/// collects per-kind dispatch counters, occupancy/wheel histograms and
+/// sampled phase timers under `tele`, exported as a `profile.*`/`feed.*`
+/// registry beside the report. The report itself is byte-identical to an
+/// uninstrumented [`replay()`] — telemetry is observation, never timing.
+///
+/// # Errors
+///
+/// Exactly as [`replay()`].
+pub fn replay_instrumented(
+    program: &Program,
+    trace: &Trace,
+    cfg: &ReplayConfig,
+    tele: TelemetryConfig,
+) -> Result<(RunReport, MetricsRegistry), TraceError> {
+    replay_impl::<WheelSched>(program, trace, cfg, Some(tele)).map(|(report, _, reg)| (report, reg))
 }
 
 /// [`replay()`] on the heap-scheduled reference core
@@ -186,15 +206,18 @@ pub fn replay_reference(
     trace: &Trace,
     cfg: &ReplayConfig,
 ) -> Result<RunReport, TraceError> {
-    replay_impl::<HeapSched>(program, trace, cfg).map(|(report, _)| report)
+    replay_impl::<HeapSched>(program, trace, cfg, None).map(|(report, _, _)| report)
 }
 
 /// The replay loop, generic over the timing core's scheduling model.
+/// `tele`, when supplied, attaches the core's self-profiler and exports
+/// its registry as the third element (empty otherwise).
 fn replay_impl<S: SchedModel>(
     program: &Program,
     trace: &Trace,
     cfg: &ReplayConfig,
-) -> Result<(RunReport, ReplayStats), TraceError> {
+    tele: Option<TelemetryConfig>,
+) -> Result<(RunReport, ReplayStats, MetricsRegistry), TraceError> {
     if trace.program != program.name() || trace.fingerprint != program_fingerprint(program) {
         return Err(TraceError::ProgramMismatch {
             trace: trace.program.clone(),
@@ -211,6 +234,9 @@ fn replay_impl<S: SchedModel>(
         .crack_cache
         .then(|| CrackCache::new(crack_cfg, program.len()));
     let mut core = ScheduledCore::<S>::new(cfg.core, hier);
+    if let Some(tcfg) = tele {
+        core.enable_telemetry(tcfg);
+    }
     let mut cur = CrackedInst::empty();
     let mut ubatch = UopBatch::with_capacity(UopBatch::TARGET_INSTS);
     let mut addrs: Vec<u64> = Vec::with_capacity(watchdog_isa::uop::MAX_UOPS + 1);
@@ -312,6 +338,10 @@ fn replay_impl<S: SchedModel>(
         feed: core.feed_stats(),
         ll_memo_hits: core.hierarchy().ll_memo_hits(),
     };
+    let mut reg = MetricsRegistry::new();
+    if tele.is_some() {
+        core.export_telemetry_into(&mut reg);
+    }
     let report = RunReport {
         program: trace.program.clone(),
         mode: mode.label(),
@@ -322,5 +352,5 @@ fn replay_impl<S: SchedModel>(
         timing: Some(core.finish()),
         crack_cache: cache.map(|c| c.stats()),
     };
-    Ok((report, stats))
+    Ok((report, stats, reg))
 }

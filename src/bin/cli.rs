@@ -5,6 +5,9 @@
 //! watchdog-cli modes                        # available modes
 //! watchdog-cli run mcf --mode isa           # simulate one benchmark
 //! watchdog-cli run perl --mode cons --scale ref --sampled
+//! watchdog-cli run mcf --json               # machine-readable metrics (watchdog-run-v1)
+//! watchdog-cli run mcf --telemetry          # human report + registry + self-profile
+//! watchdog-cli perf                         # perf snapshot -> BENCH_<rev>.json
 //! watchdog-cli juliet                       # run the §9.2 security suite
 //! watchdog-cli fuzz --seeds 1000            # differential fuzzing campaign
 //! watchdog-cli fuzz --seed 42               # reproduce one generated case
@@ -61,7 +64,8 @@ fn parse_scale(s: &str) -> Option<Scale> {
 fn usage() -> ! {
     eprintln!(
         "usage:\n  watchdog-cli list\n  watchdog-cli modes\n  watchdog-cli run <bench> \
-         [--mode <mode>] [--scale test|small|ref] [--functional] [--sampled]\n  watchdog-cli juliet [--mode <mode>]\n  \
+         [--mode <mode>] [--scale test|small|ref] [--functional] [--sampled] [--json] [--telemetry]\n  \
+         watchdog-cli perf [--samples N] [--filter F] [-o FILE] [--rev R]\n  watchdog-cli juliet [--mode <mode>]\n  \
          watchdog-cli fuzz [--seeds N] [--seed-start K] [--jobs J]\n  watchdog-cli fuzz --seed <K>\n  \
          watchdog-cli trace record <bench> [--mode <mode>] [--scale <scale>] [-o FILE]\n  \
          watchdog-cli trace replay <bench> --trace FILE [--scale <scale>] [--verify]\n  \
@@ -127,8 +131,45 @@ fn cmd_run(args: &[String]) {
         SimConfig::timed(mode)
     };
 
+    let json = args.iter().any(|a| a == "--json");
+    let telemetry = args.iter().any(|a| a == "--telemetry");
+
     let program = spec.build(scale);
-    let report = match Simulator::new(cfg).run(&program) {
+    let sim = Simulator::new(cfg);
+
+    if json || telemetry {
+        // Instrumented run: same RunReport (asserted by the telemetry
+        // cross-check suite), plus the out-of-band RunTelemetry.
+        let (report, tele) = match sim.run_instrumented(&program) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("simulation failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if json {
+            // Machine-readable only: stdout is the document.
+            let scale_label = format!("{scale:?}").to_lowercase();
+            print!(
+                "{}",
+                watchdog::core::run_json(spec.name, &scale_label, &report, Some(&tele))
+            );
+        } else {
+            println!(
+                "benchmark:       {} ({:?}, {scale:?})",
+                spec.name, spec.category
+            );
+            print_report(&report);
+            println!("telemetry:");
+            print!(
+                "{}",
+                watchdog::core::export_metrics(&report, Some(&tele)).render_human()
+            );
+        }
+        return;
+    }
+
+    let report = match sim.run(&program) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("simulation failed: {e}");
@@ -141,6 +182,70 @@ fn cmd_run(args: &[String]) {
         spec.name, spec.category
     );
     print_report(&report);
+}
+
+/// Best-effort short git revision for perf-snapshot file names:
+/// `--rev` override, then `git rev-parse --short HEAD`, else `unknown`.
+fn git_rev(args: &[String]) -> String {
+    if let Some(rev) = flag_value(args, "--rev") {
+        return rev;
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// `watchdog-cli perf` — measures the shared `timing_wheel` /
+/// `consume_batch` case list (the same feed loops the criterion benches
+/// run) and writes a `watchdog-bench-v1` snapshot to `BENCH_<rev>.json`,
+/// validated with the same parser CI uses before it is written.
+fn cmd_perf(args: &[String]) {
+    let samples = flag_value(args, "--samples").map_or(3u64, |v| {
+        v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+            eprintln!("--samples requires a positive integer");
+            std::process::exit(2);
+        })
+    });
+    let filter = flag_value(args, "--filter");
+    let rev = git_rev(args);
+    let out = flag_value(args, "-o")
+        .or_else(|| flag_value(args, "--out"))
+        .unwrap_or_else(|| format!("BENCH_{rev}.json"));
+    let snap = watchdog::bench::perf::perf_snapshot(&rev, samples, filter.as_deref(), |r| {
+        println!(
+            "{:<40} {:>14.1} ns/iter  ({:.1} Melem/s)",
+            r.name, r.ns_per_iter, r.melem_per_s
+        );
+    });
+    if snap.records.is_empty() {
+        eprintln!(
+            "no perf case matches filter {:?}",
+            filter.unwrap_or_default()
+        );
+        std::process::exit(2);
+    }
+    let doc = snap.to_json();
+    // Self-validate through the shared schema parser before writing —
+    // the exact check CI's telemetry smoke step repeats on the artifact.
+    if let Err(e) = watchdog::telemetry::BenchSnapshot::from_json(&doc) {
+        eprintln!("internal error: snapshot fails its own schema: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&out, &doc) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {} record(s) at rev {rev} ({} samples each) -> {out}",
+        snap.records.len(),
+        samples
+    );
 }
 
 /// Prints the standard per-run report block (shared by `run` and
@@ -436,6 +541,7 @@ fn main() {
         Some("list") => cmd_list(),
         Some("modes") => cmd_modes(),
         Some("run") => cmd_run(&args[1..]),
+        Some("perf") => cmd_perf(&args[1..]),
         Some("juliet") => cmd_juliet(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),

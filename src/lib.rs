@@ -20,9 +20,12 @@
 //! ([`workloads`]), a seeded program generator with a differential
 //! detection oracle ([`gen`]), commit-stream capture with trace-driven
 //! timing replay for one-pass configuration sweeps ([`trace`]), the
-//! parallel suite/fuzz/sweep runners (the `bench` re-export), and the
+//! parallel suite/fuzz/sweep runners (the `bench` re-export), the
 //! crash-isolated multi-process campaign service with its resumable,
-//! crash-safe results ledger ([`campaign`]).
+//! crash-safe results ledger ([`campaign`]), and the structured
+//! telemetry layer — preallocated metrics registry, sampling
+//! self-profiler, section timers and the dependency-free JSON behind
+//! `run --json` / `perf` snapshots ([`telemetry`]).
 //!
 //! # Quickstart
 //!
@@ -63,6 +66,7 @@ pub use watchdog_gen as gen;
 pub use watchdog_isa as isa;
 pub use watchdog_mem as mem;
 pub use watchdog_pipeline as pipeline;
+pub use watchdog_telemetry as telemetry;
 pub use watchdog_trace as trace;
 pub use watchdog_workloads as workloads;
 

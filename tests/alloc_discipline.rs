@@ -9,6 +9,12 @@
 //! table, the prefetcher scratch and the batch arenas are all
 //! preallocated, so the hot loop never touches the allocator.
 //!
+//! The loop runs with **telemetry enabled**: the metrics registry,
+//! self-profiler histograms and section counters preallocate at
+//! registration time, so recording must be allocation-free too — that is
+//! the telemetry layer's zero-overhead-when-disabled contract's sharper
+//! sibling, zero-allocation-when-enabled.
+//!
 //! This file holds a single `#[test]` on purpose: the counter is
 //! process-global, and a concurrent test thread would alias it.
 
@@ -18,7 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use watchdog_core::machine::{Machine, MachineConfig, Step};
 use watchdog_isa::crack::CrackedInst;
 use watchdog_mem::HierarchyConfig;
-use watchdog_pipeline::{CoreConfig, TimingCore, UopBatch};
+use watchdog_pipeline::{CoreConfig, TelemetryConfig, TimingCore, UopBatch};
 use watchdog_workloads::{benchmark, Scale};
 
 /// Counts every allocation (fresh or growing) routed through the global
@@ -56,9 +62,11 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// The batched feed over a full `mcf` suite cell allocates nothing after
-/// construction: the allocation count across every `push_cracked` and
-/// `consume_batch` call is exactly zero.
+/// The batched feed over a full `mcf` suite cell — with the telemetry
+/// self-profiler recording dispatch counters, occupancy histograms and
+/// FU utilization throughout — allocates nothing after construction:
+/// the allocation count across every `push_cracked` and `consume_batch`
+/// call is exactly zero.
 #[test]
 fn steady_state_timed_loop_is_allocation_free() {
     // Setup (allocates freely): materialize the committed µop stream the
@@ -73,6 +81,7 @@ fn steady_state_timed_loop_is_allocation_free() {
     assert!(!stream.is_empty(), "mcf cell produced no committed insts");
 
     let mut core = TimingCore::new(CoreConfig::sandy_bridge(), HierarchyConfig::default());
+    core.enable_telemetry(TelemetryConfig::default());
     let mut batch = UopBatch::with_capacity(UopBatch::TARGET_INSTS);
 
     // Measured region: the steady-state loop, exactly as the live path
@@ -88,6 +97,16 @@ fn steady_state_timed_loop_is_allocation_free() {
     core.consume_batch(&batch);
     batch.clear();
     let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+
+    // The zero-allocation claim is only meaningful if the profiler was
+    // actually recording through the measured region.
+    let tele = core.take_telemetry().expect("telemetry stays attached");
+    assert_eq!(
+        tele.insts,
+        stream.len() as u64,
+        "the self-profiler saw every instruction"
+    );
+    assert!(tele.uops >= tele.insts, "µop counters recorded");
 
     let report = core.finish();
     assert!(report.cycles > 0, "timed model reported no cycles");

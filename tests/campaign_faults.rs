@@ -10,8 +10,10 @@ use std::time::Duration;
 
 use watchdog::campaign::cell::KIND_RETRIES_EXHAUSTED;
 use watchdog::campaign::{
-    run_campaign, serial_ledger_bytes, CampaignConfig, CampaignSpec, CellOutcome,
+    parse_jsonl, run_campaign, serial_ledger_bytes, CampaignConfig, CampaignSpec, CellOutcome,
+    EVENTS_SCHEMA,
 };
+use watchdog::telemetry::JsonValue;
 
 const CELLS: usize = 10;
 
@@ -136,21 +138,157 @@ fn persistent_fault_exhausts_retries_and_is_recorded() {
 /// A worker hang is reaped by the heartbeat timeout, the worker is
 /// respawned, and the campaign still finishes with the serial ledger.
 /// With a single worker slot the respawn is mandatory — there is no
-/// other worker to drain the queue.
+/// other worker to drain the queue. The JSONL flight record must show
+/// the same story: a timeout reap, a respawn, and the retry.
 #[test]
 fn hang_reaping_respawns_the_worker() {
     let spec = CampaignSpec::fuzz(0, CELLS);
     let serial = serial_ledger_bytes(&spec);
     let path = ledger_path("hang-mid");
+    let events_path = ledger_path("hang-mid-events");
     let mut c = cfg("hang@2", Duration::from_secs(2));
     c.jobs = 1;
+    c.events = Some(events_path.clone());
     let stats = run_campaign(&spec, &c, &path, false).expect("campaign completes");
     let bytes = std::fs::read(&path).expect("ledger readable");
+    let lines = parse_jsonl(&std::fs::read_to_string(&events_path).expect("events readable"))
+        .expect("events parse");
     std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&events_path).ok();
     assert_eq!(bytes, serial);
     assert!(
         stats.respawns >= 1,
         "the hung worker was killed and respawned"
     );
     assert!(stats.retries >= 1, "the hung cell was retried");
+    let reaps = events_of(&lines, "reap");
+    assert!(
+        reaps
+            .iter()
+            .any(|e| e.get("reason").and_then(JsonValue::as_str) == Some("timeout")),
+        "the hang must surface as a timeout reap in the event stream"
+    );
+    assert_eq!(
+        events_of(&lines, "respawn").len() as u32,
+        stats.respawns,
+        "respawn events match the stats counter"
+    );
+}
+
+/// Pulls every event line of one kind out of a parsed JSONL stream.
+fn events_of<'a>(lines: &'a [JsonValue], kind: &str) -> Vec<&'a JsonValue> {
+    lines
+        .iter()
+        .filter(|l| l.get("event").and_then(JsonValue::as_str) == Some(kind))
+        .collect()
+}
+
+/// Satellite of the telemetry layer: the JSONL event stream is the
+/// campaign's flight recorder, and every injected `WATCHDOG_FAULT` must
+/// leave its full trail there — a reap for the killed worker, a retry
+/// for its cell, respawns matching the stats, and a `done` line (with a
+/// ledger-fsync timing) for every cell that ultimately completed.
+#[test]
+fn event_stream_records_every_injected_fault() {
+    let spec = CampaignSpec::fuzz(0, CELLS);
+    let serial = serial_ledger_bytes(&spec);
+    let path = ledger_path("events");
+    let events_path = ledger_path("events-jsonl");
+    let faulted_cells: &[u64] = &[0, 3, 5, 9];
+    let mut c = cfg(
+        "panic@0,exit@3,corrupt@5,truncate@9",
+        Duration::from_secs(60),
+    );
+    c.events = Some(events_path.clone());
+    let stats = run_campaign(&spec, &c, &path, false).expect("campaign completes");
+    let bytes = std::fs::read(&path).expect("ledger readable");
+    let text = std::fs::read_to_string(&events_path).expect("events readable");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&events_path).ok();
+    assert_eq!(bytes, serial, "faults never change the final ledger");
+
+    let lines = parse_jsonl(&text).expect("every event line parses as JSON");
+
+    // Envelope: starts with a schema-tagged campaign_start, ends with
+    // campaign_end, and every line carries a monotone-readable t_ms.
+    let first = lines.first().expect("nonempty stream");
+    assert_eq!(
+        first.get("event").and_then(JsonValue::as_str),
+        Some("campaign_start")
+    );
+    assert_eq!(
+        first.get("schema").and_then(JsonValue::as_str),
+        Some(EVENTS_SCHEMA)
+    );
+    assert_eq!(
+        first.get("cells").and_then(JsonValue::as_u64),
+        Some(CELLS as u64)
+    );
+    let last = lines.last().expect("nonempty stream");
+    assert_eq!(
+        last.get("event").and_then(JsonValue::as_str),
+        Some("campaign_end")
+    );
+    assert_eq!(
+        last.get("completed").and_then(JsonValue::as_u64),
+        Some(u64::from(stats.completed))
+    );
+    for l in &lines {
+        assert!(
+            l.get("t_ms").and_then(JsonValue::as_f64).is_some(),
+            "every event carries t_ms: {l:?}"
+        );
+    }
+
+    // Every injected fault kills a worker: its cell must show a retry
+    // event, and the kill itself a reap event. Single-shot faults fire
+    // on attempt 0 only, so retry counts match the stats exactly.
+    let retries = events_of(&lines, "retry");
+    assert_eq!(retries.len() as u32, stats.retries, "retry events == stats");
+    for &cell in faulted_cells {
+        assert!(
+            retries
+                .iter()
+                .any(|e| e.get("cell").and_then(JsonValue::as_u64) == Some(cell)),
+            "faulted cell {cell} must have a retry event"
+        );
+    }
+    assert!(
+        events_of(&lines, "reap").len() >= faulted_cells.len(),
+        "each injected fault reaps a worker"
+    );
+    assert_eq!(
+        events_of(&lines, "respawn").len() as u32,
+        stats.respawns,
+        "respawn events match the stats counter"
+    );
+
+    // Every completed cell has a done event with the ledger fsync time;
+    // dispatches cover at least one attempt per cell; hellos follow
+    // spawns.
+    let dones = events_of(&lines, "done");
+    assert_eq!(dones.len() as u32, stats.completed, "one done per cell");
+    for cell in 0..CELLS as u64 {
+        let d = dones
+            .iter()
+            .find(|e| e.get("cell").and_then(JsonValue::as_u64) == Some(cell))
+            .unwrap_or_else(|| panic!("cell {cell} has a done event"));
+        assert_eq!(d.get("ok"), Some(&JsonValue::Bool(true)));
+        assert!(
+            d.get("fsync_ms")
+                .and_then(JsonValue::as_f64)
+                .is_some_and(|ms| ms >= 0.0),
+            "done events time the ledger fsync"
+        );
+    }
+    assert!(
+        events_of(&lines, "dispatch").len() >= CELLS,
+        "every cell dispatched"
+    );
+    let spawns = events_of(&lines, "spawn").len();
+    assert!(spawns >= 2, "both worker slots spawned");
+    assert!(
+        !events_of(&lines, "hello").is_empty(),
+        "workers announced themselves with a measured hello latency"
+    );
 }

@@ -96,6 +96,87 @@ fn timed_run_reports_cycles() {
 }
 
 #[test]
+fn run_json_emits_the_stable_schema() {
+    let out = stdout_of(&["run", "mcf", "--scale", "test", "--mode", "cons", "--json"]);
+    let doc = watchdog::telemetry::JsonValue::parse(&out).expect("run --json parses");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some(watchdog::core::RUN_SCHEMA)
+    );
+    assert_eq!(doc.get("benchmark").and_then(|v| v.as_str()), Some("mcf"));
+    assert_eq!(doc.get("scale").and_then(|v| v.as_str()), Some("test"));
+    let metrics = doc.get("metrics").expect("metrics object");
+    for key in [
+        "run.insts",
+        "timing.cycles",
+        "timing.ipc",
+        "mem.ll.accesses",
+        "profile.insts",
+        "feed.batches",
+        "section.run.ns",
+        "host.run.ns",
+    ] {
+        assert!(metrics.get(key).is_some(), "{key} missing from:\n{out}");
+    }
+    // The human-readable telemetry view renders the same registry.
+    let out = stdout_of(&[
+        "run",
+        "mcf",
+        "--scale",
+        "test",
+        "--mode",
+        "cons",
+        "--telemetry",
+    ]);
+    assert!(out.contains("telemetry:"), "{out}");
+    assert!(out.contains("profile.insts"), "{out}");
+}
+
+#[test]
+fn perf_writes_a_validating_bench_snapshot() {
+    let dir = std::env::temp_dir().join(format!("wdperf-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("bench.json");
+    let path_s = path.to_str().expect("utf-8 temp path");
+
+    let out = stdout_of(&[
+        "perf",
+        "--samples",
+        "1",
+        "--filter",
+        "mcf_wheel",
+        "-o",
+        path_s,
+        "--rev",
+        "smoke",
+    ]);
+    assert!(out.contains("mcf_wheel"), "{out}");
+
+    let text = std::fs::read_to_string(&path).expect("snapshot written");
+    let snap = watchdog::telemetry::BenchSnapshot::from_json(&text)
+        .expect("snapshot passes the shared validator");
+    assert_eq!(snap.rev, "smoke");
+    assert!(
+        snap.records
+            .iter()
+            .any(|r| r.name == "timing_wheel/mcf_wheel"),
+        "expected case missing: {:?}",
+        snap.records.iter().map(|r| &r.name).collect::<Vec<_>>()
+    );
+    assert!(
+        snap.records
+            .iter()
+            .all(|r| r.ns_per_iter > 0.0 && r.iterations > 0),
+        "degenerate measurements: {:?}",
+        snap.records
+    );
+
+    // An over-narrow filter is an error, not an empty snapshot.
+    assert!(!cli(&["perf", "--filter", "no-such-case"]).status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn juliet_suite_detects_everything_under_watchdog() {
     let out = stdout_of(&["juliet", "--mode", "cons"]);
     assert!(

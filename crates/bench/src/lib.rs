@@ -1067,3 +1067,4 @@ mod tests {
 }
 pub mod figs;
 pub mod perf;
+pub mod perfdiff;

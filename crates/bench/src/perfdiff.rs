@@ -1,0 +1,260 @@
+//! The perf-regression observatory: comparing two `watchdog-bench-v1`
+//! snapshots case by case.
+//!
+//! `watchdog-cli perf compare <baseline> <candidate>` builds a
+//! [`PerfDiff`] from a committed `bench-history/BENCH_<rev>.json`
+//! baseline and a freshly measured candidate, classifies every case
+//! against a noise threshold, and renders the result both for humans
+//! (the CLI table) and machines (the [`PERFDIFF_SCHEMA`] JSON document
+//! CI archives as a build artifact). The comparison is deliberately dumb
+//! — per-case relative `ns_per_iter` delta against one committed
+//! snapshot — because the history directory accumulates one snapshot per
+//! revision, so trends live in the files, not in this code.
+
+use watchdog_telemetry::{BenchSnapshot, JsonValue};
+
+/// Schema tag carried by every `perf compare --json` delta report.
+pub const PERFDIFF_SCHEMA: &str = "watchdog-perfdiff-v1";
+
+/// Default noise threshold in percent: a candidate case is a regression
+/// only when it is more than this much slower than the baseline. Shared
+/// wall-clock benches on CI runners jitter by a few percent; ten keeps
+/// the gate quiet without letting real cliffs through.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 10.0;
+
+/// Classification of one benchmark case across the two snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Present in both, delta within the noise threshold (or faster).
+    Pass,
+    /// Present in both and slower than the threshold allows.
+    Regress,
+    /// Only in the candidate — a freshly added case, never a failure.
+    New,
+    /// Only in the baseline — the candidate lost coverage; fails the
+    /// gate, because a silently dropped case hides exactly the
+    /// regression the gate exists to catch.
+    Missing,
+}
+
+impl Verdict {
+    /// Stable lowercase label used in both the JSON report and the table.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Regress => "regress",
+            Verdict::New => "new",
+            Verdict::Missing => "missing",
+        }
+    }
+}
+
+/// One case's comparison: both measurements and the verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseDiff {
+    /// Full case path (`group/case`).
+    pub name: String,
+    /// Baseline `ns_per_iter`; `0.0` for [`Verdict::New`] cases.
+    pub base_ns: f64,
+    /// Candidate `ns_per_iter`; `0.0` for [`Verdict::Missing`] cases.
+    pub cand_ns: f64,
+    /// Relative delta in percent, `(cand − base) / base × 100` —
+    /// positive is slower. `0.0` when either side is absent.
+    pub delta_pct: f64,
+    /// The classification.
+    pub verdict: Verdict,
+}
+
+/// A full delta report between one baseline and one candidate snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfDiff {
+    /// Revision the baseline snapshot was measured at.
+    pub baseline_rev: String,
+    /// Revision the candidate snapshot was measured at.
+    pub candidate_rev: String,
+    /// Noise threshold (percent) the verdicts were computed with.
+    pub threshold_pct: f64,
+    /// Per-case comparisons: baseline cases in baseline order, then
+    /// candidate-only cases in candidate order.
+    pub cases: Vec<CaseDiff>,
+}
+
+impl PerfDiff {
+    /// Compares `candidate` against `baseline` with the given noise
+    /// threshold (percent).
+    pub fn compare(
+        baseline: &BenchSnapshot,
+        candidate: &BenchSnapshot,
+        threshold_pct: f64,
+    ) -> Self {
+        let mut cases = Vec::with_capacity(baseline.records.len() + 1);
+        for b in &baseline.records {
+            let case = match candidate.record(&b.name) {
+                Some(c) => {
+                    let delta_pct = if b.ns_per_iter > 0.0 {
+                        (c.ns_per_iter - b.ns_per_iter) / b.ns_per_iter * 100.0
+                    } else {
+                        0.0
+                    };
+                    CaseDiff {
+                        name: b.name.clone(),
+                        base_ns: b.ns_per_iter,
+                        cand_ns: c.ns_per_iter,
+                        delta_pct,
+                        verdict: if delta_pct > threshold_pct {
+                            Verdict::Regress
+                        } else {
+                            Verdict::Pass
+                        },
+                    }
+                }
+                None => CaseDiff {
+                    name: b.name.clone(),
+                    base_ns: b.ns_per_iter,
+                    cand_ns: 0.0,
+                    delta_pct: 0.0,
+                    verdict: Verdict::Missing,
+                },
+            };
+            cases.push(case);
+        }
+        for c in &candidate.records {
+            if baseline.record(&c.name).is_none() {
+                cases.push(CaseDiff {
+                    name: c.name.clone(),
+                    base_ns: 0.0,
+                    cand_ns: c.ns_per_iter,
+                    delta_pct: 0.0,
+                    verdict: Verdict::New,
+                });
+            }
+        }
+        PerfDiff {
+            baseline_rev: baseline.rev.clone(),
+            candidate_rev: candidate.rev.clone(),
+            threshold_pct,
+            cases,
+        }
+    }
+
+    /// Cases that fail the gate: regressions and lost coverage.
+    pub fn failures(&self) -> impl Iterator<Item = &CaseDiff> {
+        self.cases
+            .iter()
+            .filter(|c| matches!(c.verdict, Verdict::Regress | Verdict::Missing))
+    }
+
+    /// Whether the gate should fail the build.
+    pub fn has_failures(&self) -> bool {
+        self.failures().next().is_some()
+    }
+
+    /// Renders the delta report as the stable [`PERFDIFF_SCHEMA`]
+    /// document (pretty-printed, schema tag first).
+    pub fn to_json(&self) -> String {
+        JsonValue::Obj(vec![
+            ("schema".into(), JsonValue::str(PERFDIFF_SCHEMA)),
+            ("baseline_rev".into(), JsonValue::str(&self.baseline_rev)),
+            ("candidate_rev".into(), JsonValue::str(&self.candidate_rev)),
+            ("threshold_pct".into(), JsonValue::Num(self.threshold_pct)),
+            (
+                "cases".into(),
+                JsonValue::Arr(
+                    self.cases
+                        .iter()
+                        .map(|c| {
+                            JsonValue::Obj(vec![
+                                ("name".into(), JsonValue::str(&c.name)),
+                                ("base_ns".into(), JsonValue::Num(c.base_ns)),
+                                ("cand_ns".into(), JsonValue::Num(c.cand_ns)),
+                                ("delta_pct".into(), JsonValue::Num(c.delta_pct)),
+                                ("verdict".into(), JsonValue::str(c.verdict.label())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .render_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watchdog_telemetry::BenchRecord;
+
+    fn snap(rev: &str, cases: &[(&str, f64)]) -> BenchSnapshot {
+        BenchSnapshot {
+            rev: rev.into(),
+            records: cases
+                .iter()
+                .map(|(name, ns)| BenchRecord {
+                    name: (*name).into(),
+                    ns_per_iter: *ns,
+                    melem_per_s: 0.0,
+                    iterations: 10,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn verdicts_cover_pass_regress_new_and_missing() {
+        let base = snap(
+            "aaa",
+            &[("g/steady", 100.0), ("g/slower", 100.0), ("g/gone", 50.0)],
+        );
+        let cand = snap(
+            "bbb",
+            &[("g/steady", 104.0), ("g/slower", 125.0), ("g/added", 7.0)],
+        );
+        let diff = PerfDiff::compare(&base, &cand, 10.0);
+        let verdict = |name: &str| {
+            diff.cases
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.verdict)
+                .unwrap()
+        };
+        assert_eq!(verdict("g/steady"), Verdict::Pass);
+        assert_eq!(verdict("g/slower"), Verdict::Regress);
+        assert_eq!(verdict("g/gone"), Verdict::Missing);
+        assert_eq!(verdict("g/added"), Verdict::New);
+        assert!(diff.has_failures());
+        assert_eq!(diff.failures().count(), 2);
+        let slower = diff.cases.iter().find(|c| c.name == "g/slower").unwrap();
+        assert!((slower.delta_pct - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedups_and_threshold_boundary_pass() {
+        let base = snap("aaa", &[("g/fast", 100.0), ("g/edge", 100.0)]);
+        let cand = snap("bbb", &[("g/fast", 60.0), ("g/edge", 110.0)]);
+        let diff = PerfDiff::compare(&base, &cand, 10.0);
+        assert!(!diff.has_failures(), "at-threshold and faster both pass");
+        assert!(diff.cases[0].delta_pct < 0.0);
+    }
+
+    #[test]
+    fn json_report_has_the_stable_shape() {
+        let base = snap("aaa", &[("g/x", 100.0)]);
+        let cand = snap("bbb", &[("g/x", 120.0)]);
+        let diff = PerfDiff::compare(&base, &cand, 5.0);
+        let doc = JsonValue::parse(&diff.to_json()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some(PERFDIFF_SCHEMA)
+        );
+        assert_eq!(
+            doc.get("baseline_rev").and_then(JsonValue::as_str),
+            Some("aaa")
+        );
+        let cases = doc.get("cases").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(cases.len(), 1);
+        assert_eq!(
+            cases[0].get("verdict").and_then(JsonValue::as_str),
+            Some("regress")
+        );
+    }
+}

@@ -64,6 +64,7 @@ pub mod events;
 pub mod fault;
 pub mod frame;
 pub mod ledger;
+pub mod validate;
 pub mod worker;
 
 pub use cell::{execute_cell, CampaignSpec, CellOutcome, CellSpec};
@@ -75,6 +76,7 @@ pub use coordinator::{
 pub use events::{parse_jsonl, EventLog, EVENTS_SCHEMA};
 pub use fault::{FaultKind, FaultPlan, FAULT_ENV};
 pub use ledger::{read_canonical, CellRecord, LedgerError, LedgerHeader};
+pub use validate::{cross_check, validate_events, EventsSummary};
 pub use worker::worker_entry;
 
 /// FNV-1a over a byte slice (the checksum/fingerprint primitive shared by

@@ -1,0 +1,449 @@
+//! Schema validation of a campaign `--events` flight record, and the
+//! ledger cross-check behind `watchdog-cli events validate`.
+//!
+//! The event stream and the ledger describe the same campaign from two
+//! sides: the stream is the flight recorder (flushed per line, survives
+//! crashes), the ledger is the durable result. [`validate_events`]
+//! checks every line against the `watchdog-campaign-events-v1`
+//! vocabulary — field presence, field types, reap reasons, monotonic
+//! timestamps — and [`cross_check`] then verifies the two sides agree:
+//! every durable `done`/`retries_exhausted` event must match the
+//! deduplicated ledger outcome for its cell, and a stream that reached
+//! `campaign_end` must account for exactly the ledger's record count.
+
+use std::collections::BTreeMap;
+
+use watchdog_telemetry::JsonValue;
+
+use crate::events::EVENTS_SCHEMA;
+use crate::ledger::{dedup, ParsedLedger};
+
+/// Reap reasons the coordinator emits.
+const REAP_REASONS: [&str; 5] = [
+    "timeout",
+    "pipe-closed",
+    "misattributed-done",
+    "bad-frame",
+    "eof",
+];
+
+/// Field types in the event vocabulary.
+#[derive(Debug, Clone, Copy)]
+enum Ty {
+    /// Unsigned integer (ids, counters).
+    Int,
+    /// Any number (measurements — also accepts integers).
+    Num,
+    /// String label.
+    Str,
+    /// Boolean flag.
+    Bool,
+}
+
+/// Required fields per event, beyond the universal `t_ms` + `event`.
+fn event_spec(event: &str) -> Option<&'static [(&'static str, Ty)]> {
+    Some(match event {
+        "campaign_start" => &[
+            ("schema", Ty::Str),
+            ("cells", Ty::Int),
+            ("resumed", Ty::Int),
+            ("jobs", Ty::Int),
+        ],
+        "spawn" => &[("worker", Ty::Int), ("gen", Ty::Int)],
+        "respawn" => &[("worker", Ty::Int), ("respawns", Ty::Int)],
+        "dispatch" => &[("worker", Ty::Int), ("cell", Ty::Int), ("attempt", Ty::Int)],
+        "reap" => &[("worker", Ty::Int), ("reason", Ty::Str)],
+        "hello" => &[("worker", Ty::Int), ("latency_ms", Ty::Num)],
+        "done" => &[
+            ("worker", Ty::Int),
+            ("cell", Ty::Int),
+            ("attempt", Ty::Int),
+            ("ok", Ty::Bool),
+            ("fsync_ms", Ty::Num),
+        ],
+        "retry" => &[("cell", Ty::Int), ("attempt", Ty::Int)],
+        "retries_exhausted" => &[("cell", Ty::Int), ("attempts", Ty::Int)],
+        "progress" => &[
+            ("done", Ty::Int),
+            ("cells", Ty::Int),
+            ("cells_per_s", Ty::Num),
+            ("workers_alive", Ty::Int),
+            ("retries", Ty::Int),
+        ],
+        "campaign_end" => &[
+            ("completed", Ty::Int),
+            ("retries", Ty::Int),
+            ("respawns", Ty::Int),
+            ("failures", Ty::Int),
+            ("unique_failures", Ty::Int),
+            ("elapsed_ms", Ty::Int),
+            ("cells_per_s", Ty::Num),
+        ],
+        _ => return None,
+    })
+}
+
+/// What a structurally valid stream said, condensed for cross-checking
+/// and for the CLI's one-line summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventsSummary {
+    /// Non-empty event lines.
+    pub lines: usize,
+    /// Occurrences per event name, in name order.
+    pub counts: BTreeMap<String, u64>,
+    /// `cells` declared by `campaign_start`.
+    pub cells: u64,
+    /// `resumed` declared by `campaign_start` (cells already durable in
+    /// the ledger before this stream's first event).
+    pub resumed: u64,
+    /// First durable outcome per cell: `true` from a `done` with
+    /// `ok: true`, `false` from a failed `done` or `retries_exhausted`.
+    pub outcomes: BTreeMap<u32, bool>,
+    /// `(completed, failures)` from `campaign_end`, when the stream
+    /// recorded a clean finish (a crashed campaign has no such line).
+    pub end: Option<(u64, u64)>,
+}
+
+/// Parses one event line's universal envelope, returning the event name.
+fn envelope<'a>(line: &'a JsonValue, n: usize, last_t: &mut f64) -> Result<&'a str, String> {
+    let t = line
+        .get("t_ms")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("line {n}: missing numeric t_ms"))?;
+    if t < *last_t {
+        return Err(format!(
+            "line {n}: t_ms went backwards ({t} after {last_t})"
+        ));
+    }
+    *last_t = t;
+    line.get("event")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("line {n}: missing event name"))
+}
+
+/// Validates one parsed JSONL stream against the
+/// [`EVENTS_SCHEMA`] vocabulary.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation, with its
+/// 1-based line number.
+pub fn validate_events(lines: &[JsonValue]) -> Result<EventsSummary, String> {
+    if lines.is_empty() {
+        return Err("empty event stream (no lines)".into());
+    }
+    let mut summary = EventsSummary {
+        lines: lines.len(),
+        counts: BTreeMap::new(),
+        cells: 0,
+        resumed: 0,
+        outcomes: BTreeMap::new(),
+        end: None,
+    };
+    let mut last_t = 0.0f64;
+    for (i, line) in lines.iter().enumerate() {
+        let n = i + 1;
+        let event = envelope(line, n, &mut last_t)?;
+        let spec = event_spec(event).ok_or_else(|| format!("line {n}: unknown event {event:?}"))?;
+        for (field, ty) in spec {
+            let v = line
+                .get(field)
+                .ok_or_else(|| format!("line {n}: {event} missing field {field:?}"))?;
+            let ok = match ty {
+                Ty::Int => v.as_u64().is_some(),
+                Ty::Num => v.as_f64().is_some(),
+                Ty::Str => v.as_str().is_some(),
+                Ty::Bool => matches!(v, JsonValue::Bool(_)),
+            };
+            if !ok {
+                return Err(format!(
+                    "line {n}: {event} field {field:?} has the wrong type (expected {ty:?})"
+                ));
+            }
+        }
+        match event {
+            "campaign_start" => {
+                if i != 0 {
+                    return Err(format!("line {n}: campaign_start is not the first event"));
+                }
+                let schema = line.get("schema").and_then(JsonValue::as_str).unwrap();
+                if schema != EVENTS_SCHEMA {
+                    return Err(format!(
+                        "line {n}: schema {schema:?}, expected {EVENTS_SCHEMA:?}"
+                    ));
+                }
+                summary.cells = line.get("cells").and_then(JsonValue::as_u64).unwrap();
+                summary.resumed = line.get("resumed").and_then(JsonValue::as_u64).unwrap();
+            }
+            "reap" => {
+                let reason = line.get("reason").and_then(JsonValue::as_str).unwrap();
+                if !REAP_REASONS.contains(&reason) {
+                    return Err(format!("line {n}: unknown reap reason {reason:?}"));
+                }
+            }
+            "done" => {
+                let cell = line.get("cell").and_then(JsonValue::as_u64).unwrap() as u32;
+                let ok = matches!(line.get("ok"), Some(JsonValue::Bool(true)));
+                // First durable outcome wins, matching the ledger's
+                // keep-first append discipline for raced duplicates.
+                summary.outcomes.entry(cell).or_insert(ok);
+            }
+            "retries_exhausted" => {
+                let cell = line.get("cell").and_then(JsonValue::as_u64).unwrap() as u32;
+                summary.outcomes.entry(cell).or_insert(false);
+            }
+            "campaign_end" => {
+                if summary.end.is_some() {
+                    return Err(format!("line {n}: second campaign_end"));
+                }
+                summary.end = Some((
+                    line.get("completed").and_then(JsonValue::as_u64).unwrap(),
+                    line.get("failures").and_then(JsonValue::as_u64).unwrap(),
+                ));
+            }
+            _ => {}
+        }
+        *summary.counts.entry(event.to_string()).or_insert(0) += 1;
+    }
+    if lines[0].get("event").and_then(JsonValue::as_str) != Some("campaign_start") {
+        return Err("line 1: stream does not start with campaign_start".into());
+    }
+    Ok(summary)
+}
+
+/// Cross-checks a validated stream against the campaign's parsed ledger.
+///
+/// * the stream's declared cell total must match the ledger header;
+/// * every durable outcome in the stream must match the deduplicated
+///   ledger outcome for that cell;
+/// * a stream with a `campaign_end` must account (with the resumed
+///   cells) for every ledger record and for the ledger's failure count;
+///   a crashed stream may trail the ledger but never lead it.
+///
+/// # Errors
+///
+/// A human-readable description of the first disagreement.
+pub fn cross_check(summary: &EventsSummary, ledger: &ParsedLedger) -> Result<(), String> {
+    if summary.cells != u64::from(ledger.header.cells) {
+        return Err(format!(
+            "campaign_start declares {} cells, ledger header has {}",
+            summary.cells, ledger.header.cells
+        ));
+    }
+    let durable = dedup(&ledger.records);
+    for (&cell, &ok) in &summary.outcomes {
+        match durable.get(&cell) {
+            None => {
+                return Err(format!(
+                    "events report cell {cell} done, ledger has no record"
+                ))
+            }
+            Some(outcome) if outcome.is_pass() != ok => {
+                return Err(format!(
+                    "cell {cell}: events say ok={ok}, ledger says ok={}",
+                    outcome.is_pass()
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    let accounted = summary.outcomes.len() as u64 + summary.resumed;
+    match summary.end {
+        Some((completed, failures)) => {
+            if accounted != durable.len() as u64 {
+                return Err(format!(
+                    "completed stream accounts for {accounted} cells \
+                     ({} events + {} resumed), ledger has {} records",
+                    summary.outcomes.len(),
+                    summary.resumed,
+                    durable.len()
+                ));
+            }
+            if completed + summary.resumed != durable.len() as u64 {
+                return Err(format!(
+                    "campaign_end counted {completed} completed + {} resumed, \
+                     ledger has {} records",
+                    summary.resumed,
+                    durable.len()
+                ));
+            }
+            let ledger_failures = durable.values().filter(|o| !o.is_pass()).count() as u64;
+            if failures != ledger_failures {
+                return Err(format!(
+                    "campaign_end counted {failures} failures, ledger has {ledger_failures}"
+                ));
+            }
+        }
+        None => {
+            if accounted > durable.len() as u64 {
+                return Err(format!(
+                    "events account for {accounted} cells, ledger has only {} records \
+                     — the stream leads its own ledger",
+                    durable.len()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellOutcome;
+    use crate::events::parse_jsonl;
+    use crate::ledger::{CellRecord, LedgerHeader};
+
+    fn stream(lines: &[&str]) -> Vec<JsonValue> {
+        parse_jsonl(&lines.join("\n")).unwrap()
+    }
+
+    fn start_line(cells: u32, resumed: u32) -> String {
+        format!(
+            r#"{{"t_ms":0.0,"event":"campaign_start","schema":"{EVENTS_SCHEMA}","cells":{cells},"resumed":{resumed},"jobs":2}}"#
+        )
+    }
+
+    fn done_line(t: f64, cell: u32, ok: bool) -> String {
+        format!(
+            r#"{{"t_ms":{t},"event":"done","worker":0,"cell":{cell},"attempt":0,"ok":{ok},"fsync_ms":0.1}}"#
+        )
+    }
+
+    fn ledger_with(outcomes: &[(u32, bool)], cells: u32) -> ParsedLedger {
+        ParsedLedger {
+            header: LedgerHeader {
+                version: 1,
+                spec_hash: 1,
+                probe_fingerprint: 2,
+                cells,
+            },
+            records: outcomes
+                .iter()
+                .map(|&(cell, ok)| CellRecord {
+                    cell,
+                    outcome: if ok {
+                        CellOutcome::Pass {
+                            insts: 1,
+                            digest: 0,
+                        }
+                    } else {
+                        CellOutcome::Fail {
+                            kind: 0,
+                            pc: 0,
+                            detail: String::new(),
+                        }
+                    },
+                })
+                .collect(),
+            valid_len: 0,
+            torn: false,
+        }
+    }
+
+    #[test]
+    fn a_clean_stream_validates_and_cross_checks() {
+        let end = r#"{"t_ms":9.0,"event":"campaign_end","completed":2,"retries":0,"respawns":0,"failures":1,"unique_failures":1,"elapsed_ms":9,"cells_per_s":222.0}"#;
+        let lines = stream(&[
+            &start_line(2, 0),
+            r#"{"t_ms":1.0,"event":"spawn","worker":0,"gen":1}"#,
+            r#"{"t_ms":2.0,"event":"hello","worker":0,"latency_ms":1.5}"#,
+            r#"{"t_ms":3.0,"event":"dispatch","worker":0,"cell":0,"attempt":0}"#,
+            &done_line(4.0, 0, true),
+            &done_line(5.0, 1, false),
+            end,
+        ]);
+        let summary = validate_events(&lines).unwrap();
+        assert_eq!(summary.cells, 2);
+        assert_eq!(summary.outcomes.len(), 2);
+        assert_eq!(summary.end, Some((2, 1)));
+        assert_eq!(summary.counts["done"], 2);
+        cross_check(&summary, &ledger_with(&[(0, true), (1, false)], 2)).unwrap();
+    }
+
+    #[test]
+    fn schema_violations_name_the_line() {
+        // Wrong first event.
+        let err = validate_events(&stream(&[&done_line(0.0, 0, true)])).unwrap_err();
+        assert!(err.contains("campaign_start"), "{err}");
+        // Unknown event.
+        let err = validate_events(&stream(&[
+            &start_line(1, 0),
+            r#"{"t_ms":1.0,"event":"warp","worker":0}"#,
+        ]))
+        .unwrap_err();
+        assert!(err.contains("line 2") && err.contains("warp"), "{err}");
+        // Missing field.
+        let err = validate_events(&stream(&[
+            &start_line(1, 0),
+            r#"{"t_ms":1.0,"event":"spawn","worker":0}"#,
+        ]))
+        .unwrap_err();
+        assert!(err.contains("gen"), "{err}");
+        // Wrong type.
+        let err = validate_events(&stream(&[
+            &start_line(1, 0),
+            r#"{"t_ms":1.0,"event":"spawn","worker":"zero","gen":1}"#,
+        ]))
+        .unwrap_err();
+        assert!(err.contains("wrong type"), "{err}");
+        // Unknown reap reason.
+        let err = validate_events(&stream(&[
+            &start_line(1, 0),
+            r#"{"t_ms":1.0,"event":"reap","worker":0,"reason":"cosmic-rays"}"#,
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cosmic-rays"), "{err}");
+        // Time running backwards.
+        let err = validate_events(&stream(&[
+            &start_line(1, 0),
+            r#"{"t_ms":5.0,"event":"spawn","worker":0,"gen":1}"#,
+            r#"{"t_ms":1.0,"event":"spawn","worker":1,"gen":1}"#,
+        ]))
+        .unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn cross_check_catches_ledger_disagreements() {
+        let lines = stream(&[&start_line(2, 0), &done_line(1.0, 0, true)]);
+        let summary = validate_events(&lines).unwrap();
+        // Cell count mismatch.
+        let err = cross_check(&summary, &ledger_with(&[(0, true)], 3)).unwrap_err();
+        assert!(err.contains("cells"), "{err}");
+        // Outcome flip.
+        let err = cross_check(&summary, &ledger_with(&[(0, false)], 2)).unwrap_err();
+        assert!(err.contains("cell 0"), "{err}");
+        // Event with no ledger record: the stream leads the ledger.
+        let err = cross_check(&summary, &ledger_with(&[], 2)).unwrap_err();
+        assert!(err.contains("no record"), "{err}");
+        // A crashed stream trailing the ledger is fine.
+        cross_check(&summary, &ledger_with(&[(0, true), (1, false)], 2)).unwrap();
+    }
+
+    #[test]
+    fn completed_streams_must_account_for_every_record() {
+        let end = r#"{"t_ms":2.0,"event":"campaign_end","completed":1,"retries":0,"respawns":0,"failures":0,"unique_failures":0,"elapsed_ms":2,"cells_per_s":500.0}"#;
+        let lines = stream(&[&start_line(2, 1), &done_line(1.0, 1, true), end]);
+        let summary = validate_events(&lines).unwrap();
+        // 1 event outcome + 1 resumed == 2 ledger records: clean.
+        cross_check(&summary, &ledger_with(&[(0, true), (1, true)], 2)).unwrap();
+        // Extra ledger record nobody accounts for.
+        let err = cross_check(
+            &summary,
+            &ledger_with(&[(0, true), (1, true), (2, true)], 2),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn retries_exhausted_counts_as_a_failed_cell() {
+        let lines = stream(&[
+            &start_line(1, 0),
+            r#"{"t_ms":1.0,"event":"retries_exhausted","cell":0,"attempts":3}"#,
+        ]);
+        let summary = validate_events(&lines).unwrap();
+        assert_eq!(summary.outcomes.get(&0), Some(&false));
+        cross_check(&summary, &ledger_with(&[(0, false)], 1)).unwrap();
+    }
+}

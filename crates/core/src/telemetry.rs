@@ -23,16 +23,7 @@ use crate::report::RunReport;
 /// Schema tag carried by every `watchdog-cli run --json` document.
 pub const RUN_SCHEMA: &str = "watchdog-run-v1";
 
-/// µop accounting-tag names, in `uops_by_tag` index order (Fig. 8's
-/// stacked segments).
-pub const TAG_NAMES: [&str; 6] = [
-    "base",
-    "check",
-    "ptr_load",
-    "ptr_store",
-    "propagate",
-    "alloc_dealloc",
-];
+pub use watchdog_pipeline::TAG_NAMES;
 
 /// Declared section paths of the instrumented run loop (see
 /// [`RunTelemetry::new`]): whole run, the functional fetch/crack side

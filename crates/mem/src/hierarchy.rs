@@ -78,6 +78,21 @@ impl AccessReq {
     }
 }
 
+/// Outcome flags of one access — a pure side-channel beside the returned
+/// latency, kept for the caller that needs to *attribute* the access
+/// (the timing core's CPI-stack accounting) without re-deriving the miss
+/// path from latency arithmetic. Reading it never changes hierarchy
+/// state, statistics or latencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The access missed its TLB (D-TLB, or the LL TLB on the lock path).
+    pub tlb_miss: bool,
+    /// The access missed its first-level structure (L1I, L1D or LL$).
+    pub l1_miss: bool,
+    /// The access was served by the dedicated lock-location cache.
+    pub lock_path: bool,
+}
+
 /// Hierarchy configuration (defaults reproduce Table 2).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HierarchyConfig {
@@ -243,6 +258,10 @@ pub struct Hierarchy {
     l1d_set_mask: u64,
     l1d_memo: Vec<u64>,
     dtlb_page_memo: u64,
+    // Side-channel: outcome flags of the most recent access (every
+    // `access_uncounted` branch overwrites it unconditionally, so the
+    // cost is identical whether or not anyone reads it).
+    last_outcome: AccessOutcome,
 }
 
 impl Hierarchy {
@@ -270,6 +289,7 @@ impl Hierarchy {
             ll_memo: vec![u64::MAX; ll_sets as usize],
             ll_page_memo: u64::MAX,
             ll_memo_hits: 0,
+            last_outcome: AccessOutcome::default(),
             cfg,
         }
     }
@@ -337,6 +357,15 @@ impl Hierarchy {
         self.ll_memo_hits
     }
 
+    /// Outcome flags of the most recent access (single or batch element):
+    /// which structures missed and whether the dedicated lock-location
+    /// cache served it. Purely observational — the timing core's CPI
+    /// accounting reads this right after [`Hierarchy::access`] to
+    /// attribute stall slots to TLB / LL$ / L1D misses.
+    pub fn last_outcome(&self) -> AccessOutcome {
+        self.last_outcome
+    }
+
     fn count_class(&mut self, class: AccessClass, n: u64) {
         match class {
             AccessClass::Data => self.stats.data_accesses += n,
@@ -355,7 +384,13 @@ impl Hierarchy {
         match class {
             AccessClass::Ifetch => {
                 let mut lat = self.cfg.l1_lat;
-                if !self.l1i.access(addr) {
+                let miss = !self.l1i.access(addr);
+                self.last_outcome = AccessOutcome {
+                    tlb_miss: false,
+                    l1_miss: miss,
+                    lock_path: false,
+                };
+                if miss {
                     lat += self.level2_and_beyond(addr);
                 }
                 // Next-line instruction prefetch (Table 2: I-cache stream
@@ -375,6 +410,7 @@ impl Hierarchy {
             AccessClass::Shadow if self.cfg.ideal_shadow => {
                 // §9.3: occupies a port (handled by the pipeline model) but
                 // never misses and pollutes nothing.
+                self.last_outcome = AccessOutcome::default();
                 self.cfg.l1_lat
             }
             AccessClass::Lock if self.cfg.lock_cache => {
@@ -393,15 +429,27 @@ impl Hierarchy {
                     self.lltlb.repeat_hit();
                     self.ll.repeat_hit();
                     self.ll_memo_hits += 1;
+                    self.last_outcome = AccessOutcome {
+                        tlb_miss: false,
+                        l1_miss: false,
+                        lock_path: true,
+                    };
                     return self.cfg.l1_lat;
                 }
                 self.ll_memo[set] = line;
                 self.ll_page_memo = page;
                 let mut lat = self.cfg.l1_lat;
-                if !self.lltlb.access(addr) {
+                let tlb_miss = !self.lltlb.access(addr);
+                if tlb_miss {
                     lat += self.cfg.tlb_miss_penalty;
                 }
-                if !self.ll.access(addr) {
+                let l1_miss = !self.ll.access(addr);
+                self.last_outcome = AccessOutcome {
+                    tlb_miss,
+                    l1_miss,
+                    lock_path: true,
+                };
+                if l1_miss {
                     lat += self.level2_and_beyond(addr);
                 }
                 lat
@@ -419,11 +467,13 @@ impl Hierarchy {
                 // the missed set itself).
                 let mut lat = self.cfg.l1_lat;
                 let page = addr >> 12;
+                let mut tlb_miss = false;
                 if self.dtlb_page_memo == page {
                     self.dtlb.repeat_hit();
                 } else {
                     self.dtlb_page_memo = page;
                     if !self.dtlb.access(addr) {
+                        tlb_miss = true;
                         lat += self.cfg.tlb_miss_penalty;
                     }
                 }
@@ -431,7 +481,17 @@ impl Hierarchy {
                 let set = (line & self.l1d_set_mask) as usize;
                 if self.l1d_memo[set] == line {
                     self.l1d.repeat_hit();
+                    self.last_outcome = AccessOutcome {
+                        tlb_miss,
+                        l1_miss: false,
+                        lock_path: false,
+                    };
                 } else if !self.l1d.access(addr) {
+                    self.last_outcome = AccessOutcome {
+                        tlb_miss,
+                        l1_miss: true,
+                        lock_path: false,
+                    };
                     lat += self.level2_and_beyond(addr);
                     // Train the L1 stream prefetcher on the miss. A fill
                     // landing in the missed line's own set (possible only
@@ -452,6 +512,11 @@ impl Hierarchy {
                     }
                 } else {
                     self.l1d_memo[set] = line;
+                    self.last_outcome = AccessOutcome {
+                        tlb_miss,
+                        l1_miss: false,
+                        lock_path: false,
+                    };
                 }
                 lat
             }
@@ -759,6 +824,51 @@ mod tests {
         assert_eq!(s.dtlb, dtlb.stats());
         let r2 = l2.stats();
         assert_eq!((s.l2.accesses, s.l2.misses), (r2.accesses, r2.misses));
+    }
+
+    #[test]
+    fn access_outcome_tracks_miss_paths() {
+        let mut hy = h(HierarchyConfig::default());
+        // Cold data access: D-TLB and L1D both miss.
+        hy.access(AccessClass::Data, 0x2000_0000, false);
+        assert_eq!(
+            hy.last_outcome(),
+            AccessOutcome {
+                tlb_miss: true,
+                l1_miss: true,
+                lock_path: false
+            }
+        );
+        // Warm repeat (memo fast path): everything hits.
+        hy.access(AccessClass::Data, 0x2000_0000, false);
+        assert_eq!(hy.last_outcome(), AccessOutcome::default());
+        // Cold lock access rides the dedicated LL$ path.
+        hy.access(AccessClass::Lock, 0x5000_0000, false);
+        assert_eq!(
+            hy.last_outcome(),
+            AccessOutcome {
+                tlb_miss: true,
+                l1_miss: true,
+                lock_path: true
+            }
+        );
+        // Hot lock repeat takes the memo and stays on the lock path.
+        hy.access(AccessClass::Lock, 0x5000_0000, false);
+        assert_eq!(
+            hy.last_outcome(),
+            AccessOutcome {
+                tlb_miss: false,
+                l1_miss: false,
+                lock_path: true
+            }
+        );
+        // Ideal shadow never misses.
+        let mut ideal = h(HierarchyConfig {
+            ideal_shadow: true,
+            ..Default::default()
+        });
+        ideal.access(AccessClass::Shadow, 0x4000_0000_0000, false);
+        assert_eq!(ideal.last_outcome(), AccessOutcome::default());
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub mod tlb;
 pub mod vm;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
-pub use hierarchy::{AccessClass, AccessReq, Hierarchy, HierarchyConfig, HierarchyStats};
+pub use hierarchy::{
+    AccessClass, AccessOutcome, AccessReq, Hierarchy, HierarchyConfig, HierarchyStats,
+};
 pub use shadow::{MetaRecord, ShadowSpace};
 pub use tlb::{ScanTlb, Tlb};
 pub use vm::{Footprint, GuestMem};

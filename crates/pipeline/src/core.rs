@@ -33,11 +33,23 @@ use crate::batch::{FeedStats, MemOp, UopBatch};
 use crate::bpred::{BpredStats, Predictor};
 use crate::config::CoreConfig;
 use crate::rename::{Rename, RenameConfig, RenameStats};
-use crate::tele::{timed, CoreTelemetry, TelemetryConfig};
+use crate::tele::{timed, CoreTelemetry, TelemetryConfig, NUM_STALL_CAUSES, STALL_CAUSE_NAMES};
 use crate::wheel::{FuPools, HeapSched, SchedModel, WheelSched, WindowQueue};
 
 /// Number of µop accounting tags.
 pub const NUM_TAGS: usize = 6;
+
+/// Registry-name suffix per µop accounting tag, in `uops_by_tag` order —
+/// the single source behind both the run-level `timing.uops.*` export and
+/// the CPI stack's `cpi.commit.*` metrics.
+pub const TAG_NAMES: [&str; NUM_TAGS] = [
+    "base",
+    "check",
+    "ptr_load",
+    "ptr_store",
+    "propagate",
+    "alloc_dealloc",
+];
 
 const fn tag_index(tag: UopTag) -> usize {
     match tag {
@@ -49,6 +61,21 @@ const fn tag_index(tag: UopTag) -> usize {
         UopTag::AllocDealloc => 5,
     }
 }
+
+// Stall-cause indices into `CoreTelemetry::stall_slots`, matching
+// `STALL_CAUSE_NAMES` order.
+const ST_FETCH: usize = 0;
+const ST_ICACHE: usize = 1;
+const ST_REDIRECT: usize = 2;
+const ST_ROB: usize = 3;
+const ST_IQ: usize = 4;
+const ST_LQ: usize = 5;
+const ST_SQ: usize = 6;
+const ST_FU: usize = 7;
+const ST_DEP: usize = 8;
+const ST_TLB: usize = 9;
+const ST_LL: usize = 10;
+const ST_L1D: usize = 11;
 
 /// Functional-unit / cache-port classes the scheduler reserves from.
 /// The discriminant indexes the [`FuPools`] pool arrays.
@@ -353,6 +380,26 @@ impl<S: SchedModel> ScheduledCore<S> {
     pub fn export_telemetry_into(&self, reg: &mut MetricsRegistry) {
         if let Some(t) = &self.tele {
             t.export_into(reg);
+            // CPI stack under `cpi.*`: every commit slot of every cycle
+            // attributed to exactly one cause. The drain tail — slots
+            // after the last commit up to the report's cycle count, plus
+            // the unfilled remainder of the last commit cycle — is
+            // computed here from the same state `finish` reads, so
+            // committed + stall + drain slots sum to exactly
+            // `cycles × commit_width` (the zero-slack invariant).
+            let width = self.cfg.commit_width;
+            let cycles = self.last_commit.max(self.fe_cycle) + 1;
+            reg.counter_at("cpi.cycles", Unit::Cycles, cycles);
+            reg.counter_at("cpi.commit_width", Unit::Count, width);
+            reg.counter_at("cpi.slots", Unit::Count, cycles * width);
+            for (name, &slots) in TAG_NAMES.iter().zip(&t.commit_slots_by_tag) {
+                reg.counter_at(&format!("cpi.commit.{name}"), Unit::Count, slots);
+            }
+            for (name, &slots) in STALL_CAUSE_NAMES.iter().zip(&t.stall_slots) {
+                reg.counter_at(&format!("cpi.stall.{name}"), Unit::Count, slots);
+            }
+            let drain = (width - self.commit_count) + (cycles - 1 - self.last_commit) * width;
+            reg.counter_at("cpi.stall.drain", Unit::Count, drain);
         }
         for fu in Fu::ALL {
             for (unit, &n) in self.fu_reserve_counts(fu).iter().enumerate() {
@@ -514,14 +561,25 @@ impl<S: SchedModel> ScheduledCore<S> {
         let t_batch = sampled.then(Instant::now);
         let (mut wheel_ns, mut hier_ns, mut commit_ns) = (0u64, 0u64, 0u64);
 
+        // CPI-stack accumulators, flushed into the profiler once per batch
+        // (plain locals, so the hot loop never re-borrows `self.tele`).
+        let mut cpi_commit = [0u64; NUM_TAGS];
+        let mut cpi_stall = [0u64; NUM_STALL_CAUSES];
+
         let lock_via_ll = self.hier.lock_cache_enabled();
         for (i, ev) in insts.iter().enumerate() {
             self.insts += 1;
+
+            // Frontend cause of record for this instruction's commit gaps:
+            // plain fetch bandwidth unless a redirect or I-cache miss
+            // starved the frontend here.
+            let mut fe_cause = ST_FETCH;
 
             // Honour a pending redirect (mispredicted branch before us).
             if self.next_fetch_earliest > self.fe_cycle {
                 self.stalls.redirect += self.next_fetch_earliest - self.fe_cycle;
                 self.fe_stall_to(self.next_fetch_earliest);
+                fe_cause = ST_REDIRECT;
             }
 
             // Instruction fetch: one I-cache access per new 64-byte block.
@@ -538,6 +596,7 @@ impl<S: SchedModel> ScheduledCore<S> {
                     self.stalls.icache += lat - l1;
                     let stall_to = self.fe_cycle + (lat - l1);
                     self.fe_stall_to(stall_to);
+                    fe_cause = ST_ICACHE;
                 }
             }
 
@@ -582,6 +641,10 @@ impl<S: SchedModel> ScheduledCore<S> {
                 // Wheel-drain phase: every window-occupancy check below.
                 let t_wd = sampled.then(Instant::now);
 
+                // Which window (if any) last raised this µop's dispatch
+                // time — the CPI stack's window-full attribution.
+                let mut win = 0usize;
+
                 // ROB occupancy: entries leave at commit (monotone), so
                 // a full window just waits for the head.
                 if self.rob.len() >= self.cfg.rob_entries {
@@ -590,6 +653,7 @@ impl<S: SchedModel> ScheduledCore<S> {
                         self.stalls.rob += head - disp;
                         self.fe_stall_to(head);
                         disp = head;
+                        win = ST_ROB;
                     }
                 }
                 // IQ occupancy: entries leave at issue. Draining is
@@ -606,6 +670,7 @@ impl<S: SchedModel> ScheduledCore<S> {
                                 self.stalls.iq += t - disp;
                                 self.fe_stall_to(t);
                                 disp = t;
+                                win = ST_IQ;
                             }
                         }
                     }
@@ -626,6 +691,7 @@ impl<S: SchedModel> ScheduledCore<S> {
                                     self.stalls.lq += t - disp;
                                     self.fe_stall_to(t);
                                     disp = t;
+                                    win = ST_LQ;
                                 }
                             }
                         }
@@ -638,6 +704,7 @@ impl<S: SchedModel> ScheduledCore<S> {
                                 self.stalls.sq += t - disp;
                                 self.fe_stall_to(t);
                                 disp = t;
+                                win = ST_SQ;
                             }
                         }
                     }
@@ -746,6 +813,50 @@ impl<S: SchedModel> ScheduledCore<S> {
                     branch_complete = complete;
                 }
 
+                // CPI-stack accounting, read off the commit-slot state
+                // *before* `commit_time` advances it: slots between the
+                // previous commit and this µop's commit are a gap, charged
+                // to one cause (first match wins — memory miss outstanding,
+                // FU contention, dependency wait, window full, frontend).
+                // The committed µop itself takes one slot under its tag.
+                // Everything here is observation; no timestamp depends on
+                // it, so equivalence holds with telemetry on or off.
+                if tele_on {
+                    let width = self.cfg.commit_width;
+                    let t = complete.max(self.last_commit);
+                    let gap = if t > self.commit_cycle {
+                        (width - self.commit_count) + (t - self.commit_cycle - 1) * width
+                    } else {
+                        0
+                    };
+                    if gap > 0 {
+                        // A load-class µop whose access just walked the
+                        // hierarchy: the outcome flags say which structure
+                        // missed (stores complete at issue+1, so a store's
+                        // miss never explains its commit gap).
+                        let outcome = matches!(
+                            kind,
+                            UopKind::Load
+                                | UopKind::ShadowLoad
+                                | UopKind::Check
+                                | UopKind::CheckCombined
+                                | UopKind::LockLoad
+                        )
+                        .then(|| self.hier.last_outcome());
+                        let cause = match outcome {
+                            Some(o) if o.tlb_miss => ST_TLB,
+                            Some(o) if o.l1_miss && o.lock_path => ST_LL,
+                            Some(o) if o.l1_miss => ST_L1D,
+                            _ if issue > earliest => ST_FU,
+                            _ if ready > disp + self.cfg.dispatch_latency => ST_DEP,
+                            _ if win != 0 => win,
+                            _ => fe_cause,
+                        };
+                        cpi_stall[cause] += gap;
+                    }
+                    cpi_commit[tag_index(u.tag)] += 1;
+                }
+
                 // Commit phase: slot assignment + window pushes.
                 let t_c = sampled.then(Instant::now);
                 let commit = self.commit_time(complete);
@@ -788,6 +899,12 @@ impl<S: SchedModel> ScheduledCore<S> {
             t.uops += uops.len() as u64;
             for u in uops {
                 t.dispatch_by_kind[u.kind as usize] += 1;
+            }
+            for (acc, add) in t.commit_slots_by_tag.iter_mut().zip(cpi_commit) {
+                *acc += add;
+            }
+            for (acc, add) in t.stall_slots.iter_mut().zip(cpi_stall) {
+                *acc += add;
             }
             if let Some(total_ns) = total {
                 t.phases.batches_sampled += 1;
@@ -1119,6 +1236,69 @@ mod tests {
     #[test]
     fn wheel_core_matches_heap_reference() {
         assert_eq!(run_mixed::<WheelSched>(), run_mixed::<HeapSched>());
+    }
+
+    /// Tentpole invariant at core level: with telemetry attached, the CPI
+    /// stack's committed + stall + drain slots sum to exactly
+    /// `cycles × commit_width`, and the committed slots agree with the
+    /// report's independent per-tag µop totals.
+    #[test]
+    fn cpi_stack_is_zero_slack_on_a_mixed_stream() {
+        let mut core = TimingCore::new(CoreConfig::sandy_bridge(), HierarchyConfig::default());
+        core.enable_telemetry(TelemetryConfig::default());
+        let cfg = CrackConfig::watchdog();
+        let mut x = 0x243F6A8885A308D3u64;
+        for i in 0..3000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let addr = 0x2000_0000 + (x % (8 << 20)) / 8 * 8;
+            let load = Inst::Load {
+                dst: g(1),
+                addr: MemAddr::base(g(1)),
+                width: Width::B8,
+                hint: PtrHint::Auto,
+            };
+            let addrs = [0x5000_0000, addr, 0x4000_0000_0000 + (addr >> 3) * 16];
+            core.consume(&cracked(
+                &load,
+                true,
+                &cfg,
+                0x40_0000 + (i % 40) * 6,
+                &addrs,
+            ));
+        }
+        let mut reg = MetricsRegistry::new();
+        core.export_telemetry_into(&mut reg);
+        let get = |name: &str| reg.counter_value(name).unwrap_or_else(|| panic!("{name}"));
+        let slots = get("cpi.slots");
+        assert_eq!(
+            slots,
+            get("cpi.cycles") * get("cpi.commit_width"),
+            "slots metric is cycles × width"
+        );
+        let committed: u64 = TAG_NAMES
+            .iter()
+            .map(|n| get(&format!("cpi.commit.{n}")))
+            .sum();
+        let stalled: u64 = STALL_CAUSE_NAMES
+            .iter()
+            .map(|n| get(&format!("cpi.stall.{n}")))
+            .sum::<u64>()
+            + get("cpi.stall.drain");
+        assert_eq!(committed + stalled, slots, "zero-slack accounting");
+        // The commit slots are a second accounting path: they must agree
+        // with the report's per-tag totals, and some gap slots must have
+        // been attributed to memory misses on this cache-hostile chase.
+        let miss_slots = get("cpi.stall.tlb_miss") + get("cpi.stall.l1d_miss");
+        assert!(miss_slots > 0, "pointer chase must show miss stalls");
+        let r = core.finish();
+        assert_eq!(committed, r.uops, "every µop commits into one slot");
+        for (i, name) in TAG_NAMES.iter().enumerate() {
+            assert_eq!(
+                get(&format!("cpi.commit.{name}")),
+                r.uops_by_tag[i],
+                "{name} slots drift from the report's tag totals"
+            );
+        }
     }
 
     /// Satellite: the rotating cursor makes port choice deterministic and

@@ -40,10 +40,15 @@ pub mod rename;
 pub mod tele;
 pub mod wheel;
 
-pub use crate::core::{Fu, ReferenceCore, ScheduledCore, TimingCore, TimingReport, NUM_FUS};
+pub use crate::core::{
+    Fu, ReferenceCore, ScheduledCore, TimingCore, TimingReport, NUM_FUS, NUM_TAGS, TAG_NAMES,
+};
 pub use batch::{FeedStats, MemOp, UopBatch};
 pub use bpred::Predictor;
 pub use config::CoreConfig;
 pub use rename::{Rename, RenameConfig, RenameStats};
-pub use tele::{CoreTelemetry, PhaseProfile, TelemetryConfig, NUM_UOP_KINDS, UOP_KIND_NAMES};
+pub use tele::{
+    CoreTelemetry, PhaseProfile, TelemetryConfig, NUM_STALL_CAUSES, NUM_UOP_KINDS,
+    STALL_CAUSE_NAMES, UOP_KIND_NAMES,
+};
 pub use wheel::{HeapSched, SchedModel, WheelSched};

@@ -23,11 +23,26 @@
 //! Everything here is host-side observation: enabling telemetry never
 //! changes a timestamp, so every equivalence suite holds with it on.
 
+use crate::core::NUM_TAGS;
 use watchdog_isa::uop::UopKind;
 use watchdog_telemetry::{Histogram, MetricsRegistry, Unit};
 
 /// Number of [`UopKind`] variants (the dispatch-counter array length).
 pub const NUM_UOP_KINDS: usize = 18;
+
+/// Number of distinct stall causes in the CPI-stack accounting (the
+/// drain tail is exported separately as `cpi.stall.drain`).
+pub const NUM_STALL_CAUSES: usize = 12;
+
+/// Registry-name suffix per stall cause, in [`CoreTelemetry::stall_slots`]
+/// index order. The first-match classification priority in the consume
+/// loop runs the *other* way — memory misses beat FU contention beat
+/// dependency waits beat window-full beat frontend causes — so the cheap
+/// structural causes only absorb slots no finer cause claims.
+pub const STALL_CAUSE_NAMES: [&str; NUM_STALL_CAUSES] = [
+    "fetch", "icache", "redirect", "rob_full", "iq_full", "lq_full", "sq_full", "fu", "dep",
+    "tlb_miss", "ll_miss", "l1d_miss",
+];
 
 /// Registry-name suffix per [`UopKind`], in discriminant order.
 pub const UOP_KIND_NAMES: [&str; NUM_UOP_KINDS] = [
@@ -123,6 +138,16 @@ pub struct CoreTelemetry {
     pub wheel_lead: Histogram,
     /// Phase-time attribution over the sampled batches.
     pub phases: PhaseProfile,
+    /// CPI-stack commit slots by µop tag: one slot per committed µop,
+    /// indexed like [`TAG_NAMES`](crate::core::TAG_NAMES). Deliberately
+    /// accumulated in the consume loop, independently of
+    /// [`TimingReport`](crate::TimingReport)'s `uops_by_tag`, so the
+    /// zero-slack suite can cross-check the two paths.
+    pub commit_slots_by_tag: [u64; NUM_TAGS],
+    /// CPI-stack stall slots by cause, indexed like [`STALL_CAUSE_NAMES`].
+    /// Together with `commit_slots_by_tag` and the drain tail computed at
+    /// export, these sum to exactly `cycles × commit_width`.
+    pub stall_slots: [u64; NUM_STALL_CAUSES],
 }
 
 impl CoreTelemetry {
@@ -140,6 +165,8 @@ impl CoreTelemetry {
             sq_occupancy: Histogram::new(),
             wheel_lead: Histogram::new(),
             phases: PhaseProfile::default(),
+            commit_slots_by_tag: [0; NUM_TAGS],
+            stall_slots: [0; NUM_STALL_CAUSES],
         }
     }
 

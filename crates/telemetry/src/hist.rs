@@ -157,17 +157,29 @@ impl Histogram {
             .map(|(i, &n)| (Self::bucket_high(i), n))
     }
 
-    /// JSON summary: `{count, sum, min, max, mean, p50, p99}` — the
+    /// The standard `(p50, p90, p99)` summary triple every renderer
+    /// shows — one bucket walk per quantile via [`Histogram::percentile`].
+    pub fn quantiles(&self) -> (u64, u64, u64) {
+        (
+            self.percentile(50.0),
+            self.percentile(90.0),
+            self.percentile(99.0),
+        )
+    }
+
+    /// JSON summary: `{count, sum, min, max, mean, p50, p90, p99}` — the
     /// shape the `--json` export and the perf snapshots embed.
     pub fn to_json(&self) -> JsonValue {
+        let (p50, p90, p99) = self.quantiles();
         JsonValue::Obj(vec![
             ("count".into(), JsonValue::Int(self.count)),
             ("sum".into(), JsonValue::Int(self.sum)),
             ("min".into(), JsonValue::Int(self.min())),
             ("max".into(), JsonValue::Int(self.max)),
             ("mean".into(), JsonValue::Num(self.mean())),
-            ("p50".into(), JsonValue::Int(self.percentile(50.0))),
-            ("p99".into(), JsonValue::Int(self.percentile(99.0))),
+            ("p50".into(), JsonValue::Int(p50)),
+            ("p90".into(), JsonValue::Int(p90)),
+            ("p99".into(), JsonValue::Int(p99)),
         ])
     }
 }
@@ -208,8 +220,10 @@ mod tests {
         // p100 is the exact max; lower percentiles are bucket upper
         // bounds, never below the true value's bucket.
         assert_eq!(h.percentile(100.0), 100);
-        let p50 = h.percentile(50.0);
+        let (p50, p90, p99) = h.quantiles();
         assert!((50..=63).contains(&p50), "p50={p50}");
+        assert!((90..=100).contains(&p90), "p90={p90}");
+        assert!((99..=100).contains(&p99), "p99={p99}");
         assert_eq!(h.percentile(1.0), 1);
     }
 

@@ -275,8 +275,8 @@ impl MetricsRegistry {
 
     /// Renders the registry as one stable JSON object: metric path →
     /// value. Counters render as integers, gauges as floats, histograms
-    /// as `{count, sum, max, mean, p50, p99}` summary objects. Key order
-    /// is registration order.
+    /// as `{count, sum, min, max, mean, p50, p90, p99}` summary objects.
+    /// Key order is registration order.
     pub fn to_json(&self) -> JsonValue {
         let mut obj = Vec::with_capacity(self.len());
         for m in self.iter() {
@@ -305,14 +305,16 @@ impl MetricsRegistry {
             } else if let Some(g) = m.gauge {
                 let _ = writeln!(out, "  {:<34} {:>16.3} {}", m.name, g, m.unit.label());
             } else if let Some(h) = m.hist {
+                let (p50, p90, p99) = h.quantiles();
                 let _ = writeln!(
                     out,
-                    "  {:<34} n={} mean={:.1} p50={} p99={} max={}",
+                    "  {:<34} n={} mean={:.1} p50={} p90={} p99={} max={}",
                     m.name,
                     h.count(),
                     h.mean(),
-                    h.percentile(50.0),
-                    h.percentile(99.0),
+                    p50,
+                    p90,
+                    p99,
                     h.max()
                 );
             }

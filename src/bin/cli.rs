@@ -7,7 +7,10 @@
 //! watchdog-cli run perl --mode cons --scale ref --sampled
 //! watchdog-cli run mcf --json               # machine-readable metrics (watchdog-run-v1)
 //! watchdog-cli run mcf --telemetry          # human report + registry + self-profile
-//! watchdog-cli perf                         # perf snapshot -> BENCH_<rev>.json
+//! watchdog-cli run mcf --cpi                # Fig. 8-style CPI stack across all four modes
+//! watchdog-cli perf                         # perf snapshot -> bench-history/BENCH_<rev>.json
+//! watchdog-cli perf compare bench-history/BENCH_aaa.json BENCH_bbb.json
+//! watchdog-cli events validate run.events.jsonl --ledger fuzz.wdlg
 //! watchdog-cli juliet                       # run the §9.2 security suite
 //! watchdog-cli fuzz --seeds 1000            # differential fuzzing campaign
 //! watchdog-cli fuzz --seed 42               # reproduce one generated case
@@ -64,8 +67,10 @@ fn parse_scale(s: &str) -> Option<Scale> {
 fn usage() -> ! {
     eprintln!(
         "usage:\n  watchdog-cli list\n  watchdog-cli modes\n  watchdog-cli run <bench> \
-         [--mode <mode>] [--scale test|small|ref] [--functional] [--sampled] [--json] [--telemetry]\n  \
-         watchdog-cli perf [--samples N] [--filter F] [-o FILE] [--rev R]\n  watchdog-cli juliet [--mode <mode>]\n  \
+         [--mode <mode>] [--scale test|small|ref] [--functional] [--sampled] [--json] [--telemetry] [--cpi]\n  \
+         watchdog-cli perf [--samples N] [--filter F] [--out-dir DIR] [-o FILE] [--rev R]\n  \
+         watchdog-cli perf compare <baseline.json> <candidate.json> [--threshold PCT] [-o FILE]\n  \
+         watchdog-cli events validate <events.jsonl> [--ledger FILE]\n  watchdog-cli juliet [--mode <mode>]\n  \
          watchdog-cli fuzz [--seeds N] [--seed-start K] [--jobs J]\n  watchdog-cli fuzz --seed <K>\n  \
          watchdog-cli trace record <bench> [--mode <mode>] [--scale <scale>] [-o FILE]\n  \
          watchdog-cli trace replay <bench> --trace FILE [--scale <scale>] [--verify]\n  \
@@ -131,6 +136,11 @@ fn cmd_run(args: &[String]) {
         SimConfig::timed(mode)
     };
 
+    if args.iter().any(|a| a == "--cpi") {
+        cmd_run_cpi(spec.name, scale);
+        return;
+    }
+
     let json = args.iter().any(|a| a == "--json");
     let telemetry = args.iter().any(|a| a == "--telemetry");
 
@@ -184,6 +194,73 @@ fn cmd_run(args: &[String]) {
     print_report(&report);
 }
 
+/// `run --cpi` — the paper's Fig. 8 breakdown with exact cycle
+/// accounting: one instrumented timed run per mode, rendering each
+/// commit slot's attributed cause (program µops, metadata µops, stall
+/// reasons) as a share of `cycles × commit_width`. The rows sum to 100%
+/// by construction — the zero-slack invariant the accounting suite pins.
+fn cmd_run_cpi(name: &str, scale: Scale) {
+    let program = build_bench(name, scale);
+    let mut rows = Vec::new();
+    let mut width = 0;
+    for mode in [
+        Mode::Baseline,
+        Mode::LocationBased,
+        Mode::watchdog_conservative(),
+        Mode::watchdog(),
+    ] {
+        let (report, tele) = Simulator::new(SimConfig::timed(mode))
+            .run_instrumented(&program)
+            .unwrap_or_else(|e| {
+                eprintln!("simulation failed under {}: {e}", mode.label());
+                std::process::exit(1);
+            });
+        let reg = watchdog::core::export_metrics(&report, Some(&tele));
+        let get = |n: &str| reg.counter_value(n).unwrap_or(0);
+        let sum = |names: &[&str]| -> u64 { names.iter().map(|n| get(&format!("cpi.{n}"))).sum() };
+        width = get("cpi.commit_width");
+        let slots = get("cpi.slots").max(1) as f64;
+        let share = |n: u64| watchdog::bench::pct(n as f64 / slots);
+        rows.push((
+            mode.label(),
+            vec![
+                get("cpi.cycles").to_string(),
+                format!("{:.2}", reg.gauge_value("timing.ipc").unwrap_or(0.0)),
+                share(get("cpi.commit.base")),
+                share(sum(&[
+                    "commit.check",
+                    "commit.ptr_load",
+                    "commit.ptr_store",
+                    "commit.propagate",
+                    "commit.alloc_dealloc",
+                ])),
+                share(sum(&["stall.fetch", "stall.icache", "stall.redirect"])),
+                share(sum(&[
+                    "stall.rob_full",
+                    "stall.iq_full",
+                    "stall.lq_full",
+                    "stall.sq_full",
+                ])),
+                share(get("cpi.stall.fu")),
+                share(get("cpi.stall.dep")),
+                share(sum(&["stall.tlb_miss", "stall.ll_miss", "stall.l1d_miss"])),
+                share(get("cpi.stall.drain")),
+            ],
+        ));
+    }
+    watchdog::bench::print_table(
+        &format!("CPI stack: {name} at {scale:?} — share of {width}-wide commit slots"),
+        &[
+            "cycles", "ipc", "prog", "meta", "front", "window", "fu", "dep", "miss", "drain",
+        ],
+        &rows,
+    );
+    println!(
+        "\nprog/meta = committed program/metadata µop slots; front = fetch+icache+redirect; \
+         window = ROB/IQ/LQ/SQ full; miss = TLB/LL$/L1D miss outstanding; drain = pipeline tail."
+    );
+}
+
 /// Best-effort short git revision for perf-snapshot file names:
 /// `--rev` override, then `git rev-parse --short HEAD`, else `unknown`.
 fn git_rev(args: &[String]) -> String {
@@ -206,6 +283,10 @@ fn git_rev(args: &[String]) -> String {
 /// run) and writes a `watchdog-bench-v1` snapshot to `BENCH_<rev>.json`,
 /// validated with the same parser CI uses before it is written.
 fn cmd_perf(args: &[String]) {
+    if args.first().map(String::as_str) == Some("compare") {
+        cmd_perf_compare(&args[1..]);
+        return;
+    }
     let samples = flag_value(args, "--samples").map_or(3u64, |v| {
         v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
             eprintln!("--samples requires a positive integer");
@@ -214,9 +295,19 @@ fn cmd_perf(args: &[String]) {
     });
     let filter = flag_value(args, "--filter");
     let rev = git_rev(args);
-    let out = flag_value(args, "-o")
-        .or_else(|| flag_value(args, "--out"))
-        .unwrap_or_else(|| format!("BENCH_{rev}.json"));
+    let out = match flag_value(args, "-o").or_else(|| flag_value(args, "--out")) {
+        Some(path) => path,
+        None => {
+            // Snapshots accumulate per revision in the history
+            // directory, so `perf compare` always has a baseline.
+            let dir = flag_value(args, "--out-dir").unwrap_or_else(|| "bench-history".into());
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("cannot create {dir}: {e}");
+                std::process::exit(1);
+            }
+            format!("{dir}/BENCH_{rev}.json")
+        }
+    };
     let snap = watchdog::bench::perf::perf_snapshot(&rev, samples, filter.as_deref(), |r| {
         println!(
             "{:<40} {:>14.1} ns/iter  ({:.1} Melem/s)",
@@ -246,6 +337,150 @@ fn cmd_perf(args: &[String]) {
         snap.records.len(),
         samples
     );
+}
+
+/// `watchdog-cli perf compare` — the perf-regression gate: classifies
+/// every case of a candidate snapshot against a baseline snapshot with a
+/// noise threshold, prints the verdict table, optionally writes the
+/// `watchdog-perfdiff-v1` delta report, and exits 1 when any case
+/// regressed or lost coverage (the CI failure signal).
+fn cmd_perf_compare(args: &[String]) {
+    let (Some(base_path), Some(cand_path)) = (args.first(), args.get(1)) else {
+        usage()
+    };
+    let threshold = flag_value(args, "--threshold").map_or(
+        watchdog::bench::perfdiff::DEFAULT_THRESHOLD_PCT,
+        |v| {
+            v.parse::<f64>()
+                .ok()
+                .filter(|t| *t >= 0.0)
+                .unwrap_or_else(|| {
+                    eprintln!("--threshold requires a non-negative number (percent)");
+                    std::process::exit(2);
+                })
+        },
+    );
+    let load = |path: &str| -> watchdog::telemetry::BenchSnapshot {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        watchdog::telemetry::BenchSnapshot::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: invalid bench snapshot: {e}");
+            std::process::exit(2);
+        })
+    };
+    let diff =
+        watchdog::bench::perfdiff::PerfDiff::compare(&load(base_path), &load(cand_path), threshold);
+    let rows: Vec<(String, Vec<String>)> = diff
+        .cases
+        .iter()
+        .map(|c| {
+            (
+                c.name.clone(),
+                vec![
+                    format!("{:.1}", c.base_ns),
+                    format!("{:.1}", c.cand_ns),
+                    format!("{:+.1}%", c.delta_pct),
+                    c.verdict.label().to_string(),
+                ],
+            )
+        })
+        .collect();
+    watchdog::bench::print_table(
+        &format!(
+            "perf compare: {} -> {} (noise threshold {threshold:.1}%)",
+            diff.baseline_rev, diff.candidate_rev
+        ),
+        &["base ns/iter", "cand ns/iter", "delta", "verdict"],
+        &rows,
+    );
+    if let Some(out) = flag_value(args, "-o").or_else(|| flag_value(args, "--out")) {
+        if let Err(e) = std::fs::write(&out, diff.to_json()) {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote delta report -> {out}");
+    }
+    if diff.has_failures() {
+        eprintln!(
+            "perf compare: FAIL — {} case(s) regressed or lost coverage",
+            diff.failures().count()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "perf compare: PASS — {} case(s) within {threshold:.1}% of rev {}",
+        diff.cases.len(),
+        diff.baseline_rev
+    );
+}
+
+/// `watchdog-cli events validate` — schema-checks a campaign `--events`
+/// JSONL flight record against the `watchdog-campaign-events-v1`
+/// vocabulary and, with `--ledger`, cross-checks its durable done/fail
+/// outcomes against the campaign ledger.
+fn cmd_events_validate(args: &[String]) {
+    let Some(path) = args.first() else { usage() };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let lines = watchdog::campaign::parse_jsonl(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    let summary = watchdog::campaign::validate_events(&lines).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "{path}: {} event line(s) valid against {}",
+        summary.lines,
+        watchdog::campaign::EVENTS_SCHEMA
+    );
+    let counts: Vec<String> = summary
+        .counts
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    println!("events:          {}", counts.join(" "));
+    println!(
+        "cells:           {} declared, {} resumed, {} completed in stream{}",
+        summary.cells,
+        summary.resumed,
+        summary.outcomes.len(),
+        if summary.end.is_some() {
+            ", clean finish"
+        } else {
+            ", no campaign_end (crashed or still running)"
+        }
+    );
+    if let Some(ledger_path) = flag_value(args, "--ledger") {
+        let bytes = std::fs::read(&ledger_path).unwrap_or_else(|e| {
+            eprintln!("cannot read {ledger_path}: {e}");
+            std::process::exit(2);
+        });
+        let ledger = watchdog::campaign::ledger::parse_ledger(&bytes).unwrap_or_else(|e| {
+            eprintln!("{ledger_path}: {e}");
+            std::process::exit(1);
+        });
+        watchdog::campaign::cross_check(&summary, &ledger).unwrap_or_else(|e| {
+            eprintln!("cross-check against {ledger_path} failed: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "ledger:          cross-check OK ({} durable record(s) agree)",
+            ledger.records.len()
+        );
+    }
+}
+
+fn cmd_events(args: &[String]) {
+    match args.first().map(String::as_str) {
+        Some("validate") => cmd_events_validate(&args[1..]),
+        _ => usage(),
+    }
 }
 
 /// Prints the standard per-run report block (shared by `run` and
@@ -542,6 +777,7 @@ fn main() {
         Some("modes") => cmd_modes(),
         Some("run") => cmd_run(&args[1..]),
         Some("perf") => cmd_perf(&args[1..]),
+        Some("events") => cmd_events(&args[1..]),
         Some("juliet") => cmd_juliet(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),

@@ -177,6 +177,131 @@ fn perf_writes_a_validating_bench_snapshot() {
 }
 
 #[test]
+fn run_cpi_renders_all_four_modes_with_full_shares() {
+    let out = stdout_of(&["run", "mcf", "--cpi", "--scale", "test"]);
+    assert!(out.contains("CPI stack: mcf"), "{out}");
+    for row in [
+        "baseline",
+        "location-based",
+        "watchdog/conservative",
+        "watchdog/isa-assisted",
+    ] {
+        assert!(out.contains(row), "mode row {row} missing:\n{out}");
+    }
+    for col in [
+        "cycles", "prog", "meta", "front", "fu", "dep", "miss", "drain",
+    ] {
+        assert!(out.contains(col), "column {col} missing:\n{out}");
+    }
+    // Watchdog modes must attribute some committed slots to metadata
+    // µops — the Fig. 8 signal the table exists to show.
+    let meta_share = |mode: &str| -> f64 {
+        let line = out.lines().find(|l| l.starts_with(mode)).unwrap();
+        let cells: Vec<&str> = line.split_whitespace().collect();
+        cells[4].trim_end_matches('%').parse().unwrap()
+    };
+    assert_eq!(meta_share("baseline"), 0.0, "{out}");
+    assert!(meta_share("watchdog/conservative") > 0.0, "{out}");
+}
+
+#[test]
+fn perf_compare_gates_on_the_noise_threshold() {
+    let dir = std::env::temp_dir().join(format!("wdperfdiff-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snap = |rev: &str, ns: f64| {
+        format!(
+            r#"{{"schema":"watchdog-bench-v1","rev":"{rev}","records":[{{"name":"timing_wheel/x","ns_per_iter":{ns},"melem_per_s":0.0,"iterations":3}}]}}"#
+        )
+    };
+    let base = dir.join("base.json");
+    let fast = dir.join("fast.json");
+    let slow = dir.join("slow.json");
+    std::fs::write(&base, snap("aaa", 100.0)).unwrap();
+    std::fs::write(&fast, snap("bbb", 104.0)).unwrap();
+    std::fs::write(&slow, snap("ccc", 150.0)).unwrap();
+    let (base, fast, slow) = (
+        base.to_str().unwrap(),
+        fast.to_str().unwrap(),
+        slow.to_str().unwrap(),
+    );
+
+    // Within the threshold: pass, exit 0.
+    let out = stdout_of(&["perf", "compare", base, fast]);
+    assert!(out.contains("PASS"), "{out}");
+
+    // Past the threshold: regress verdict, exit 1, delta report written.
+    let delta = dir.join("delta.json");
+    let delta_s = delta.to_str().unwrap();
+    let out = cli(&["perf", "compare", base, slow, "-o", delta_s]);
+    assert_eq!(out.status.code(), Some(1), "regression must exit 1");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("regress"));
+    let doc = watchdog::telemetry::JsonValue::parse(&std::fs::read_to_string(&delta).unwrap())
+        .expect("delta report parses");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("watchdog-perfdiff-v1")
+    );
+
+    // A generous explicit threshold lets the same pair pass.
+    let out = stdout_of(&["perf", "compare", base, slow, "--threshold", "60"]);
+    assert!(out.contains("PASS"), "{out}");
+
+    // Unreadable snapshots are usage errors, not verdicts.
+    assert_eq!(
+        cli(&["perf", "compare", base, "/nonexistent.json"])
+            .status
+            .code(),
+        Some(2)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn events_validate_checks_schema_and_ledger_agreement() {
+    let dir = std::env::temp_dir().join(format!("wdevents-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ledger = dir.join("micro.wdlg");
+    let events = dir.join("micro.events.jsonl");
+    let (ledger_s, events_s) = (ledger.to_str().unwrap(), events.to_str().unwrap());
+
+    let out = stdout_of(&[
+        "campaign", "--seeds", "5", "--jobs", "2", "--ledger", ledger_s, "--events", events_s,
+        "--quiet",
+    ]);
+    assert!(out.contains("result    : PASS"), "{out}");
+
+    let out = stdout_of(&["events", "validate", events_s, "--ledger", ledger_s]);
+    assert!(
+        out.contains("valid against watchdog-campaign-events-v1"),
+        "{out}"
+    );
+    assert!(out.contains("clean finish"), "{out}");
+    assert!(out.contains("cross-check OK"), "{out}");
+
+    // A stream whose verdicts disagree with the durable ledger must
+    // fail the cross-check: flip every done event's verdict to a
+    // failure while the ledger still records passes.
+    let text = std::fs::read_to_string(&events).unwrap();
+    let forged = text.replace("\"ok\":true", "\"ok\":false");
+    std::fs::write(&events, forged).unwrap();
+    let out = cli(&["events", "validate", events_s, "--ledger", ledger_s]);
+    assert_eq!(out.status.code(), Some(1), "forged stream must fail");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cross-check"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Structurally broken JSONL fails without a ledger at all.
+    std::fs::write(&events, "{\"t_ms\":0.0}\n").unwrap();
+    assert_eq!(
+        cli(&["events", "validate", events_s]).status.code(),
+        Some(1)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn juliet_suite_detects_everything_under_watchdog() {
     let out = stdout_of(&["juliet", "--mode", "cons"]);
     assert!(

@@ -141,4 +141,36 @@ fn main() {
             if exact { "yes" } else { "NO (BUG)" },
         );
     }
+
+    // Lane-streaming dispatch: how the descriptor-table dispatcher sees
+    // the committed stream — per-lane occupancy (share of µops each lane
+    // carries) and how much of the stream drained through homogeneous
+    // runs (length ≥ 2) versus falling back to singleton, mixed-order
+    // dispatch.
+    println!("-- lane streaming: per-lane occupancy and homogeneous-run coverage --");
+    for (mode, trace) in &traces {
+        let (_, stats) = replay_with_stats(&p, trace, &ReplayConfig::default()).unwrap();
+        let f = &stats.feed;
+        let total: u64 = f.lane_uops.iter().sum();
+        let lanes = watchdog_isa::Lane::ALL
+            .iter()
+            .zip(f.lane_uops)
+            .map(|(lane, n)| {
+                format!(
+                    "{}={:.1}%",
+                    lane.label(),
+                    100.0 * n as f64 / total.max(1) as f64
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!(
+            "{:<28} {lanes} | runs={} mean-len={:.2} streamed={:.1}% fallback={:.1}%",
+            mode.label(),
+            f.lane_runs,
+            f.mean_run_len(),
+            100.0 * f.streamed_fraction(),
+            100.0 * (1.0 - f.streamed_fraction()),
+        );
+    }
 }

@@ -43,7 +43,21 @@ pub fn feed_stream<S: SchedModel>(
     stream: &[CrackedInst],
     telemetry: Option<TelemetryConfig>,
 ) -> u64 {
+    feed_stream_dispatch::<S>(stream, telemetry, false)
+}
+
+/// [`feed_stream`] with the dispatch path selectable: `match_dispatch`
+/// drives the preserved match-based reference dispatcher instead of the
+/// table-driven lane-streaming default — the `dispatch_table/*` cases
+/// measure both on the same stream so the gap between them is the lane
+/// path's contribution.
+pub fn feed_stream_dispatch<S: SchedModel>(
+    stream: &[CrackedInst],
+    telemetry: Option<TelemetryConfig>,
+    match_dispatch: bool,
+) -> u64 {
     let mut core = ScheduledCore::<S>::new(CoreConfig::sandy_bridge(), HierarchyConfig::default());
+    core.set_match_dispatch(match_dispatch);
     if let Some(cfg) = telemetry {
         core.enable_telemetry(cfg);
     }
@@ -92,8 +106,8 @@ fn measure(name: &str, elems: u64, samples: u64, mut f: impl FnMut() -> u64) -> 
 /// Measures every perf case whose `group/case` path contains `filter`
 /// (all cases when `filter` is `None`), invoking `progress` per finished
 /// record. The case list mirrors the criterion `timing_wheel` and
-/// `consume_batch` groups, plus a telemetry-enabled wheel variant so the
-/// profiler's overhead is part of every snapshot.
+/// `consume_batch` / `dispatch_table` groups, plus a telemetry-enabled
+/// wheel variant so the profiler's overhead is part of every snapshot.
 pub fn run_perf(
     samples: u64,
     filter: Option<&str>,
@@ -124,6 +138,18 @@ pub fn run_perf(
             (
                 format!("timing_wheel/{name}_heap_reference"),
                 Box::new(|| feed_stream::<watchdog_pipeline::HeapSched>(&stream, None)),
+            ),
+            (
+                format!("dispatch_table/{name}_lane"),
+                Box::new(|| {
+                    feed_stream_dispatch::<watchdog_pipeline::WheelSched>(&stream, None, false)
+                }),
+            ),
+            (
+                format!("dispatch_table/{name}_match_reference"),
+                Box::new(|| {
+                    feed_stream_dispatch::<watchdog_pipeline::WheelSched>(&stream, None, true)
+                }),
             ),
             (
                 format!("consume_batch/{name}_per_inst"),
@@ -172,8 +198,10 @@ mod tests {
         let wheel_tele =
             feed_stream::<watchdog_pipeline::WheelSched>(&stream, Some(TelemetryConfig::default()));
         let per_inst = consume_per_inst(&stream);
+        let match_ref = feed_stream_dispatch::<watchdog_pipeline::WheelSched>(&stream, None, true);
         assert_eq!(wheel, per_inst, "batched and per-inst feeds agree");
         assert_eq!(wheel, wheel_tele, "telemetry never changes timing");
+        assert_eq!(wheel, match_ref, "lane and match dispatch agree");
     }
 
     #[test]

@@ -243,6 +243,13 @@ pub struct SimConfig {
     /// the batch-equivalence suites), so disabling is only useful to
     /// benchmark the per-instruction path.
     pub batch: bool,
+    /// Drive the timing core through the preserved match-based dispatch
+    /// path instead of the table-driven lane-streaming default (see
+    /// [`ScheduledCore::set_match_dispatch`](watchdog_pipeline::ScheduledCore::set_match_dispatch)).
+    /// Off by default; the two paths produce field-identical reports
+    /// (asserted by the dispatch-equivalence suite), so enabling is only
+    /// useful as the equivalence oracle and for benchmarking.
+    pub match_dispatch: bool,
     /// Self-profiler knobs for [`Simulator::run_instrumented`] (`None`
     /// uses [`TelemetryConfig::default`]). Plain [`Simulator::run`]
     /// ignores this: telemetry is collected only on instrumented runs,
@@ -262,6 +269,7 @@ impl SimConfig {
             sampling: None,
             crack_cache: true,
             batch: true,
+            match_dispatch: false,
             telemetry: None,
         }
     }
@@ -415,6 +423,9 @@ impl Simulator {
             .cfg
             .timing
             .then(|| ScheduledCore::<S>::new(self.cfg.core, hier));
+        if let Some(core) = core.as_mut() {
+            core.set_match_dispatch(self.cfg.match_dispatch);
+        }
         let tele_on = tele.is_some();
         let t_run = tele_on.then(Instant::now);
         if let (true, Some(core)) = (tele_on, core.as_mut()) {

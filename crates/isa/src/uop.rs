@@ -70,6 +70,34 @@ pub enum UopKind {
 }
 
 impl UopKind {
+    /// Number of µop kinds (one per enum variant).
+    pub const COUNT: usize = 18;
+
+    /// Every µop kind, in discriminant order. Indexing this array with
+    /// `kind as usize` yields `kind` back — the property that makes dense
+    /// per-kind tables (dispatch descriptors, telemetry counters) safe to
+    /// index without a `match`.
+    pub const ALL: [UopKind; UopKind::COUNT] = [
+        UopKind::IntAlu,
+        UopKind::IntMul,
+        UopKind::IntDiv,
+        UopKind::FpAlu,
+        UopKind::FpMul,
+        UopKind::FpDiv,
+        UopKind::Branch,
+        UopKind::Load,
+        UopKind::Store,
+        UopKind::ShadowLoad,
+        UopKind::ShadowStore,
+        UopKind::LockLoad,
+        UopKind::LockStore,
+        UopKind::Check,
+        UopKind::BoundsCheck,
+        UopKind::CheckCombined,
+        UopKind::SelectMeta,
+        UopKind::Nop,
+    ];
+
     /// Whether the µop accesses memory (and therefore needs an address and a
     /// cache port).
     pub const fn is_mem(self) -> bool {
@@ -366,6 +394,38 @@ mod tests {
         assert!(UopKind::LockStore.is_lock_access());
         assert!(!UopKind::IntAlu.is_mem());
         assert!(UopKind::CheckCombined.is_lock_access());
+    }
+
+    #[test]
+    fn all_is_in_discriminant_order_and_exhaustive() {
+        for (i, k) in UopKind::ALL.iter().enumerate() {
+            assert_eq!(*k as usize, i, "{k:?} out of discriminant order");
+        }
+        // Exhaustiveness guard: fails to compile when a variant is added
+        // without extending `ALL` (the match below must stay total).
+        const fn covered(k: UopKind) -> bool {
+            match k {
+                UopKind::IntAlu
+                | UopKind::IntMul
+                | UopKind::IntDiv
+                | UopKind::FpAlu
+                | UopKind::FpMul
+                | UopKind::FpDiv
+                | UopKind::Branch
+                | UopKind::Load
+                | UopKind::Store
+                | UopKind::ShadowLoad
+                | UopKind::ShadowStore
+                | UopKind::LockLoad
+                | UopKind::LockStore
+                | UopKind::Check
+                | UopKind::BoundsCheck
+                | UopKind::CheckCombined
+                | UopKind::SelectMeta
+                | UopKind::Nop => true,
+            }
+        }
+        assert!(UopKind::ALL.iter().all(|&k| covered(k)));
     }
 
     #[test]

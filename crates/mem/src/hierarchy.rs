@@ -78,6 +78,26 @@ impl AccessReq {
     }
 }
 
+/// How one access class is routed through the hierarchy. The routing
+/// decision depends only on the class and two configuration knobs
+/// (`lock_cache`, `ideal_shadow`), so [`Hierarchy::new`] bakes it into a
+/// 4-entry table indexed by [`AccessClass::idx`] — the hot access path
+/// indexes that table instead of re-testing the knobs per access, the
+/// same descriptor-table discipline the timing core applies to µop
+/// dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Route {
+    /// L1 I-cache with next-line instruction prefetch.
+    Ifetch,
+    /// §9.3 idealized shadow: fixed L1 latency, touches no state.
+    IdealShadow,
+    /// Dedicated lock-location cache and its private TLB (§4.2).
+    LockDedicated,
+    /// The L1 D-cache path: data, non-ideal shadow, and lock traffic on
+    /// the Fig. 9 no-LL$ ablation.
+    DataPath,
+}
+
 /// Outcome flags of one access — a pure side-channel beside the returned
 /// latency, kept for the caller that needs to *attribute* the access
 /// (the timing core's CPI-stack accounting) without re-deriving the miss
@@ -227,6 +247,8 @@ impl HierarchyStats {
 #[derive(Debug)]
 pub struct Hierarchy {
     cfg: HierarchyConfig,
+    // Per-class routing table, indexed by `AccessClass::idx()`; see `Route`.
+    routes: [Route; 4],
     l1i: Cache,
     l1d: Cache,
     ll: Cache,
@@ -269,7 +291,20 @@ impl Hierarchy {
     pub fn new(cfg: HierarchyConfig) -> Self {
         let ll_sets = cfg.ll.sets();
         let l1d_sets = cfg.l1d.sets();
+        let route = |class: AccessClass| match class {
+            AccessClass::Ifetch => Route::Ifetch,
+            AccessClass::Shadow if cfg.ideal_shadow => Route::IdealShadow,
+            AccessClass::Lock if cfg.lock_cache => Route::LockDedicated,
+            _ => Route::DataPath,
+        };
+        let routes = [
+            route(AccessClass::Data),
+            route(AccessClass::Shadow),
+            route(AccessClass::Lock),
+            route(AccessClass::Ifetch),
+        ];
         Hierarchy {
+            routes,
             ll_block_shift: cfg.ll.block.trailing_zeros(),
             ll_set_mask: ll_sets - 1,
             l1d_block_shift: cfg.l1d.block.trailing_zeros(),
@@ -380,147 +415,154 @@ impl Hierarchy {
     /// ([`Hierarchy::access`] counts one; [`Hierarchy::access_batch`]
     /// counts a whole batch at once), and cache counters live in the
     /// caches themselves ([`Hierarchy::stats`] snapshots them on demand).
+    /// Routing is one indexed load from the precomputed [`Route`] table —
+    /// no per-access knob tests.
     fn access_uncounted(&mut self, class: AccessClass, addr: u64, _write: bool) -> u64 {
-        match class {
-            AccessClass::Ifetch => {
-                let mut lat = self.cfg.l1_lat;
-                let miss = !self.l1i.access(addr);
-                self.last_outcome = AccessOutcome {
-                    tlb_miss: false,
-                    l1_miss: miss,
-                    lock_path: false,
-                };
-                if miss {
-                    lat += self.level2_and_beyond(addr);
-                }
-                // Next-line instruction prefetch (Table 2: I-cache stream
-                // prefetcher, 2 streams × 4 blocks): sequential code should
-                // not miss on every new block.
-                let block = addr / self.cfg.l1i.block;
-                for i in 1..=2u64 {
-                    let next = (block + i) * self.cfg.l1i.block;
-                    if !self.l1i.probe(next) {
-                        self.l1i.prefetch_fill(next);
-                        self.l2.prefetch_fill(next);
-                        self.l3.prefetch_fill(next);
-                    }
-                }
-                lat
-            }
-            AccessClass::Shadow if self.cfg.ideal_shadow => {
+        match self.routes[class.idx()] {
+            Route::Ifetch => self.ifetch_path(addr),
+            Route::IdealShadow => {
                 // §9.3: occupies a port (handled by the pipeline model) but
                 // never misses and pollutes nothing.
                 self.last_outcome = AccessOutcome::default();
                 self.cfg.l1_lat
             }
-            AccessClass::Lock if self.cfg.lock_cache => {
-                // Lock-probe memo: the LL$ and its TLB are touched by lock
-                // accesses *only*, so if this line is the one most recently
-                // accessed in its set AND this page is the one most
-                // recently translated, the lookup is a guaranteed hit and
-                // the entry is already MRU — `repeat_hit` accounts it with
-                // bit-identical statistics and replacement state (check
-                // µops re-probing a hot pointer's lock location take this
-                // path almost every time).
-                let line = addr >> self.ll_block_shift;
-                let set = (line & self.ll_set_mask) as usize;
-                let page = addr >> 12;
-                if self.ll_memo[set] == line && self.ll_page_memo == page {
-                    self.lltlb.repeat_hit();
-                    self.ll.repeat_hit();
-                    self.ll_memo_hits += 1;
-                    self.last_outcome = AccessOutcome {
-                        tlb_miss: false,
-                        l1_miss: false,
-                        lock_path: true,
-                    };
-                    return self.cfg.l1_lat;
-                }
-                self.ll_memo[set] = line;
-                self.ll_page_memo = page;
-                let mut lat = self.cfg.l1_lat;
-                let tlb_miss = !self.lltlb.access(addr);
-                if tlb_miss {
-                    lat += self.cfg.tlb_miss_penalty;
-                }
-                let l1_miss = !self.ll.access(addr);
-                self.last_outcome = AccessOutcome {
-                    tlb_miss,
-                    l1_miss,
-                    lock_path: true,
-                };
-                if l1_miss {
-                    lat += self.level2_and_beyond(addr);
-                }
-                lat
-            }
-            _ => {
-                // Data, shadow (non-ideal) and lock accesses without the
-                // dedicated cache all go through the L1 D-cache. Both
-                // lookups carry the repeat memo of the lock path above:
-                // the D-TLB is only ever touched here, so a repeat of its
-                // last-translated page is a guaranteed still-MRU hit, and
-                // a repeat of a set's most-recently-accessed L1D line
-                // likewise — except that L1D prefetch fills stamp lines
-                // behind the memo's back, so each fill clears its set's
-                // entry (fills land in the blocks *after* a miss, never in
-                // the missed set itself).
-                let mut lat = self.cfg.l1_lat;
-                let page = addr >> 12;
-                let mut tlb_miss = false;
-                if self.dtlb_page_memo == page {
-                    self.dtlb.repeat_hit();
-                } else {
-                    self.dtlb_page_memo = page;
-                    if !self.dtlb.access(addr) {
-                        tlb_miss = true;
-                        lat += self.cfg.tlb_miss_penalty;
-                    }
-                }
-                let line = addr >> self.l1d_block_shift;
-                let set = (line & self.l1d_set_mask) as usize;
-                if self.l1d_memo[set] == line {
-                    self.l1d.repeat_hit();
-                    self.last_outcome = AccessOutcome {
-                        tlb_miss,
-                        l1_miss: false,
-                        lock_path: false,
-                    };
-                } else if !self.l1d.access(addr) {
-                    self.last_outcome = AccessOutcome {
-                        tlb_miss,
-                        l1_miss: true,
-                        lock_path: false,
-                    };
-                    lat += self.level2_and_beyond(addr);
-                    // Train the L1 stream prefetcher on the miss. A fill
-                    // landing in the missed line's own set (possible only
-                    // with tiny test geometries) would out-stamp it, so
-                    // the memo is only armed when none did.
-                    let mut set_clobbered = false;
-                    for &pf in self.l1_pf.on_miss(line) {
-                        let a = pf << self.l1d_block_shift;
-                        self.l1d.prefetch_fill(a);
-                        let pf_set = (pf & self.l1d_set_mask) as usize;
-                        self.l1d_memo[pf_set] = u64::MAX;
-                        set_clobbered |= pf_set == set;
-                        self.l2.prefetch_fill(a);
-                        self.l3.prefetch_fill(a);
-                    }
-                    if !set_clobbered {
-                        self.l1d_memo[set] = line;
-                    }
-                } else {
-                    self.l1d_memo[set] = line;
-                    self.last_outcome = AccessOutcome {
-                        tlb_miss,
-                        l1_miss: false,
-                        lock_path: false,
-                    };
-                }
-                lat
+            Route::LockDedicated => self.lock_path(addr),
+            Route::DataPath => self.data_path(addr),
+        }
+    }
+
+    /// [`Route::Ifetch`]: L1 I-cache lookup plus next-line instruction
+    /// prefetch (Table 2: I-cache stream prefetcher, 2 streams × 4 blocks —
+    /// sequential code should not miss on every new block).
+    fn ifetch_path(&mut self, addr: u64) -> u64 {
+        let mut lat = self.cfg.l1_lat;
+        let miss = !self.l1i.access(addr);
+        self.last_outcome = AccessOutcome {
+            tlb_miss: false,
+            l1_miss: miss,
+            lock_path: false,
+        };
+        if miss {
+            lat += self.level2_and_beyond(addr);
+        }
+        let block = addr / self.cfg.l1i.block;
+        for i in 1..=2u64 {
+            let next = (block + i) * self.cfg.l1i.block;
+            if !self.l1i.probe(next) {
+                self.l1i.prefetch_fill(next);
+                self.l2.prefetch_fill(next);
+                self.l3.prefetch_fill(next);
             }
         }
+        lat
+    }
+
+    /// [`Route::LockDedicated`]: the LL$ and its TLB, fronted by the
+    /// lock-probe memo. The LL$ and LL TLB are touched by lock accesses
+    /// *only*, so if this line is the one most recently accessed in its set
+    /// AND this page is the one most recently translated, the lookup is a
+    /// guaranteed hit and the entry is already MRU — `repeat_hit` accounts
+    /// it with bit-identical statistics and replacement state (check µops
+    /// re-probing a hot pointer's lock location take this path almost
+    /// every time).
+    fn lock_path(&mut self, addr: u64) -> u64 {
+        let line = addr >> self.ll_block_shift;
+        let set = (line & self.ll_set_mask) as usize;
+        let page = addr >> 12;
+        if self.ll_memo[set] == line && self.ll_page_memo == page {
+            self.lltlb.repeat_hit();
+            self.ll.repeat_hit();
+            self.ll_memo_hits += 1;
+            self.last_outcome = AccessOutcome {
+                tlb_miss: false,
+                l1_miss: false,
+                lock_path: true,
+            };
+            return self.cfg.l1_lat;
+        }
+        self.ll_memo[set] = line;
+        self.ll_page_memo = page;
+        let mut lat = self.cfg.l1_lat;
+        let tlb_miss = !self.lltlb.access(addr);
+        if tlb_miss {
+            lat += self.cfg.tlb_miss_penalty;
+        }
+        let l1_miss = !self.ll.access(addr);
+        self.last_outcome = AccessOutcome {
+            tlb_miss,
+            l1_miss,
+            lock_path: true,
+        };
+        if l1_miss {
+            lat += self.level2_and_beyond(addr);
+        }
+        lat
+    }
+
+    /// [`Route::DataPath`]: data, shadow (non-ideal) and lock accesses
+    /// without the dedicated cache all go through the L1 D-cache. Both
+    /// lookups carry the repeat memo of the lock path: the D-TLB is only
+    /// ever touched here, so a repeat of its last-translated page is a
+    /// guaranteed still-MRU hit, and a repeat of a set's
+    /// most-recently-accessed L1D line likewise — except that L1D prefetch
+    /// fills stamp lines behind the memo's back, so each fill clears its
+    /// set's entry (fills land in the blocks *after* a miss, never in the
+    /// missed set itself).
+    fn data_path(&mut self, addr: u64) -> u64 {
+        let mut lat = self.cfg.l1_lat;
+        let page = addr >> 12;
+        let mut tlb_miss = false;
+        if self.dtlb_page_memo == page {
+            self.dtlb.repeat_hit();
+        } else {
+            self.dtlb_page_memo = page;
+            if !self.dtlb.access(addr) {
+                tlb_miss = true;
+                lat += self.cfg.tlb_miss_penalty;
+            }
+        }
+        let line = addr >> self.l1d_block_shift;
+        let set = (line & self.l1d_set_mask) as usize;
+        if self.l1d_memo[set] == line {
+            self.l1d.repeat_hit();
+            self.last_outcome = AccessOutcome {
+                tlb_miss,
+                l1_miss: false,
+                lock_path: false,
+            };
+        } else if !self.l1d.access(addr) {
+            self.last_outcome = AccessOutcome {
+                tlb_miss,
+                l1_miss: true,
+                lock_path: false,
+            };
+            lat += self.level2_and_beyond(addr);
+            // Train the L1 stream prefetcher on the miss. A fill landing in
+            // the missed line's own set (possible only with tiny test
+            // geometries) would out-stamp it, so the memo is only armed
+            // when none did.
+            let mut set_clobbered = false;
+            for &pf in self.l1_pf.on_miss(line) {
+                let a = pf << self.l1d_block_shift;
+                self.l1d.prefetch_fill(a);
+                let pf_set = (pf & self.l1d_set_mask) as usize;
+                self.l1d_memo[pf_set] = u64::MAX;
+                set_clobbered |= pf_set == set;
+                self.l2.prefetch_fill(a);
+                self.l3.prefetch_fill(a);
+            }
+            if !set_clobbered {
+                self.l1d_memo[set] = line;
+            }
+        } else {
+            self.l1d_memo[set] = line;
+            self.last_outcome = AccessOutcome {
+                tlb_miss,
+                l1_miss: false,
+                lock_path: false,
+            };
+        }
+        lat
     }
 
     /// Walks L2 → L3 → memory on an L1-level miss; returns the *additional*
@@ -869,6 +911,39 @@ mod tests {
         });
         ideal.access(AccessClass::Shadow, 0x4000_0000_0000, false);
         assert_eq!(ideal.last_outcome(), AccessOutcome::default());
+    }
+
+    #[test]
+    fn route_table_covers_every_knob_combination() {
+        // The precomputed table must agree with the knob semantics for all
+        // four (lock_cache, ideal_shadow) combinations: which first-level
+        // structure each class's traffic lands in.
+        for (lock_cache, ideal_shadow) in
+            [(true, true), (true, false), (false, true), (false, false)]
+        {
+            let mut hy = h(HierarchyConfig {
+                lock_cache,
+                ideal_shadow,
+                ..Default::default()
+            });
+            hy.access(AccessClass::Data, 0x2000_0000, false);
+            hy.access(AccessClass::Shadow, 0x4000_0000_0000, false);
+            hy.access(AccessClass::Lock, 0x5000_0000, false);
+            hy.access(AccessClass::Ifetch, 0x40_0000, false);
+            let s = hy.stats();
+            let label = format!("lock_cache={lock_cache} ideal_shadow={ideal_shadow}");
+            assert_eq!(s.l1i.accesses, 1, "{label}: ifetch routes to L1I");
+            assert_eq!(
+                s.ll.accesses,
+                u64::from(lock_cache),
+                "{label}: lock routes to the LL$ iff enabled"
+            );
+            let expect_l1d = 1 + u64::from(!ideal_shadow) + u64::from(!lock_cache);
+            assert_eq!(
+                s.l1d.accesses, expect_l1d,
+                "{label}: data plus fallback shadow/lock traffic lands in L1D"
+            );
+        }
     }
 
     #[test]

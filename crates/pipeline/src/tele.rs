@@ -27,8 +27,10 @@ use crate::core::NUM_TAGS;
 use watchdog_isa::uop::UopKind;
 use watchdog_telemetry::{Histogram, MetricsRegistry, Unit};
 
-/// Number of [`UopKind`] variants (the dispatch-counter array length).
-pub const NUM_UOP_KINDS: usize = 18;
+/// Number of [`UopKind`] variants (the dispatch-counter array length),
+/// tied to the ISA's own count so the name table, the counters and the
+/// dispatch-descriptor tables can never drift apart.
+pub const NUM_UOP_KINDS: usize = UopKind::COUNT;
 
 /// Number of distinct stall causes in the CPI-stack accounting (the
 /// drain tail is exported separately as `cpi.stall.drain`).

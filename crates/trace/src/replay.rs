@@ -50,6 +50,11 @@ pub struct ReplayConfig {
     /// the per-instruction path produces a field-identical report and only
     /// remains as the comparison baseline.
     pub batch: bool,
+    /// Drive the timing core through the preserved match-based dispatch
+    /// path instead of the table-driven lane-streaming default. Off by
+    /// default; only the dispatch-equivalence suite and ablation
+    /// benchmarks flip it.
+    pub match_dispatch: bool,
 }
 
 impl Default for ReplayConfig {
@@ -59,6 +64,7 @@ impl Default for ReplayConfig {
             hierarchy: HierarchyConfig::default(),
             crack_cache: true,
             batch: true,
+            match_dispatch: false,
         }
     }
 }
@@ -82,6 +88,7 @@ impl ReplayConfig {
             hierarchy: cfg.hierarchy,
             crack_cache: cfg.crack_cache,
             batch: cfg.batch,
+            match_dispatch: cfg.match_dispatch,
         }
     }
 }
@@ -234,6 +241,7 @@ fn replay_impl<S: SchedModel>(
         .crack_cache
         .then(|| CrackCache::new(crack_cfg, program.len()));
     let mut core = ScheduledCore::<S>::new(cfg.core, hier);
+    core.set_match_dispatch(cfg.match_dispatch);
     if let Some(tcfg) = tele {
         core.enable_telemetry(tcfg);
     }

@@ -262,20 +262,36 @@ fn cmd_run_cpi(name: &str, scale: Scale) {
 }
 
 /// Best-effort short git revision for perf-snapshot file names:
-/// `--rev` override, then `git rev-parse --short HEAD`, else `unknown`.
+/// `--rev` override, then `git rev-parse --short HEAD` — suffixed with
+/// `-dirty` when the working tree has uncommitted changes, so a snapshot
+/// taken mid-edit never silently overwrites the committed revision's
+/// `BENCH_<rev>.json` — else `unknown`.
 fn git_rev(args: &[String]) -> String {
     if let Some(rev) = flag_value(args, "--rev") {
         return rev;
     }
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
+    let git = |argv: &[&str]| {
+        std::process::Command::new("git")
+            .args(argv)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+    };
+    let Some(rev) = git(&["rev-parse", "--short", "HEAD"])
         .map(|s| s.trim().to_string())
         .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
+    else {
+        return "unknown".to_string();
+    };
+    // Porcelain output is empty exactly when the tree is clean; treat a
+    // failed status probe as clean (same best-effort stance as above).
+    let dirty = git(&["status", "--porcelain"]).is_some_and(|s| !s.trim().is_empty());
+    if dirty {
+        format!("{rev}-dirty")
+    } else {
+        rev
+    }
 }
 
 /// `watchdog-cli perf` — measures the shared `timing_wheel` /
@@ -360,18 +376,38 @@ fn cmd_perf_compare(args: &[String]) {
                 })
         },
     );
-    let load = |path: &str| -> watchdog::telemetry::BenchSnapshot {
+    // A missing or unreadable snapshot is a usage error (exit 2), kept
+    // distinct from the regression signal (exit 1) so CI wiring mistakes
+    // never masquerade as perf verdicts. For the baseline — the usual
+    // victim of a stale path — list what `bench-history/` actually holds.
+    let load = |path: &str, role: &str| -> watchdog::telemetry::BenchSnapshot {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
+            let mut avail: Vec<String> = std::fs::read_dir("bench-history")
+                .into_iter()
+                .flatten()
+                .flatten()
+                .map(|entry| entry.file_name().to_string_lossy().into_owned())
+                .filter(|name| name.ends_with(".json"))
+                .collect();
+            avail.sort();
+            let hint = if avail.is_empty() {
+                "no snapshots in bench-history/ — run `watchdog-cli perf` to create one".to_string()
+            } else {
+                format!("available in bench-history/: {}", avail.join(", "))
+            };
+            eprintln!("cannot read {role} snapshot {path}: {e} ({hint})");
             std::process::exit(2);
         });
         watchdog::telemetry::BenchSnapshot::from_json(&text).unwrap_or_else(|e| {
-            eprintln!("{path}: invalid bench snapshot: {e}");
+            eprintln!("{path}: invalid {role} bench snapshot: {e}");
             std::process::exit(2);
         })
     };
-    let diff =
-        watchdog::bench::perfdiff::PerfDiff::compare(&load(base_path), &load(cand_path), threshold);
+    let diff = watchdog::bench::perfdiff::PerfDiff::compare(
+        &load(base_path, "baseline"),
+        &load(cand_path, "candidate"),
+        threshold,
+    );
     let rows: Vec<(String, Vec<String>)> = diff
         .cases
         .iter()

@@ -253,6 +253,16 @@ fn perf_compare_gates_on_the_noise_threshold() {
             .code(),
         Some(2)
     );
+
+    // A missing *baseline* additionally points at the snapshot history
+    // (the actionable fix when CI's baseline path goes stale).
+    let out = cli(&["perf", "compare", "/nonexistent-base.json", base]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("baseline snapshot /nonexistent-base.json") && err.contains("bench-history"),
+        "baseline error must name the role and the history directory: {err}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

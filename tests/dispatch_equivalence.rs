@@ -1,0 +1,349 @@
+//! The table-driven dispatch path's acceptance anchor at workspace scale:
+//! the lane-streaming production dispatcher (descriptor-table routed,
+//! per-kind homogeneous runs) must produce **field-identical**
+//! `RunReport`s — cycles, per-tag µop counts, hierarchy/bpred/rename/
+//! stall counters, crack-cache counters, heap, footprint, violation — to
+//! the preserved match-based reference dispatcher, on every suite cell ×
+//! mode, across a band of fuzz-generated programs (violating payloads
+//! included), on the live, trace-replayed and sampled paths; and the
+//! exported `cpi.*` stack must agree **bit for bit**, not just the
+//! report.
+//!
+//! Alongside the report equivalence, this file holds the adversarial
+//! lane-splitting property: over real committed µop streams, for batch
+//! fills of every size from one instruction to the whole stream, lane
+//! runs must tile the µop arrays exactly, stay homogeneous, respect
+//! instruction boundaries (the order-admissibility rule), be maximal,
+//! and be invariant to where the batch boundaries fall.
+//!
+//! Reports are compared through their `Debug` rendering, which prints
+//! every field of every nested statistic — the strongest practical
+//! byte-identity check (the same discipline as `wheel_equivalence.rs`).
+
+use watchdog::bench::parallel_map;
+use watchdog::core::machine::{Machine, MachineConfig, Step};
+use watchdog::gen::{generate, GenConfig};
+use watchdog::isa::crack::CrackedInst;
+use watchdog::isa::{Lane, KIND_DESCS};
+use watchdog::pipeline::UopBatch;
+use watchdog::prelude::*;
+use watchdog::trace::{record, replay, ReplayConfig};
+
+fn jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The timed configuration on the preserved match-based reference
+/// dispatch path (the lane path is the default).
+fn match_cfg(mode: Mode) -> SimConfig {
+    SimConfig {
+        match_dispatch: true,
+        ..SimConfig::timed(mode)
+    }
+}
+
+/// Live timed simulation, lane-streaming vs match-based dispatch.
+/// Returns the divergence description, or `None` when the reports are
+/// identical.
+fn check_live(program: &Program, mode: Mode) -> Option<String> {
+    let lane = Simulator::new(SimConfig::timed(mode)).run(program);
+    let reference = Simulator::new(match_cfg(mode)).run(program);
+    let (a, b) = match (lane, reference) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            return Some(format!(
+                "{}/{}: run failed: {e}",
+                program.name(),
+                mode.label()
+            ))
+        }
+    };
+    let (a, b) = (format!("{a:?}"), format!("{b:?}"));
+    (a != b).then(|| {
+        format!(
+            "{}/{}: lane dispatch diverges from match reference\nlane:  {a}\nmatch: {b}",
+            program.name(),
+            mode.label()
+        )
+    })
+}
+
+/// Trace replay, lane-streaming vs match-based dispatch.
+fn check_replay(program: &Program, mode: Mode) -> Option<String> {
+    let sim = SimConfig::timed(mode);
+    let trace = match record(program, mode, sim.max_insts) {
+        Ok(t) => t,
+        Err(e) => {
+            return Some(format!(
+                "{}/{}: record failed: {e}",
+                program.name(),
+                mode.label()
+            ))
+        }
+    };
+    let lane_cfg = ReplayConfig::from_sim(&sim);
+    let ref_cfg = ReplayConfig {
+        match_dispatch: true,
+        ..lane_cfg.clone()
+    };
+    let (a, b) = match (
+        replay(program, &trace, &lane_cfg),
+        replay(program, &trace, &ref_cfg),
+    ) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            return Some(format!(
+                "{}/{}: replay failed: {e}",
+                program.name(),
+                mode.label()
+            ))
+        }
+    };
+    let (a, b) = (format!("{a:?}"), format!("{b:?}"));
+    (a != b).then(|| {
+        format!(
+            "{}/{}: lane replay diverges from match replay\nlane:  {a}\nmatch: {b}",
+            program.name(),
+            mode.label()
+        )
+    })
+}
+
+/// Every (benchmark × mode) cell of the suite grid is dispatch-path
+/// invariant, on the live path and on the replay path.
+#[test]
+fn every_suite_cell_is_dispatch_invariant() {
+    let modes = [
+        Mode::Baseline,
+        Mode::LocationBased,
+        Mode::watchdog_conservative(),
+        Mode::watchdog(),
+    ];
+    let specs = all_benchmarks();
+    let programs: Vec<Program> = specs.iter().map(|s| s.build(Scale::Test)).collect();
+    let grid: Vec<(usize, usize)> = (0..specs.len())
+        .flat_map(|s| (0..modes.len()).map(move |m| (s, m)))
+        .collect();
+    let failures: Vec<String> = parallel_map(grid.len(), jobs(), |k| {
+        let (si, mi) = grid[k];
+        let mut out = Vec::new();
+        out.extend(check_live(&programs[si], modes[mi]));
+        // Replay-side invariance on the checked modes (the trace format
+        // round-trips the same cells in trace_equivalence.rs; here the
+        // axis under test is the dispatch path).
+        if modes[mi] != Mode::LocationBased {
+            out.extend(check_replay(&programs[si], modes[mi]));
+        }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(
+        failures.is_empty(),
+        "{} suite cell(s) diverged:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// 100 fuzz seeds — violating payloads included, so runs that end at a
+/// detected violation are covered — are dispatch-path invariant under
+/// the conservative mode, with an ISA-assisted prefix.
+#[test]
+fn a_hundred_fuzz_seeds_are_dispatch_invariant() {
+    let cfg = GenConfig::default();
+    let failures: Vec<String> = parallel_map(100, jobs(), |seed| {
+        let g = generate(seed as u64, &cfg);
+        let mut out = Vec::new();
+        out.extend(check_live(&g.program, Mode::watchdog_conservative()));
+        out.extend(check_live(&g.twin, Mode::watchdog_conservative()));
+        if seed < 25 {
+            out.extend(check_live(&g.program, Mode::watchdog()));
+            out.extend(check_replay(&g.program, Mode::watchdog_conservative()));
+        }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(
+        failures.is_empty(),
+        "{} fuzz cell(s) diverged:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// The sampled regime (§9.1) is dispatch-path invariant too: homogeneous
+/// runs carry the sampled-window flag exactly as the per-µop match path
+/// does.
+#[test]
+fn sampled_runs_are_dispatch_invariant() {
+    let program = benchmark("mcf").expect("registered").build(Scale::Test);
+    let lane = Simulator::new(SimConfig::sampled(
+        Mode::watchdog_conservative(),
+        Sampling::dense(),
+    ))
+    .run(&program)
+    .unwrap();
+    let reference = Simulator::new(SimConfig {
+        match_dispatch: true,
+        ..SimConfig::sampled(Mode::watchdog_conservative(), Sampling::dense())
+    })
+    .run(&program)
+    .unwrap();
+    assert_eq!(format!("{lane:?}"), format!("{reference:?}"));
+}
+
+/// The exported CPI stack — every `cpi.*` counter — is bit-identical
+/// across dispatch paths: stall attribution is part of the timestamp
+/// state the report equivalence pins, not a side effect of dispatch
+/// order inside the consume loop.
+#[test]
+fn cpi_counters_are_bit_identical_across_dispatch_paths() {
+    for bench in ["mcf", "perl"] {
+        for mode in [Mode::watchdog_conservative(), Mode::watchdog()] {
+            let label = format!("{bench} under {}", mode.label());
+            let program = benchmark(bench).unwrap().build(Scale::Test);
+            let (_, lane) = Simulator::new(SimConfig::timed(mode))
+                .run_instrumented(&program)
+                .unwrap();
+            let (_, reference) = Simulator::new(match_cfg(mode))
+                .run_instrumented(&program)
+                .unwrap();
+            let mut compared = 0usize;
+            for m in lane
+                .core_metrics
+                .iter()
+                .filter(|m| m.name.starts_with("cpi."))
+            {
+                assert_eq!(
+                    m.counter,
+                    reference.core_metrics.counter_value(m.name),
+                    "[{label}] {} diverges across dispatch paths",
+                    m.name
+                );
+                compared += 1;
+            }
+            assert!(compared > 10, "[{label}] cpi namespace missing");
+        }
+    }
+}
+
+/// Materializes the committed µop stream of one suite cell, exactly as
+/// the live batched feed would see it.
+fn committed_stream(bench: &str, mode: Mode) -> Vec<CrackedInst> {
+    let program = benchmark(bench).expect("registered").build(Scale::Test);
+    let mcfg = match mode {
+        Mode::Baseline => MachineConfig::baseline(),
+        _ => MachineConfig::watchdog(),
+    };
+    let mut machine = Machine::new(&program, mcfg);
+    let mut stream = Vec::new();
+    while let Step::Executed(ci) = machine.step().expect("ok") {
+        stream.push(ci.expect("µop-emitting machine").clone());
+    }
+    assert!(!stream.is_empty(), "{bench} produced no committed insts");
+    stream
+}
+
+/// The per-instruction lane-run shape of one filled batch: for each
+/// instruction, the `(len, lane)` sequence of the runs inside it.
+fn run_shapes(batch: &UopBatch) -> Vec<Vec<(u16, Lane)>> {
+    let runs = batch.lane_runs();
+    let mut ri = 0usize;
+    let mut shapes = Vec::with_capacity(batch.len());
+    for i in 0..batch.len() {
+        let r = batch.uop_range(i);
+        let mut shape = Vec::new();
+        while ri < runs.len() && (runs[ri].start as usize) < r.end {
+            let run = runs[ri];
+            ri += 1;
+            let (s, e) = (
+                run.start as usize,
+                (run.start + u32::from(run.len)) as usize,
+            );
+            assert!(
+                s >= r.start && e <= r.end,
+                "run {run:?} crosses instruction {i} ({r:?})"
+            );
+            shape.push((run.len, run.lane));
+        }
+        shapes.push(shape);
+    }
+    assert_eq!(ri, runs.len(), "runs left over past the last instruction");
+    shapes
+}
+
+/// Adversarial lane-splitting property over a real committed stream:
+/// for batch sizes from one instruction up to the whole stream, the
+/// lane runs (1) tile the µop arrays exactly, (2) are homogeneous under
+/// `KIND_DESCS`, (3) never cross an instruction boundary, (4) are
+/// maximal — adjacent runs differ in lane unless an instruction
+/// boundary forced the split — and (5) have a per-instruction shape
+/// invariant to where the batch boundaries fall.
+#[test]
+fn lane_splitting_is_exact_on_adversarial_batch_sizes() {
+    let stream = committed_stream("perl", Mode::watchdog());
+    let n = stream.len();
+    let mut baseline_shapes: Option<Vec<Vec<(u16, Lane)>>> = None;
+    for target in [1usize, 2, 3, 5, 7, 13, 33, UopBatch::TARGET_INSTS, n] {
+        let mut shapes: Vec<Vec<(u16, Lane)>> = Vec::with_capacity(n);
+        let mut batch = UopBatch::with_capacity(target.min(UopBatch::TARGET_INSTS));
+        let flush = |batch: &mut UopBatch, shapes: &mut Vec<Vec<(u16, Lane)>>| {
+            let runs = batch.lane_runs();
+            // (1) Runs tile the µop arrays: contiguous, in order, total
+            // length equal to the µop count.
+            let mut next = 0u32;
+            for run in runs {
+                assert_eq!(run.start, next, "gap or overlap before {run:?}");
+                assert!(run.len > 0, "empty run {run:?}");
+                next += u32::from(run.len);
+            }
+            assert_eq!(next as usize, batch.uops(), "runs do not cover the batch");
+            // (2) Homogeneous: every µop agrees with its run's lane.
+            for run in runs {
+                for u in
+                    &batch.uop_descs()[run.start as usize..run.start as usize + run.len as usize]
+                {
+                    assert_eq!(
+                        KIND_DESCS[u.kind as usize].lane, run.lane,
+                        "µop {:?} in a {:?} run",
+                        u.kind, run.lane
+                    );
+                }
+            }
+            // (4) Maximal: a same-lane split only ever happens at an
+            // instruction boundary.
+            let starts: std::collections::HashSet<u32> =
+                batch.insts().iter().map(|i| i.uop_start).collect();
+            for w in runs.windows(2) {
+                assert!(
+                    w[0].lane != w[1].lane || starts.contains(&w[1].start),
+                    "adjacent same-lane runs not at an instruction boundary: {w:?}"
+                );
+            }
+            // (3) + per-inst shapes for (5).
+            shapes.extend(run_shapes(batch));
+            batch.clear();
+        };
+        for ci in &stream {
+            batch.push_cracked(ci);
+            if batch.len() >= target {
+                flush(&mut batch, &mut shapes);
+            }
+        }
+        flush(&mut batch, &mut shapes);
+        assert_eq!(shapes.len(), n);
+        // (5) Batch-boundary invariance: the same instruction splits into
+        // the same runs no matter which batch it landed in.
+        match &baseline_shapes {
+            None => baseline_shapes = Some(shapes),
+            Some(base) => assert_eq!(
+                base, &shapes,
+                "lane shapes changed under batch target {target}"
+            ),
+        }
+    }
+}
